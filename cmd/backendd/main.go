@@ -1,0 +1,126 @@
+// Command backendd runs one backend server of the kind the service-broker
+// testbed uses: the SQL database, the LDAP-style directory, the mail
+// service, or a bounded-processing-time CGI web server.
+//
+// Usage:
+//
+//	backendd -kind db   -addr 127.0.0.1:7001 -records 42000
+//	backendd -kind dir  -addr 127.0.0.1:7002
+//	backendd -kind mail -addr 127.0.0.1:7003
+//	backendd -kind cgi  -addr 127.0.0.1:7004 -delay 1s -maxclients 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/ldapdir"
+	"servicebroker/internal/mailsvc"
+	"servicebroker/internal/sqldb"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "db", "backend kind: db, dir, mail, cgi")
+		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
+		records    = flag.Int("records", sqldb.PaperRecordCount, "db: fixture row count")
+		handshake  = flag.Duration("handshake", 0, "db: artificial connection handshake cost")
+		delay      = flag.Duration("delay", time.Second, "cgi: bounded processing time")
+		maxClients = flag.Int("maxclients", 5, "cgi: max simultaneous requests")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients); err != nil {
+		fmt.Fprintln(os.Stderr, "backendd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int) error {
+	var (
+		boundAddr string
+		shutdown  func() error
+	)
+	switch kind {
+	case "db":
+		engine := sqldb.NewEngine()
+		fmt.Printf("loading %d fixture records...\n", records)
+		if err := sqldb.LoadRecords(engine, records); err != nil {
+			return err
+		}
+		srv, err := sqldb.NewServer(engine, addr, sqldb.WithHandshakeDelay(handshake))
+		if err != nil {
+			return err
+		}
+		boundAddr, shutdown = srv.Addr().String(), srv.Close
+
+	case "dir":
+		dir := ldapdir.NewDirectory()
+		if err := seedDirectory(dir); err != nil {
+			return err
+		}
+		srv, err := ldapdir.NewServer(dir, addr)
+		if err != nil {
+			return err
+		}
+		boundAddr, shutdown = srv.Addr().String(), srv.Close
+
+	case "mail":
+		srv, err := mailsvc.NewServer(mailsvc.NewStore(), addr)
+		if err != nil {
+			return err
+		}
+		boundAddr, shutdown = srv.Addr().String(), srv.Close
+
+	case "cgi":
+		srv, err := httpserver.NewServer(addr, httpserver.WithMaxClients(maxClients))
+		if err != nil {
+			return err
+		}
+		srv.Handle("/cgi", func(req *httpserver.Request) *httpserver.Response {
+			time.Sleep(delay)
+			return httpserver.Text(fmt.Sprintf("processed %s after %v", req.Query["q"], delay))
+		})
+		boundAddr, shutdown = srv.Addr().String(), srv.Close
+
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+
+	fmt.Printf("backendd: %s serving on %s\n", kind, boundAddr)
+	wait()
+	fmt.Println("backendd: shutting down")
+	return shutdown()
+}
+
+// seedDirectory creates the demo tree brokers and examples expect.
+func seedDirectory(dir *ldapdir.Directory) error {
+	for _, e := range []struct {
+		dn    string
+		attrs map[string][]string
+	}{
+		{"dc=example", map[string][]string{"objectclass": {"domain"}}},
+		{"ou=users,dc=example", map[string][]string{"objectclass": {"organizationalUnit"}}},
+		{"ou=groups,dc=example", map[string][]string{"objectclass": {"organizationalUnit"}}},
+	} {
+		dn, err := ldapdir.ParseDN(e.dn)
+		if err != nil {
+			return err
+		}
+		if err := dir.Add(dn, e.attrs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func wait() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

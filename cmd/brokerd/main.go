@@ -1,0 +1,153 @@
+// Command brokerd runs one service broker (or several) behind a UDP wire
+// gateway — the deployable form of the paper's middleware agent.
+//
+// Each -service flag declares one broker as
+//
+//	name:kind:backendAddr
+//
+// where kind is db, dir, mail, web, or cgi. Example:
+//
+//	brokerd -listen 127.0.0.1:6000 \
+//	        -service db:db:127.0.0.1:7001 \
+//	        -service dir:dir:127.0.0.1:7002 \
+//	        -threshold 20 -classes 3 -workers 20 -cache 1024
+//
+// With -report-to the broker pushes load reports to a centralized front
+// end's listener thread.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/frontend"
+)
+
+// serviceFlags collects repeated -service flags.
+type serviceFlags []string
+
+func (s *serviceFlags) String() string { return strings.Join(*s, ",") }
+
+func (s *serviceFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var services serviceFlags
+	var (
+		listen    = flag.String("listen", "127.0.0.1:0", "UDP gateway listen address")
+		threshold = flag.Int("threshold", 20, "outstanding-request threshold per broker")
+		classes   = flag.Int("classes", 3, "number of QoS classes")
+		workers   = flag.Int("workers", 20, "persistent backend sessions per broker")
+		cacheSize = flag.Int("cache", 0, "result cache entries (0 disables caching)")
+		cacheTTL  = flag.Duration("cache-ttl", 30*time.Second, "result cache TTL")
+		reportTo  = flag.String("report-to", "", "push load reports to this UDP listener address")
+		reportEvy = flag.Duration("report-every", time.Second, "load report interval")
+	)
+	flag.Var(&services, "service", "broker spec name:kind:backendAddr (repeatable)")
+	flag.Parse()
+
+	if err := run(services, *listen, *threshold, *classes, *workers,
+		*cacheSize, *cacheTTL, *reportTo, *reportEvy); err != nil {
+		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(services serviceFlags, listen string, threshold, classes, workers,
+	cacheSize int, cacheTTL time.Duration, reportTo string, reportEvery time.Duration) error {
+	if len(services) == 0 {
+		return fmt.Errorf("at least one -service is required")
+	}
+
+	brokers := make(map[string]*broker.Broker, len(services))
+	var reporters []*frontend.Reporter
+	defer func() {
+		for _, r := range reporters {
+			r.Close()
+		}
+		for _, b := range brokers {
+			b.Close()
+		}
+	}()
+
+	for _, spec := range services {
+		name, kind, addr, err := parseSpec(spec)
+		if err != nil {
+			return err
+		}
+		connector, err := makeConnector(name, kind, addr)
+		if err != nil {
+			return err
+		}
+		opts := []broker.Option{
+			broker.WithThreshold(threshold, classes),
+			broker.WithWorkers(workers),
+		}
+		if cacheSize > 0 {
+			opts = append(opts, broker.WithCache(cacheSize, cacheTTL))
+		}
+		b, err := broker.New(connector, opts...)
+		if err != nil {
+			return fmt.Errorf("broker %s: %w", name, err)
+		}
+		brokers[name] = b
+		if reportTo != "" {
+			r, err := frontend.NewReporter(b, reportTo, reportEvery)
+			if err != nil {
+				return fmt.Errorf("reporter %s: %w", name, err)
+			}
+			reporters = append(reporters, r)
+		}
+	}
+
+	gw, err := broker.NewGateway(listen, brokers)
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	fmt.Printf("brokerd: gateway on %s serving %v\n", gw.Addr(), gw.Services())
+	wait()
+	fmt.Println("brokerd: shutting down")
+	return nil
+}
+
+// parseSpec splits "name:kind:addr".
+func parseSpec(spec string) (name, kind, addr string, err error) {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return "", "", "", fmt.Errorf("bad -service %q, want name:kind:backendAddr", spec)
+	}
+	return parts[0], parts[1], parts[2], nil
+}
+
+// makeConnector builds the backend connector for one broker.
+func makeConnector(name, kind, addr string) (backend.Connector, error) {
+	switch kind {
+	case "db":
+		return &backend.SQLConnector{Addr: addr}, nil
+	case "dir":
+		return &backend.DirConnector{Addr: addr}, nil
+	case "mail":
+		return &backend.MailConnector{Addr: addr}, nil
+	case "web", "cgi":
+		return &backend.WebConnector{Addr: addr, ServiceName: name}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend kind %q", kind)
+	}
+}
+
+func wait() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

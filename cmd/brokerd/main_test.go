@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	name, kind, addr, err := parseSpec("db:db:127.0.0.1:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "db" || kind != "db" || addr != "127.0.0.1:7001" {
+		t.Fatalf("parsed = %q %q %q", name, kind, addr)
+	}
+	for _, bad := range []string{"", "db", "db:db", ":db:addr", "db::addr", "db:db:"} {
+		if _, _, _, err := parseSpec(bad); err == nil {
+			t.Errorf("parseSpec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestMakeConnector(t *testing.T) {
+	for kind, wantName := range map[string]string{
+		"db": "db", "dir": "dir", "mail": "mail", "web": "portal", "cgi": "portal",
+	} {
+		c, err := makeConnector("portal", kind, "127.0.0.1:1")
+		if err != nil {
+			t.Fatalf("makeConnector(%s): %v", kind, err)
+		}
+		if c.Name() != wantName {
+			t.Errorf("kind %s name = %q, want %q", kind, c.Name(), wantName)
+		}
+	}
+	if _, err := makeConnector("x", "ftp", "addr"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestRunRequiresService(t *testing.T) {
+	if err := run(nil, "127.0.0.1:0", 20, 3, 4, 0, 0, "", 0); err == nil {
+		t.Fatal("run without services succeeded")
+	}
+}
+
+func TestServiceFlags(t *testing.T) {
+	var s serviceFlags
+	s.Set("a:b:c")
+	s.Set("d:e:f")
+	if s.String() != "a:b:c,d:e:f" {
+		t.Fatalf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,119 @@
+// Command frontend runs the front-end web server in either deployment
+// model from the paper's §IV: distributed (brokers decide; Figure 5) or
+// centralized (the web server runs admission control against broker load
+// reports; Figure 4).
+//
+// Each -route flag declares one URL route as
+//
+//	pattern=service
+//
+// The handler forwards the "q" query parameter as the broker payload and
+// reads the QoS class from the "qos" parameter. Example:
+//
+//	frontend -model distributed -addr 127.0.0.1:8080 \
+//	         -gateway 127.0.0.1:6000 -route /db=db -route /dir=dir
+//
+// In the centralized model, point brokerd's -report-to at the address this
+// command prints as its listener.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"servicebroker/internal/frontend"
+	"servicebroker/internal/httpserver"
+)
+
+type routeFlags []string
+
+func (r *routeFlags) String() string { return strings.Join(*r, ",") }
+
+func (r *routeFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var routes routeFlags
+	var (
+		model      = flag.String("model", "distributed", "deployment model: distributed or centralized")
+		addr       = flag.String("addr", "127.0.0.1:0", "HTTP listen address")
+		gateway    = flag.String("gateway", "", "broker gateway UDP address (required)")
+		listenAddr = flag.String("load-listen", "127.0.0.1:0", "centralized: UDP address for broker load reports")
+		maxClients = flag.Int("maxclients", 0, "cap simultaneous request processing (0 = unlimited)")
+	)
+	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
+	flag.Parse()
+
+	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes); err != nil {
+		fmt.Fprintln(os.Stderr, "frontend:", err)
+		os.Exit(1)
+	}
+}
+
+func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags) error {
+	if gateway == "" {
+		return fmt.Errorf("-gateway is required")
+	}
+	if len(routeSpecs) == 0 {
+		return fmt.Errorf("at least one -route is required")
+	}
+	var routes []frontend.Route
+	profiles := make(map[string][]frontend.Demand)
+	for _, spec := range routeSpecs {
+		pattern, service, ok := strings.Cut(spec, "=")
+		if !ok || pattern == "" || service == "" {
+			return fmt.Errorf("bad -route %q, want pattern=service", spec)
+		}
+		routes = append(routes, frontend.Route{Pattern: pattern, Service: service})
+		profiles[pattern] = []frontend.Demand{{Service: service, Weight: 1}}
+	}
+
+	var httpOpts []httpserver.ServerOption
+	if maxClients > 0 {
+		httpOpts = append(httpOpts, httpserver.WithMaxClients(maxClients))
+	}
+
+	switch model {
+	case "distributed":
+		d, err := frontend.NewDistributed(addr, gateway, routes, httpOpts...)
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		d.ServeStatus()
+		fmt.Printf("frontend: distributed model on http://%s (gateway %s)\n", d.Addr(), gateway)
+		fmt.Printf("frontend: diagnostics at http://%s/broker-status\n", d.Addr())
+		wait()
+		fmt.Println("frontend: shutting down")
+		return nil
+
+	case "centralized":
+		c, err := frontend.NewCentralized(addr, gateway, listenAddr, routes, profiles, httpOpts...)
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		c.ServeStatus()
+		fmt.Printf("frontend: centralized model on http://%s (gateway %s)\n", c.Addr(), gateway)
+		fmt.Printf("frontend: diagnostics at http://%s/broker-status\n", c.Addr())
+		fmt.Printf("frontend: load-report listener on %s — point brokerd -report-to here\n", c.ListenerAddr())
+		wait()
+		fmt.Println("frontend: shutting down")
+		return nil
+
+	default:
+		return fmt.Errorf("unknown model %q", model)
+	}
+}
+
+func wait() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}

@@ -1,0 +1,172 @@
+// Command loadgen drives a front-end web server the way the paper's
+// clients did: ab-style (fixed concurrency, fixed request budget) or
+// WebStone-style (per-class best-effort populations for a fixed duration).
+//
+// Usage:
+//
+//	loadgen -mode ab -url http://127.0.0.1:8080/db?q=SELECT+1 -n 200 -c 40
+//	loadgen -mode webstone -url http://127.0.0.1:8080/db?q=x \
+//	        -clients 30 -classes 3 -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "ab", "load model: ab or webstone")
+		url      = flag.String("url", "", "target URL (http://host:port/path?query)")
+		n        = flag.Int("n", 100, "ab: total requests")
+		c        = flag.Int("c", 10, "ab: concurrency")
+		clients  = flag.Int("clients", 30, "webstone: total clients across classes")
+		classes  = flag.Int("classes", 3, "webstone: QoS classes")
+		duration = flag.Duration("duration", 30*time.Second, "webstone: run duration")
+		think    = flag.Duration("think", time.Second, "webstone: per-client think time")
+	)
+	flag.Parse()
+
+	if err := run(*mode, *url, *n, *c, *clients, *classes, *duration, *think); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// parseURL splits http://host:port/path?query into pieces.
+func parseURL(raw string) (addr, path string, query map[string]string, err error) {
+	rest, ok := strings.CutPrefix(raw, "http://")
+	if !ok {
+		return "", "", nil, fmt.Errorf("url must start with http://, got %q", raw)
+	}
+	addr, target, ok := strings.Cut(rest, "/")
+	if !ok {
+		target = ""
+	}
+	path = "/" + target
+	path, rawQuery, _ := strings.Cut(path, "?")
+	query = map[string]string{}
+	for _, pair := range strings.Split(rawQuery, "&") {
+		if pair == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		query[k] = strings.ReplaceAll(v, "+", " ")
+	}
+	return addr, path, query, nil
+}
+
+func run(mode, url string, n, c, clients, classes int, duration, think time.Duration) error {
+	if url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	addr, path, query, err := parseURL(url)
+	if err != nil {
+		return err
+	}
+
+	// target issues one HTTP request with the given class, classifying the
+	// response by the front end's x-fidelity header. Each virtual client
+	// keeps one persistent connection, like a browser.
+	target := func(class qos.Class) workload.Target {
+		var (
+			mu      sync.Mutex
+			clients = map[int]*httpserver.Client{}
+		)
+		clientFor := func(id int) *httpserver.Client {
+			mu.Lock()
+			defer mu.Unlock()
+			cli, ok := clients[id]
+			if !ok {
+				cli = httpserver.NewClient(addr, httpserver.WithPersistent(1))
+				clients[id] = cli
+			}
+			return cli
+		}
+		return func(ctx context.Context, client, seq int) (qos.Fidelity, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			cli := clientFor(client)
+			q := make(map[string]string, len(query)+1)
+			for k, v := range query {
+				q[k] = v
+			}
+			if class >= 1 {
+				q["qos"] = fmt.Sprint(int(class))
+			}
+			resp, err := cli.Get(path, q)
+			if err != nil {
+				return 0, err
+			}
+			if resp.Status != 200 {
+				return 0, fmt.Errorf("status %d: %s", resp.Status, resp.Body)
+			}
+			switch resp.Header["x-fidelity"] {
+			case "cached":
+				return qos.FidelityCached, nil
+			case "degraded":
+				return qos.FidelityDegraded, nil
+			case "busy":
+				return qos.FidelityBusy, nil
+			default:
+				return qos.FidelityFull, nil
+			}
+		}
+	}
+
+	switch mode {
+	case "ab":
+		res, err := workload.ClosedLoop{Concurrency: c, Requests: n}.Run(context.Background(), target(0))
+		if err != nil {
+			return err
+		}
+		printResult("ab", res)
+		return nil
+
+	case "webstone":
+		perClass := clients / classes
+		if perClass < 1 {
+			perClass = 1
+		}
+		var groups []workload.Group
+		for cl := 1; cl <= classes; cl++ {
+			class := qos.Class(cl)
+			groups = append(groups, workload.Group{
+				Name:      class.String(),
+				Class:     class,
+				Clients:   perClass,
+				Target:    target(class),
+				ThinkTime: think,
+				Stagger:   duration / 10,
+			})
+		}
+		results, err := workload.Population{Groups: groups, Duration: duration}.Run(context.Background())
+		if err != nil {
+			return err
+		}
+		for cl := 1; cl <= classes; cl++ {
+			name := qos.Class(cl).String()
+			printResult(name, results[name])
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func printResult(name string, res *workload.Result) {
+	fmt.Printf("%-10s issued=%-7d completed=%-7d dropped=%-7d errors=%-5d mean=%-12v p95=%v\n",
+		name, res.Issued, res.Completed, res.Dropped, res.Errors,
+		res.Latency.Mean(), res.Latency.Quantile(0.95))
+}

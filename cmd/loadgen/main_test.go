@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestParseURL(t *testing.T) {
+	addr, path, query, err := parseURL("http://127.0.0.1:8080/db?q=SELECT+1&qos=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "127.0.0.1:8080" || path != "/db" {
+		t.Fatalf("addr=%q path=%q", addr, path)
+	}
+	if query["q"] != "SELECT 1" || query["qos"] != "2" {
+		t.Fatalf("query = %v", query)
+	}
+}
+
+func TestParseURLNoQuery(t *testing.T) {
+	addr, path, query, err := parseURL("http://host:1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "host:1" || path != "/" || len(query) != 0 {
+		t.Fatalf("parsed = %q %q %v", addr, path, query)
+	}
+}
+
+func TestParseURLBarehost(t *testing.T) {
+	addr, path, _, err := parseURL("http://host:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != "host:1" || path != "/" {
+		t.Fatalf("parsed = %q %q", addr, path)
+	}
+}
+
+func TestParseURLRejectsNonHTTP(t *testing.T) {
+	if _, _, _, err := parseURL("ftp://host/x"); err == nil {
+		t.Fatal("ftp URL accepted")
+	}
+	if _, _, _, err := parseURL(""); err == nil {
+		t.Fatal("empty URL accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("ab", "", 1, 1, 1, 1, 1, 0); err == nil {
+		t.Fatal("missing url accepted")
+	}
+	if err := run("warp", "http://h:1/x", 1, 1, 1, 1, 1, 0); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}

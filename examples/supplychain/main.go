@@ -1,0 +1,167 @@
+// Supplychain: the paper's transaction-integrity scenario (§III). "A
+// computer manufacturer conducts an online purchase from multiple vendors:
+// it first selects proper monitor models from a monitor vendor site (step
+// 1), then video cards from the other vendors (step 2), then comes back to
+// the monitor vendor again to match and purchase the best models (step 3).
+// If somehow during step 3 the channel to the monitor vendor site is
+// congested, the transaction could abort." Brokers escalate the priority of
+// later steps so nearly complete transactions survive overload.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/txn"
+)
+
+const purchases = 20
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	flatAborts, err := runPurchases(false)
+	if err != nil {
+		return err
+	}
+	escalatedAborts, err := runPurchases(true)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Printf("%d purchase transactions against a congested monitor vendor:\n", purchases)
+	fmt.Printf("  without step escalation: %d aborted\n", flatAborts)
+	fmt.Printf("  with step escalation:    %d aborted\n", escalatedAborts)
+	fmt.Println("\nlater transaction steps outrank fresh low-priority traffic, so")
+	fmt.Println("transactions that already did two steps of work are not thrown away.")
+	return nil
+}
+
+// runPurchases drives the three-step purchase flow while background
+// traffic congests the monitor vendor, reporting how many transactions
+// abort at step 3.
+func runPurchases(escalate bool) (aborted int, err error) {
+	// The monitor vendor: a slow, capacity-limited backend.
+	monitorVendor := &backend.DelayConnector{
+		ServiceName:   "monitor-vendor",
+		ProcessTime:   15 * time.Millisecond,
+		MaxConcurrent: 2,
+	}
+	// The video-card vendor: uncongested.
+	cardVendor := &backend.DelayConnector{
+		ServiceName: "card-vendor",
+		ProcessTime: 2 * time.Millisecond,
+	}
+
+	// Brokers for the two vendors share one transaction tracker, so a step
+	// observed at the card vendor escalates later accesses at the monitor
+	// vendor (the paper's broker-to-broker state exchange).
+	opts := []broker.Option{broker.WithThreshold(6, 3), broker.WithWorkers(2)}
+	cardOpts := []broker.Option{broker.WithThreshold(16, 3)}
+	if escalate {
+		shared := txn.NewTracker()
+		opts = append(opts, broker.WithSharedTransactions(shared))
+		cardOpts = append(cardOpts, broker.WithSharedTransactions(shared))
+	}
+	monitors, err := broker.New(monitorVendor, opts...)
+	if err != nil {
+		return 0, err
+	}
+	defer monitors.Close()
+	cards, err := broker.New(cardVendor, cardOpts...)
+	if err != nil {
+		return 0, err
+	}
+	defer cards.Close()
+
+	ctx := context.Background()
+
+	// Background browsing traffic congests the monitor vendor.
+	var bg sync.WaitGroup
+	stop := make(chan struct{})
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bg.Add(1)
+			go func(i int) {
+				defer bg.Done()
+				monitors.Handle(ctx, &broker.Request{
+					Payload: []byte(fmt.Sprintf("browse-%d", i)),
+					Class:   qos.Class2,
+					NoCache: true,
+				})
+			}(i)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	defer func() {
+		close(stop)
+		bg.Wait()
+	}()
+	time.Sleep(20 * time.Millisecond) // let congestion build
+
+	for i := 0; i < purchases; i++ {
+		txnID := fmt.Sprintf("purchase-%d", i)
+		// Step 1: browse monitors (low priority; may be shed, retried once).
+		step1 := monitors.Handle(ctx, &broker.Request{
+			Payload: []byte("SELECT monitors"), Class: qos.Class3,
+			TxnID: txnID, TxnStep: 1, NoCache: true,
+		})
+		if step1.Status == broker.StatusError {
+			return 0, step1.Err
+		}
+		// Step 2: pick video cards at the other vendor.
+		step2 := cards.Handle(ctx, &broker.Request{
+			Payload: []byte("SELECT cards"), Class: qos.Class3,
+			TxnID: txnID, TxnStep: 2, NoCache: true,
+		})
+		if step2.Status == broker.StatusError {
+			return 0, step2.Err
+		}
+		// Step 3: return to the congested monitor vendor to purchase. This
+		// is the access the paper protects: dropped here, the whole
+		// transaction aborts.
+		step3 := monitors.Handle(ctx, &broker.Request{
+			Payload: []byte("PURCHASE monitors"), Class: qos.Class3,
+			TxnID: txnID, TxnStep: 3, NoCache: true,
+		})
+		switch step3.Status {
+		case broker.StatusError:
+			return 0, step3.Err
+		case broker.StatusDropped:
+			aborted++
+			if tr := monitors.Tracker(); tr != nil {
+				_ = tr.Abort(txnID)
+			}
+		default:
+			if tr := monitors.Tracker(); tr != nil {
+				_ = tr.Complete(txnID)
+			}
+		}
+	}
+
+	mode := "flat classes"
+	if escalate {
+		mode = "step escalation"
+	}
+	fmt.Printf("[%s] %d/%d transactions aborted at step 3\n", mode, aborted, purchases)
+	return aborted, nil
+}

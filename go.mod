@@ -1,0 +1,3 @@
+module servicebroker
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package apimodel implements the paper's baseline: API-based backend
+// access (§II). Every request lives in its own "process space": it
+// establishes a fresh connection, issues exactly one query, and tears the
+// connection down. Nothing is shared between requests — no connection reuse,
+// no caching, no QoS, no clustering, strict FCFS at the backend.
+//
+// The experiments run the same workloads through this accessor and through
+// a service broker to reproduce the paper's comparisons (Figure 9's linear
+// API curve, the connection-overhead ablations).
+package apimodel
+
+import (
+	"context"
+	"errors"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/metrics"
+)
+
+// Accessor performs stateless, isolated backend accesses. It is safe for
+// concurrent use; concurrent requests open concurrent connections, exactly
+// as independent CGI processes would.
+type Accessor struct {
+	connector backend.Connector
+	reg       *metrics.Registry
+}
+
+// Option configures an Accessor.
+type Option interface {
+	apply(*Accessor)
+}
+
+type optionFunc func(*Accessor)
+
+func (f optionFunc) apply(a *Accessor) { f(a) }
+
+// WithMetrics directs the accessor's counters into reg.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(a *Accessor) { a.reg = reg })
+}
+
+// New creates an accessor for one backend service.
+func New(connector backend.Connector, opts ...Option) (*Accessor, error) {
+	if connector == nil {
+		return nil, errors.New("apimodel: nil connector")
+	}
+	a := &Accessor{connector: connector, reg: metrics.NewRegistry()}
+	for _, o := range opts {
+		o.apply(a)
+	}
+	return a, nil
+}
+
+// Name returns the backend service name.
+func (a *Accessor) Name() string { return a.connector.Name() }
+
+// Metrics returns the accessor's registry. Interesting entries:
+// "connects" (one per request — the defining cost of this model),
+// "requests", "errors", and the "request_time" histogram.
+func (a *Accessor) Metrics() *metrics.Registry { return a.reg }
+
+// Do performs one isolated access: connect, query, tear down.
+func (a *Accessor) Do(ctx context.Context, payload []byte) ([]byte, error) {
+	a.reg.Counter("requests").Inc()
+	timer := metrics.StartTimer(a.reg.Histogram("request_time"))
+	defer timer.ObserveDuration()
+
+	a.reg.Counter("connects").Inc()
+	session, err := a.connector.Connect(ctx)
+	if err != nil {
+		a.reg.Counter("errors").Inc()
+		return nil, err
+	}
+	defer session.Close()
+
+	out, err := session.Do(ctx, payload)
+	if err != nil {
+		a.reg.Counter("errors").Inc()
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package apimodel
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/metrics"
+)
+
+func TestDoConnectsPerRequest(t *testing.T) {
+	a, err := New(&backend.DelayConnector{ServiceName: "cgi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		out, err := a.Do(context.Background(), []byte("q"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != "done:q" {
+			t.Fatalf("out = %q", out)
+		}
+	}
+	if got := a.Metrics().Counter("connects").Value(); got != 5 {
+		t.Fatalf("connects = %d, want 5 (one per request)", got)
+	}
+	if got := a.Metrics().Counter("requests").Value(); got != 5 {
+		t.Fatalf("requests = %d, want 5", got)
+	}
+}
+
+func TestDoPaysConnectionCostEveryTime(t *testing.T) {
+	const setup = 20 * time.Millisecond
+	a, err := New(&backend.DelayConnector{ServiceName: "cgi", ConnectTime: setup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := a.Do(context.Background(), []byte("q")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 3*setup {
+		t.Fatalf("3 API accesses took %v, want ≥ %v (setup paid per request)", elapsed, 3*setup)
+	}
+}
+
+func TestDoErrorPaths(t *testing.T) {
+	connectFail := &backend.FuncConnector{
+		ServiceName: "down",
+		ConnectFn:   func(context.Context) error { return errors.New("refused") },
+		DoFn:        func(context.Context, []byte) ([]byte, error) { return nil, nil },
+	}
+	a, err := New(connectFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Do(context.Background(), nil); err == nil {
+		t.Fatal("connect failure not surfaced")
+	}
+	if got := a.Metrics().Counter("errors").Value(); got != 1 {
+		t.Fatalf("errors = %d, want 1", got)
+	}
+
+	doFail := &backend.FuncConnector{
+		ServiceName: "flaky",
+		DoFn: func(context.Context, []byte) ([]byte, error) {
+			return nil, errors.New("query failed")
+		},
+	}
+	a2, err := New(doFail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Do(context.Background(), nil); err == nil {
+		t.Fatal("query failure not surfaced")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) succeeded")
+	}
+}
+
+func TestName(t *testing.T) {
+	a, _ := New(&backend.DelayConnector{ServiceName: "mail"})
+	if a.Name() != "mail" {
+		t.Fatalf("name = %q", a.Name())
+	}
+}
+
+func TestConcurrentIsolatedAccesses(t *testing.T) {
+	a, err := New(&backend.DelayConnector{ServiceName: "cgi", ProcessTime: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.Do(context.Background(), []byte("x")); err != nil {
+				t.Errorf("do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := a.Metrics().Counter("connects").Value(); got != 16 {
+		t.Fatalf("connects = %d, want 16", got)
+	}
+}
+
+func TestWithMetricsSharesRegistry(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a, err := New(&backend.DelayConnector{ServiceName: "cgi"}, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Do(context.Background(), []byte("q")); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("requests").Value() != 1 {
+		t.Fatal("metrics not recorded into the provided registry")
+	}
+}

@@ -1,0 +1,648 @@
+// Package broker implements the paper's central contribution: the service
+// broker, a per-service middleware agent between front-end web applications
+// and a backend server (§III). Applications pass messages (query + QoS
+// specification) to the broker instead of calling backend APIs; the broker
+//
+//   - maintains persistent, multiplexed connections to the backend
+//     (amortizing the per-request setup cost of the API model),
+//   - schedules queued requests strictly by QoS class and applies the
+//     binary forward/drop threshold rule, answering shed requests
+//     immediately with a low-fidelity response (§IV distributed model),
+//   - clusters compatible requests into single backend accesses (§V-A),
+//   - caches and prefetches query results,
+//   - escalates the priority of later transaction steps,
+//   - balances load across backend replicas, and
+//   - detects hot spots and exposes load reports for the centralized
+//     deployment model (§IV, Figure 4).
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/cache"
+	"servicebroker/internal/cluster"
+	"servicebroker/internal/loadbalance"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/txn"
+)
+
+// Request is one brokered service access.
+type Request struct {
+	// Payload is the service-specific query (SQL text, command line, URI).
+	Payload []byte
+	// Class is the request's QoS class; zero defaults to the lowest class.
+	Class qos.Class
+	// TxnID optionally tags the enclosing transaction.
+	TxnID string
+	// TxnStep is the 1-based step within the transaction.
+	TxnStep int
+	// NoCache bypasses the result cache for this request.
+	NoCache bool
+}
+
+// Status is the broker's disposition of a request.
+type Status int
+
+// Request dispositions.
+const (
+	// StatusOK means the response carries a usable result.
+	StatusOK Status = iota + 1
+	// StatusDropped means the QoS policy shed the request; the response is
+	// the adaptive low-fidelity message.
+	StatusDropped
+	// StatusError means the backend or broker failed.
+	StatusError
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDropped:
+		return "dropped"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Response is the broker's reply.
+type Response struct {
+	Status   Status
+	Fidelity qos.Fidelity
+	Payload  []byte
+	// Err carries the failure for StatusError responses.
+	Err error
+}
+
+// BusyMessage is the payload of a dropped request with no cached result —
+// the paper's "indication that the system is busy".
+const BusyMessage = "broker: system busy, request dropped"
+
+// LoadReport is the broker's load summary, consumed by the centralized
+// deployment model's listener thread.
+type LoadReport struct {
+	Service     string
+	Outstanding int
+	Threshold   int
+	QueueLen    int
+	Hot         bool
+}
+
+// Broker is the per-service agent. Use New; Close releases backend sessions
+// and stops the worker and prefetch goroutines.
+type Broker struct {
+	name   string
+	do     cluster.Do // the backend access path (pool or replica set)
+	policy *qos.ThresholdPolicy
+	reg    *metrics.Registry
+
+	// optional machinery
+	pool     *backend.Pool
+	replicas *loadbalance.ReplicaSet
+	results  *cache.Cache
+	cacheTTL time.Duration
+	batcher  *cluster.Batcher
+	tracker  *txn.Tracker
+	contract map[qos.Class]*qos.Contract
+
+	hotFrac   float64
+	hotNotify func(LoadReport)
+
+	queue   *qos.Queue[*job]
+	workers int
+
+	mu          sync.Mutex
+	outstanding int
+	hot         bool
+	closed      bool
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	prefetch *prefetcher
+
+	// deferred option payloads, consumed by New once all options are known
+	clusteringCfg  *clusteringConfig
+	prefetchCfg    *prefetchConfig
+	shareOverrides map[qos.Class]float64
+}
+
+type job struct {
+	ctx     context.Context
+	req     *Request
+	class   qos.Class
+	resp    chan *Response
+	started time.Time
+}
+
+// Option configures a Broker.
+type Option interface {
+	apply(*Broker) error
+}
+
+type optionFunc func(*Broker) error
+
+func (f optionFunc) apply(b *Broker) error { return f(b) }
+
+// WithThreshold sets the outstanding-request threshold and QoS class count
+// (defaults: 20 and 3, the paper's values).
+func WithThreshold(threshold, classes int) Option {
+	return optionFunc(func(b *Broker) error {
+		if threshold <= 0 || classes <= 0 {
+			return errors.New("broker: threshold and classes must be positive")
+		}
+		b.policy = qos.NewThresholdPolicy(threshold, classes)
+		return nil
+	})
+}
+
+// WithClassShares overrides the admission share of individual QoS classes
+// (values in (0, 1], applied to the threshold). Classes not present keep
+// the default share (Classes-c+1)/Classes. Order-independent with respect
+// to WithThreshold.
+func WithClassShares(shares map[qos.Class]float64) Option {
+	return optionFunc(func(b *Broker) error {
+		for c, s := range shares {
+			if !c.Valid() {
+				return fmt.Errorf("broker: invalid class %d in shares", int(c))
+			}
+			if s <= 0 || s > 1 {
+				return fmt.Errorf("broker: share %g for %v outside (0, 1]", s, c)
+			}
+		}
+		if b.shareOverrides == nil {
+			b.shareOverrides = make(map[qos.Class]float64, len(shares))
+		}
+		for c, s := range shares {
+			b.shareOverrides[c] = s
+		}
+		return nil
+	})
+}
+
+// WithWorkers sets the number of worker goroutines, i.e. concurrent
+// persistent backend sessions (default 4).
+func WithWorkers(n int) Option {
+	return optionFunc(func(b *Broker) error {
+		if n <= 0 {
+			return errors.New("broker: workers must be positive")
+		}
+		b.workers = n
+		return nil
+	})
+}
+
+// WithCache enables result caching with the given capacity and TTL (ttl ≤ 0
+// means entries never expire).
+func WithCache(capacity int, ttl time.Duration) Option {
+	return optionFunc(func(b *Broker) error {
+		if capacity <= 0 {
+			return errors.New("broker: cache capacity must be positive")
+		}
+		b.results = cache.New(capacity, cache.WithDefaultTTL(ttl))
+		b.cacheTTL = ttl
+		return nil
+	})
+}
+
+// WithClustering enables request clustering with the given combiner and
+// degree (maximum batch size).
+func WithClustering(combiner cluster.Combiner, degree int, maxWait time.Duration) Option {
+	return optionFunc(func(b *Broker) error {
+		if combiner == nil {
+			return errors.New("broker: nil combiner")
+		}
+		if degree < 1 {
+			return errors.New("broker: clustering degree must be ≥ 1")
+		}
+		b.clusteringCfg = &clusteringConfig{combiner: combiner, degree: degree, maxWait: maxWait}
+		return nil
+	})
+}
+
+// WithTransactions enables transaction tracking and step-based priority
+// escalation.
+func WithTransactions() Option {
+	return optionFunc(func(b *Broker) error {
+		b.tracker = txn.NewTracker()
+		return nil
+	})
+}
+
+// WithSharedTransactions enables transaction escalation against a tracker
+// shared with other brokers. The paper notes that "if service brokers are
+// enabled to communicate with each other, they can exchange state
+// information to ensure that transactions involving different backend
+// servers are properly protected" — a shared tracker lets a step observed
+// at one broker escalate the transaction's later accesses at every broker.
+func WithSharedTransactions(tracker *txn.Tracker) Option {
+	return optionFunc(func(b *Broker) error {
+		if tracker == nil {
+			return errors.New("broker: nil shared tracker")
+		}
+		b.tracker = tracker
+		return nil
+	})
+}
+
+// WithContract rate-limits one QoS class (the loosely coupled contract
+// model): requests beyond the contract are dropped even under light load.
+func WithContract(class qos.Class, rate float64, burst int) Option {
+	return optionFunc(func(b *Broker) error {
+		if !class.Valid() {
+			return errors.New("broker: invalid contract class")
+		}
+		if b.contract == nil {
+			b.contract = make(map[qos.Class]*qos.Contract)
+		}
+		b.contract[class] = qos.NewContract(rate, burst)
+		return nil
+	})
+}
+
+// WithHotSpotNotify registers a callback invoked (outside broker locks) when
+// the broker enters or leaves the hot state: outstanding ≥ frac × threshold.
+// frac defaults to 0.9 when ≤ 0.
+func WithHotSpotNotify(frac float64, notify func(LoadReport)) Option {
+	return optionFunc(func(b *Broker) error {
+		if notify == nil {
+			return errors.New("broker: nil hot-spot callback")
+		}
+		if frac <= 0 {
+			frac = 0.9
+		}
+		b.hotFrac = frac
+		b.hotNotify = notify
+		return nil
+	})
+}
+
+// WithMetrics directs broker counters into reg.
+func WithMetrics(reg *metrics.Registry) Option {
+	return optionFunc(func(b *Broker) error {
+		b.reg = reg
+		return nil
+	})
+}
+
+// WithReplicas routes backend accesses across replicated connectors under a
+// load-balancing policy instead of a single connector.
+func WithReplicas(policy loadbalance.Policy, poolCapacity int, connectors ...backend.Connector) Option {
+	return optionFunc(func(b *Broker) error {
+		rs, err := loadbalance.NewReplicaSet(policy, poolCapacity, connectors...)
+		if err != nil {
+			return err
+		}
+		b.replicas = rs
+		return nil
+	})
+}
+
+// WithPrefetch registers a periodic prefetcher: every interval, while the
+// broker is below lowWater outstanding requests, each payload produced by
+// source is fetched from the backend and cached (requires WithCache).
+func WithPrefetch(interval time.Duration, lowWater int, source func() [][]byte) Option {
+	return optionFunc(func(b *Broker) error {
+		if interval <= 0 {
+			return errors.New("broker: prefetch interval must be positive")
+		}
+		if source == nil {
+			return errors.New("broker: nil prefetch source")
+		}
+		b.prefetchCfg = &prefetchConfig{interval: interval, lowWater: lowWater, source: source}
+		return nil
+	})
+}
+
+// deferred configs applied in New after all options are known.
+type clusteringConfig struct {
+	combiner cluster.Combiner
+	degree   int
+	maxWait  time.Duration
+}
+
+type prefetchConfig struct {
+	interval time.Duration
+	lowWater int
+	source   func() [][]byte
+}
+
+// New creates a broker for one backend service. The connector is ignored
+// when WithReplicas is given (pass nil in that case).
+func New(connector backend.Connector, opts ...Option) (*Broker, error) {
+	b := &Broker{
+		policy:  qos.NewThresholdPolicy(20, 3), // the paper's defaults
+		reg:     metrics.NewRegistry(),
+		workers: 4,
+	}
+	for _, o := range opts {
+		if err := o.apply(b); err != nil {
+			return nil, err
+		}
+	}
+	if b.shareOverrides != nil {
+		b.policy.Shares = b.shareOverrides
+	}
+
+	switch {
+	case b.replicas != nil:
+		b.name = "replicated"
+		if connector != nil {
+			return nil, errors.New("broker: pass nil connector with WithReplicas")
+		}
+		b.do = b.replicas.Do
+	case connector != nil:
+		b.name = connector.Name()
+		pool, err := backend.NewPool(connector, b.workers)
+		if err != nil {
+			return nil, err
+		}
+		b.pool = pool
+		b.do = pool.Do
+	default:
+		return nil, errors.New("broker: nil connector")
+	}
+
+	if b.clusteringCfg != nil {
+		opts := []cluster.BatcherOption{cluster.WithMetrics(b.reg)}
+		if b.clusteringCfg.maxWait > 0 {
+			opts = append(opts, cluster.WithMaxWait(b.clusteringCfg.maxWait))
+		}
+		batcher, err := cluster.NewBatcher(b.do, b.clusteringCfg.combiner, b.clusteringCfg.degree, opts...)
+		if err != nil {
+			b.releasePools()
+			return nil, err
+		}
+		b.batcher = batcher
+	}
+
+	// Queue capacity = threshold: admission control guarantees at most
+	// threshold outstanding, so the queue can never overflow.
+	b.queue = qos.NewQueue[*job](b.policy.Threshold)
+	for i := 0; i < b.workers; i++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+
+	if b.prefetchCfg != nil {
+		if b.results == nil {
+			b.Close()
+			return nil, errors.New("broker: WithPrefetch requires WithCache")
+		}
+		b.prefetch = newPrefetcher(b, *b.prefetchCfg)
+	}
+	return b, nil
+}
+
+// Name returns the brokered service name.
+func (b *Broker) Name() string { return b.name }
+
+// Metrics returns the broker's registry. Per-class counters use names like
+// "completed_class_1" and "dropped_class_2"; "cache_hits", "busy_replies",
+// and the "processing_time" / "processing_time_class_N" histograms are also
+// maintained.
+func (b *Broker) Metrics() *metrics.Registry { return b.reg }
+
+// Tracker returns the transaction tracker (nil unless WithTransactions).
+func (b *Broker) Tracker() *txn.Tracker { return b.tracker }
+
+// CacheStats returns result-cache statistics (zero Stats when caching is
+// disabled).
+func (b *Broker) CacheStats() cache.Stats {
+	if b.results == nil {
+		return cache.Stats{}
+	}
+	return b.results.Stats()
+}
+
+// Load returns the broker's current load report.
+func (b *Broker) Load() LoadReport {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return LoadReport{
+		Service:     b.name,
+		Outstanding: b.outstanding,
+		Threshold:   b.policy.Threshold,
+		QueueLen:    b.queue.Len(),
+		Hot:         b.hot,
+	}
+}
+
+// ErrBrokerClosed is returned by Handle after Close.
+var ErrBrokerClosed = errors.New("broker: closed")
+
+// Handle processes one request through the full broker pipeline and blocks
+// until the response is ready (which, for dropped requests, is immediate).
+func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
+	if req == nil {
+		return &Response{Status: StatusError, Err: errors.New("broker: nil request")}
+	}
+	class := req.Class
+	if !class.Valid() {
+		class = qos.Class(b.policy.Classes) // default to lowest priority
+	}
+
+	// Transaction escalation: later steps gain priority (paper §III).
+	if b.tracker != nil && req.TxnID != "" {
+		if _, err := b.tracker.Observe(req.TxnID, max(req.TxnStep, 1)); err != nil {
+			return &Response{Status: StatusError, Err: err}
+		}
+		class = txn.EscalatedClass(class, req.TxnStep)
+	}
+
+	b.reg.Counter("requests").Inc()
+	b.reg.Counter(fmt.Sprintf("requests_class_%d", class)).Inc()
+
+	// Cache: a fresh hit is served immediately without consuming backend
+	// capacity (paper §III, "Caching of query results").
+	key := cacheKey(req.Payload)
+	if b.results != nil && !req.NoCache {
+		if body, ok := b.results.Get(key); ok {
+			b.reg.Counter("cache_hits").Inc()
+			return &Response{Status: StatusOK, Fidelity: qos.FidelityCached, Payload: body}
+		}
+	}
+
+	// Contract enforcement (loosely coupled services).
+	if c := b.contract[req.Class]; c != nil && !c.Allow() {
+		return b.drop(req, class, key, "contract exceeded")
+	}
+
+	// Admission control: the binary forward/drop rule.
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return &Response{Status: StatusError, Err: ErrBrokerClosed}
+	}
+	if !b.policy.Admit(class, b.outstanding) {
+		b.mu.Unlock()
+		return b.drop(req, class, key, "threshold exceeded")
+	}
+	b.outstanding++
+	hotChanged, report := b.updateHotLocked()
+	b.mu.Unlock()
+	if hotChanged && b.hotNotify != nil {
+		b.hotNotify(report)
+	}
+
+	j := &job{ctx: ctx, req: req, class: class, resp: make(chan *Response, 1), started: time.Now()}
+	if err := b.queue.Push(class, j); err != nil {
+		b.finishJob()
+		return &Response{Status: StatusError, Err: err}
+	}
+
+	select {
+	case resp := <-j.resp:
+		return resp
+	case <-ctx.Done():
+		// The worker will still run the job (resp is buffered); the caller
+		// just stops waiting.
+		return &Response{Status: StatusError, Err: ctx.Err()}
+	}
+}
+
+// drop produces the immediate low-fidelity response for a shed request:
+// a (possibly stale) cached result when available, else the busy message.
+func (b *Broker) drop(req *Request, class qos.Class, key, reason string) *Response {
+	b.reg.Counter("dropped").Inc()
+	b.reg.Counter(fmt.Sprintf("dropped_class_%d", class)).Inc()
+	if b.results != nil && !req.NoCache {
+		if body, ok := b.results.Get(key); ok {
+			b.reg.Counter("degraded_replies").Inc()
+			return &Response{Status: StatusDropped, Fidelity: qos.FidelityDegraded, Payload: body}
+		}
+	}
+	b.reg.Counter("busy_replies").Inc()
+	return &Response{
+		Status:   StatusDropped,
+		Fidelity: qos.FidelityBusy,
+		Payload:  []byte(BusyMessage + " (" + reason + ")"),
+	}
+}
+
+// worker pops jobs in priority order and executes them on the backend.
+func (b *Broker) worker() {
+	defer b.wg.Done()
+	for {
+		j, _, err := b.queue.Pop()
+		if err != nil {
+			return // queue closed
+		}
+		resp := b.execute(j)
+		b.finishJob()
+		b.observeCompletion(j, resp)
+		j.resp <- resp
+	}
+}
+
+// execute performs the backend access for one job (through the clustering
+// batcher when enabled).
+func (b *Broker) execute(j *job) *Response {
+	var (
+		body []byte
+		err  error
+	)
+	if b.batcher != nil {
+		body, err = b.batcher.Submit(j.ctx, j.req.Payload)
+	} else {
+		body, err = b.do(j.ctx, j.req.Payload)
+	}
+	if err != nil {
+		b.reg.Counter("backend_errors").Inc()
+		return &Response{Status: StatusError, Err: err}
+	}
+	if b.results != nil && !j.req.NoCache {
+		b.results.Put(cacheKey(j.req.Payload), body)
+	}
+	return &Response{Status: StatusOK, Fidelity: qos.FidelityFull, Payload: body}
+}
+
+// finishJob decrements outstanding and re-evaluates the hot state.
+func (b *Broker) finishJob() {
+	b.mu.Lock()
+	b.outstanding--
+	hotChanged, report := b.updateHotLocked()
+	b.mu.Unlock()
+	if hotChanged && b.hotNotify != nil {
+		b.hotNotify(report)
+	}
+}
+
+func (b *Broker) observeCompletion(j *job, resp *Response) {
+	elapsed := time.Since(j.started)
+	b.reg.Histogram("processing_time").Observe(elapsed)
+	b.reg.Histogram(fmt.Sprintf("processing_time_class_%d", j.class)).Observe(elapsed)
+	if resp.Status == StatusOK {
+		b.reg.Counter("completed").Inc()
+		b.reg.Counter(fmt.Sprintf("completed_class_%d", j.class)).Inc()
+	}
+}
+
+// updateHotLocked recomputes the hot flag; caller holds b.mu. Returns
+// whether the flag flipped plus the report to publish. The flag is always
+// maintained (Load reports carry it); the callback is optional.
+func (b *Broker) updateHotLocked() (bool, LoadReport) {
+	frac := b.hotFrac
+	if frac <= 0 {
+		frac = 0.9
+	}
+	hot := float64(b.outstanding) >= frac*float64(b.policy.Threshold)
+	if hot == b.hot {
+		return false, LoadReport{}
+	}
+	b.hot = hot
+	return true, LoadReport{
+		Service:     b.name,
+		Outstanding: b.outstanding,
+		Threshold:   b.policy.Threshold,
+		QueueLen:    b.queue.Len(),
+		Hot:         hot,
+	}
+}
+
+// Close stops the prefetcher, workers, and batcher, and releases backend
+// sessions. In-flight jobs complete first.
+func (b *Broker) Close() error {
+	var err error
+	b.stopOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		if b.prefetch != nil {
+			b.prefetch.stop()
+		}
+		b.queue.Close()
+		b.wg.Wait()
+		if b.batcher != nil {
+			b.batcher.Close()
+		}
+		switch {
+		case b.pool != nil:
+			err = b.pool.Close()
+		case b.replicas != nil:
+			err = b.replicas.Close()
+		}
+	})
+	return err
+}
+
+func (b *Broker) releasePools() {
+	if b.pool != nil {
+		b.pool.Close()
+	}
+	if b.replicas != nil {
+		b.replicas.Close()
+	}
+}
+
+// cacheKey derives the result-cache key for a payload.
+func cacheKey(payload []byte) string { return string(payload) }

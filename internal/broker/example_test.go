@@ -1,0 +1,100 @@
+package broker_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/qos"
+)
+
+// ExampleNew shows the minimal broker setup: a connector, the paper's QoS
+// policy, and one brokered request.
+func ExampleNew() {
+	// An in-process backend whose requests take a bounded time.
+	conn := &backend.DelayConnector{ServiceName: "cgi", ProcessTime: time.Millisecond}
+
+	b, err := broker.New(conn,
+		broker.WithThreshold(20, 3), // the paper's threshold and classes
+		broker.WithWorkers(4),       // persistent backend sessions
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer b.Close()
+
+	resp := b.Handle(context.Background(), &broker.Request{
+		Payload: []byte("do the work"),
+		Class:   qos.Class1,
+	})
+	fmt.Println(resp.Status, resp.Fidelity, string(resp.Payload))
+	// Output: ok full done:do the work
+}
+
+// ExampleBroker_Handle_dropped shows the binary forward/drop rule: when a
+// class's share of the threshold is exhausted, the broker answers
+// immediately with a low-fidelity busy reply instead of queueing.
+func ExampleBroker_Handle_dropped() {
+	// A backend slow enough that one in-flight request saturates a
+	// threshold of 3 for class 3 (share 1/3 ⇒ limit 1).
+	conn := &backend.DelayConnector{ServiceName: "cgi", ProcessTime: 200 * time.Millisecond}
+	b, err := broker.New(conn, broker.WithThreshold(3, 3), broker.WithWorkers(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer b.Close()
+
+	// Occupy the broker with one class-1 request.
+	hold := make(chan struct{})
+	go func() {
+		defer close(hold)
+		b.Handle(context.Background(), &broker.Request{Payload: []byte("long job"), Class: qos.Class1})
+	}()
+	time.Sleep(50 * time.Millisecond)
+
+	// A class-3 request is now shed instantly.
+	resp := b.Handle(context.Background(), &broker.Request{Payload: []byte("low priority"), Class: qos.Class3})
+	fmt.Println(resp.Status, resp.Fidelity)
+	<-hold
+	// Output: dropped busy
+}
+
+// ExampleGateway shows message-passing access over the UDP wire, the way
+// the paper's web applications reach brokers.
+func ExampleGateway() {
+	b, err := broker.New(&backend.DelayConnector{ServiceName: "db"})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer b.Close()
+
+	gw, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer gw.Close()
+
+	cli, err := broker.DialGateway(gw.Addr().String())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer cli.Close()
+
+	resp, err := cli.Do(context.Background(), "db", &broker.Request{
+		Payload: []byte("SELECT 1"),
+		Class:   qos.Class2,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(resp.Status, string(resp.Payload))
+	// Output: ok done:SELECT 1
+}

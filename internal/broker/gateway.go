@@ -1,0 +1,186 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"servicebroker/internal/qos"
+	"servicebroker/internal/wire"
+)
+
+// Gateway exposes a set of brokers over the framework's UDP wire protocol
+// (paper §V-B: "the brokers and the front-end Web server exchange request
+// and response messages through lightweight UDP"). One Gateway can host
+// several per-service brokers; requests route on the message's Service
+// field.
+type Gateway struct {
+	mu      sync.Mutex
+	brokers map[string]*Broker
+	server  *wire.Server
+}
+
+// NewGateway starts a gateway on addr ("127.0.0.1:0" for ephemeral) serving
+// the given brokers, keyed by service name. Close stops the UDP server but
+// not the brokers (their owner closes them).
+func NewGateway(addr string, brokers map[string]*Broker) (*Gateway, error) {
+	if len(brokers) == 0 {
+		return nil, errors.New("broker: gateway needs at least one broker")
+	}
+	g := &Gateway{brokers: make(map[string]*Broker, len(brokers))}
+	for name, b := range brokers {
+		if b == nil {
+			return nil, fmt.Errorf("broker: nil broker for service %q", name)
+		}
+		g.brokers[name] = b
+	}
+	srv, err := wire.NewServer(addr, g.handle)
+	if err != nil {
+		return nil, err
+	}
+	g.server = srv
+	return g, nil
+}
+
+// Addr returns the gateway's UDP address.
+func (g *Gateway) Addr() net.Addr { return g.server.Addr() }
+
+// Services lists the hosted service names, sorted.
+func (g *Gateway) Services() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	names := make([]string, 0, len(g.brokers))
+	for n := range g.brokers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Close stops the UDP server.
+func (g *Gateway) Close() error { return g.server.Close() }
+
+// handle converts one wire request into a broker call.
+func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire.Message {
+	g.mu.Lock()
+	b, ok := g.brokers[m.Service]
+	g.mu.Unlock()
+	if !ok {
+		return &wire.Message{
+			Status:  wire.StatusError,
+			Payload: []byte(fmt.Sprintf("broker: unknown service %q", m.Service)),
+		}
+	}
+	resp := b.Handle(ctx, &Request{
+		Payload: m.Payload,
+		Class:   m.Class,
+		TxnID:   m.TxnID,
+		TxnStep: int(m.TxnStep),
+		NoCache: m.Flags&wire.FlagNoCache != 0,
+	})
+	out := &wire.Message{Fidelity: resp.Fidelity, Payload: resp.Payload}
+	switch resp.Status {
+	case StatusOK:
+		out.Status = wire.StatusOK
+	case StatusDropped:
+		out.Status = wire.StatusDropped
+	default:
+		out.Status = wire.StatusError
+		if resp.Err != nil {
+			out.Payload = []byte(resp.Err.Error())
+		}
+	}
+	return out
+}
+
+// Client is the application-side handle to a gateway: the message-passing
+// replacement for backend API calls. It is safe for concurrent use.
+type Client struct {
+	wc *wire.Client
+}
+
+// DialGateway connects a client to a gateway address.
+func DialGateway(addr string, opts ...wire.ClientOption) (*Client, error) {
+	wc, err := wire.Dial(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{wc: wc}, nil
+}
+
+// Close releases the client socket.
+func (c *Client) Close() error { return c.wc.Close() }
+
+// Do sends one request to the named service and returns the broker's
+// response. Dropped requests return a Response with StatusDropped, not an
+// error — the low-fidelity reply is a valid outcome in this model.
+func (c *Client) Do(ctx context.Context, service string, req *Request) (*Response, error) {
+	if req == nil {
+		return nil, errors.New("broker: nil request")
+	}
+	m := &wire.Message{
+		Service: service,
+		Class:   req.Class,
+		TxnID:   req.TxnID,
+		TxnStep: uint16(req.TxnStep),
+		Payload: req.Payload,
+	}
+	if req.NoCache {
+		m.Flags |= wire.FlagNoCache
+	}
+	out, err := c.wc.Call(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Fidelity: out.Fidelity, Payload: out.Payload}
+	switch out.Status {
+	case wire.StatusOK:
+		resp.Status = StatusOK
+	case wire.StatusDropped:
+		resp.Status = StatusDropped
+	default:
+		resp.Status = StatusError
+		resp.Err = fmt.Errorf("broker: %s", out.Payload)
+	}
+	return resp, nil
+}
+
+// Multi fans one request per service out in parallel and collects the
+// responses in input order — the paper's "Multitasking" pattern, where a
+// web syndicate page "send[s] requests in parallel to service brokers that
+// are associated with individual providers" and overlaps the retrievals.
+func (c *Client) Multi(ctx context.Context, services []string, reqs []*Request) ([]*Response, error) {
+	if len(services) != len(reqs) {
+		return nil, fmt.Errorf("broker: %d services for %d requests", len(services), len(reqs))
+	}
+	responses := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			responses[i], errs[i] = c.Do(ctx, services[i], reqs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return responses, nil
+}
+
+// ClassTimeout derives a sensible wire-level timeout for a class: paper
+// clients wait longer for high-fidelity service. Exposed for loadgen reuse.
+func ClassTimeout(base time.Duration, class qos.Class) time.Duration {
+	if class < 1 {
+		class = 1
+	}
+	return base * time.Duration(class)
+}

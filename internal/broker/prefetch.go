@@ -1,0 +1,73 @@
+package broker
+
+import (
+	"context"
+	"time"
+)
+
+// prefetcher periodically warms the broker's result cache during idle
+// periods (paper §III: brokers "prefetch the next possible queries in idle
+// periods", e.g. a news site's refreshed headlines).
+type prefetcher struct {
+	b       *Broker
+	cfg     prefetchConfig
+	stopped chan struct{}
+	done    chan struct{}
+}
+
+func newPrefetcher(b *Broker, cfg prefetchConfig) *prefetcher {
+	p := &prefetcher{
+		b:       b,
+		cfg:     cfg,
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *prefetcher) run() {
+	defer close(p.done)
+	ticker := time.NewTicker(p.cfg.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopped:
+			return
+		case <-ticker.C:
+			p.tick()
+		}
+	}
+}
+
+// tick performs one prefetch round if the broker is idle enough.
+func (p *prefetcher) tick() {
+	p.b.mu.Lock()
+	idle := p.b.outstanding < p.cfg.lowWater && !p.b.closed
+	p.b.mu.Unlock()
+	if !idle {
+		p.b.reg.Counter("prefetch_skipped").Inc()
+		return
+	}
+	for _, payload := range p.cfg.source() {
+		select {
+		case <-p.stopped:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.cfg.interval)
+		body, err := p.b.do(ctx, payload)
+		cancel()
+		if err != nil {
+			p.b.reg.Counter("prefetch_errors").Inc()
+			continue
+		}
+		p.b.results.Put(cacheKey(payload), body)
+		p.b.reg.Counter("prefetched").Inc()
+	}
+}
+
+func (p *prefetcher) stop() {
+	close(p.stopped)
+	<-p.done
+}

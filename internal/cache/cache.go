@@ -1,0 +1,230 @@
+// Package cache provides the LRU + TTL result cache used by service brokers
+// to cache backend query results (paper §III, "Caching of query results").
+//
+// Brokers see every query and response for their service, so popular results
+// (the paper's movie-schedule example) can be served without touching the
+// backend. The cache bounds memory by entry count and by an optional byte
+// budget, evicting least-recently-used entries first; entries also carry a
+// time-to-live after which they are treated as absent.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Stats summarizes cache effectiveness.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Expired   int64
+	Entries   int
+	Bytes     int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 when no lookups occurred.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a concurrency-safe LRU cache with per-entry TTL. Use New to
+// create one.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	defaultTTL time.Duration
+	now        func() time.Time
+
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+
+	hits, misses, evictions, expired int64
+}
+
+type entry struct {
+	key     string
+	value   []byte
+	expires time.Time // zero means never
+}
+
+// Option configures a Cache.
+type Option interface {
+	apply(*Cache)
+}
+
+type optionFunc func(*Cache)
+
+func (f optionFunc) apply(c *Cache) { f(c) }
+
+// WithMaxBytes bounds the total size of cached values. Zero (the default)
+// means no byte bound.
+func WithMaxBytes(n int64) Option {
+	return optionFunc(func(c *Cache) { c.maxBytes = n })
+}
+
+// WithDefaultTTL sets the TTL applied by Put. Zero (the default) means
+// entries never expire.
+func WithDefaultTTL(ttl time.Duration) Option {
+	return optionFunc(func(c *Cache) { c.defaultTTL = ttl })
+}
+
+// WithClock overrides the time source, for deterministic tests.
+func WithClock(now func() time.Time) Option {
+	return optionFunc(func(c *Cache) { c.now = now })
+}
+
+// New creates a cache holding at most maxEntries entries. maxEntries must be
+// positive.
+func New(maxEntries int, opts ...Option) *Cache {
+	if maxEntries <= 0 {
+		panic("cache: maxEntries must be positive")
+	}
+	c := &Cache{
+		maxEntries: maxEntries,
+		now:        time.Now,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Get returns the cached value for key. The returned slice is shared with
+// the cache and must not be modified by the caller.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.isExpired(e) {
+		c.removeElement(el)
+		c.expired++
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.value, true
+}
+
+// Put stores value under key with the cache's default TTL.
+func (c *Cache) Put(key string, value []byte) {
+	c.PutTTL(key, value, c.defaultTTL)
+}
+
+// PutTTL stores value under key with an explicit TTL; ttl ≤ 0 means the
+// entry never expires.
+func (c *Cache) PutTTL(key string, value []byte, ttl time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var expires time.Time
+	if ttl > 0 {
+		expires = c.now().Add(ttl)
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += int64(len(value)) - int64(len(e.value))
+		e.value = value
+		e.expires = expires
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, value: value, expires: expires})
+		c.items[key] = el
+		c.bytes += int64(len(value))
+	}
+	c.evictOverflow()
+}
+
+// Delete removes key if present, reporting whether it was there.
+func (c *Cache) Delete(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+// Len returns the number of live entries (including any not yet observed to
+// be expired).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Clear removes every entry but keeps the statistics.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.bytes = 0
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Expired:   c.expired,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}
+
+// Keys returns the cached keys from most to least recently used. Intended
+// for tests and diagnostics.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// isExpired reports whether e is past its TTL. Caller holds c.mu.
+func (c *Cache) isExpired(e *entry) bool {
+	return !e.expires.IsZero() && c.now().After(e.expires)
+}
+
+// evictOverflow drops LRU entries until both bounds hold. Caller holds c.mu.
+func (c *Cache) evictOverflow() {
+	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 0) {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		c.removeElement(el)
+		c.evictions++
+	}
+}
+
+// removeElement unlinks el. Caller holds c.mu.
+func (c *Cache) removeElement(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= int64(len(e.value))
+}

@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPutGet(t *testing.T) {
+	c := New(4)
+	c.Put("a", []byte("1"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "1" {
+		t.Fatalf("Get(a) = %q, %v", got, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) reported a hit")
+	}
+}
+
+func TestNewPanicsOnNonPositiveSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestUpdateExistingKey(t *testing.T) {
+	c := New(4)
+	c.Put("k", []byte("old"))
+	c.Put("k", []byte("new value"))
+	got, _ := c.Get("k")
+	if string(got) != "new value" {
+		t.Fatalf("Get = %q, want new value", got)
+	}
+	if n := c.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if b := c.Stats().Bytes; b != int64(len("new value")) {
+		t.Fatalf("Bytes = %d, want %d", b, len("new value"))
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	c.Get("a") // a becomes MRU; b is now LRU
+	c.Put("d", []byte("4"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction; want LRU evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s was evicted; want kept", k)
+		}
+	}
+	if e := c.Stats().Evictions; e != 1 {
+		t.Fatalf("evictions = %d, want 1", e)
+	}
+}
+
+func TestByteBoundEviction(t *testing.T) {
+	c := New(100, WithMaxBytes(10))
+	c.Put("a", []byte("12345"))
+	c.Put("b", []byte("67890"))
+	c.Put("c", []byte("x")) // pushes total to 11 bytes, evicting a
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a survived byte-bound eviction")
+	}
+	if got := c.Stats().Bytes; got > 10 {
+		t.Fatalf("bytes = %d, want ≤10", got)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New(4, WithClock(clock), WithDefaultTTL(10*time.Second))
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry missing before expiry")
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry still present after TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("expired = %d, want 1", st.Expired)
+	}
+	if st.Entries != 0 {
+		t.Fatalf("entries = %d, want 0 (expired entry removed)", st.Entries)
+	}
+}
+
+func TestPutTTLOverridesDefault(t *testing.T) {
+	now := time.Unix(0, 0)
+	c := New(4, WithClock(func() time.Time { return now }), WithDefaultTTL(time.Second))
+	c.PutTTL("forever", []byte("v"), 0) // never expires
+	now = now.Add(time.Hour)
+	if _, ok := c.Get("forever"); !ok {
+		t.Fatal("ttl=0 entry expired; want immortal")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	c := New(4)
+	c.Put("k", []byte("v"))
+	if !c.Delete("k") {
+		t.Fatal("Delete(k) = false, want true")
+	}
+	if c.Delete("k") {
+		t.Fatal("second Delete(k) = true, want false")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry present after delete")
+	}
+}
+
+func TestClearKeepsStats(t *testing.T) {
+	c := New(4)
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("Clear left entries")
+	}
+	if c.Stats().Hits != 1 {
+		t.Fatal("Clear dropped stats")
+	}
+	if c.Stats().Bytes != 0 {
+		t.Fatal("Clear left byte accounting")
+	}
+}
+
+func TestKeysMRUOrder(t *testing.T) {
+	c := New(4)
+	c.Put("a", nil)
+	c.Put("b", nil)
+	c.Put("c", nil)
+	c.Get("a")
+	keys := c.Keys()
+	want := []string{"a", "c", "b"}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := New(4)
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("k")
+	c.Get("miss")
+	if r := c.Stats().HitRatio(); r < 0.66 || r > 0.67 {
+		t.Fatalf("hit ratio = %g, want 2/3", r)
+	}
+	var empty Stats
+	if empty.HitRatio() != 0 {
+		t.Fatal("empty hit ratio != 0")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("key-%d", (seed+i)%100)
+				if i%3 == 0 {
+					c.Put(k, []byte(k))
+				} else {
+					if v, ok := c.Get(k); ok && string(v) != k {
+						t.Errorf("Get(%s) = %q", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Property: entry count never exceeds maxEntries regardless of operation
+// sequence.
+func TestCapacityInvariantProperty(t *testing.T) {
+	f := func(keys []uint8, max uint8) bool {
+		m := int(max%16) + 1
+		c := New(m)
+		for _, k := range keys {
+			c.Put(fmt.Sprintf("k%d", k), []byte{k})
+			if c.Len() > m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Get returns exactly what the most recent Put stored.
+func TestGetReturnsLastPutProperty(t *testing.T) {
+	f := func(vals [][]byte) bool {
+		c := New(8)
+		for _, v := range vals {
+			c.Put("k", v)
+			got, ok := c.Get("k")
+			if !ok || string(got) != string(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte accounting equals the sum of live value lengths.
+func TestByteAccountingProperty(t *testing.T) {
+	f := func(ops []struct {
+		Key uint8
+		Val []byte
+		Del bool
+	}) bool {
+		c := New(8)
+		for _, op := range ops {
+			k := fmt.Sprintf("k%d", op.Key%12)
+			if op.Del {
+				c.Delete(k)
+			} else {
+				c.Put(k, op.Val)
+			}
+		}
+		var want int64
+		for _, k := range c.Keys() {
+			v, ok := c.Get(k)
+			if !ok {
+				return false
+			}
+			want += int64(len(v))
+		}
+		return c.Stats().Bytes == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"servicebroker/internal/apimodel"
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/frontend"
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/loadbalance"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/workload"
+)
+
+// The ablation experiments quantify design choices the paper argues
+// qualitatively in §III: persistent connections, result caching,
+// prefetching, and broker-side load balancing.
+
+// ConnectionAblationResult compares per-request connections (the API model)
+// against broker-held persistent connections.
+type ConnectionAblationResult struct {
+	ConnectCost time.Duration
+	APIMean     time.Duration
+	BrokerMean  time.Duration
+	// APIConnects and BrokerDials count connection establishments.
+	APIConnects int64
+}
+
+// RunConnectionAblation measures both access models over a backend whose
+// connection setup costs connectCost.
+func RunConnectionAblation(ctx context.Context, connectCost time.Duration, requests int) (*ConnectionAblationResult, error) {
+	mk := func(name string) *backend.DelayConnector {
+		return &backend.DelayConnector{ServiceName: name, ConnectTime: connectCost}
+	}
+
+	api, err := apimodel.New(mk("api"))
+	if err != nil {
+		return nil, err
+	}
+	apiRes, err := workload.ClosedLoop{Concurrency: 4, Requests: requests}.Run(ctx,
+		func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+			if _, err := api.Do(ctx, []byte("q")); err != nil {
+				return 0, err
+			}
+			return qos.FidelityFull, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	b, err := broker.New(mk("brokered"), broker.WithThreshold(64, 1), broker.WithWorkers(4))
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	brokerRes, err := workload.ClosedLoop{Concurrency: 4, Requests: requests}.Run(ctx,
+		func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+			resp := b.Handle(ctx, &broker.Request{Payload: []byte("q"), Class: qos.Class1, NoCache: true})
+			if resp.Err != nil {
+				return 0, resp.Err
+			}
+			return resp.Fidelity, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	return &ConnectionAblationResult{
+		ConnectCost: connectCost,
+		APIMean:     apiRes.Latency.Mean(),
+		BrokerMean:  brokerRes.Latency.Mean(),
+		APIConnects: api.Metrics().Counter("connects").Value(),
+	}, nil
+}
+
+// CacheAblationResult compares a hot-spot workload with and without the
+// broker's result cache (the paper's movie-schedule scenario).
+type CacheAblationResult struct {
+	UncachedMean    time.Duration
+	CachedMean      time.Duration
+	UncachedBackend int64
+	CachedBackend   int64
+	HitRatio        float64
+}
+
+// RunCacheAblation drives a Zipf-ish workload (hotFraction of requests hit
+// hotKeys distinct queries) against a backend that takes queryCost per
+// query, with caching off and on.
+func RunCacheAblation(ctx context.Context, queryCost time.Duration, requests, hotKeys int, hotFraction float64) (*CacheAblationResult, error) {
+	if hotKeys < 1 || hotFraction < 0 || hotFraction > 1 {
+		return nil, fmt.Errorf("experiments: bad cache ablation parameters")
+	}
+	// The workload target runs on several client goroutines; math/rand.Rand
+	// is not concurrency-safe, so guard it.
+	var rngMu sync.Mutex
+	payload := func(rng *rand.Rand) []byte {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		if rng.Float64() < hotFraction {
+			return []byte(fmt.Sprintf("SELECT schedule FROM movies WHERE id = %d", rng.Intn(hotKeys)))
+		}
+		return []byte(fmt.Sprintf("SELECT schedule FROM movies WHERE id = %d", hotKeys+rng.Intn(1_000_000)))
+	}
+
+	run := func(withCache bool) (time.Duration, int64, float64, error) {
+		conn := &backend.DelayConnector{ServiceName: "moviedb", ProcessTime: queryCost}
+		opts := []broker.Option{broker.WithThreshold(64, 1), broker.WithWorkers(8)}
+		if withCache {
+			opts = append(opts, broker.WithCache(4096, 0))
+		}
+		b, err := broker.New(conn, opts...)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer b.Close()
+		rng := rand.New(rand.NewSource(7))
+		res, err := workload.ClosedLoop{Concurrency: 8, Requests: requests}.Run(ctx,
+			func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+				resp := b.Handle(ctx, &broker.Request{Payload: payload(rng), Class: qos.Class1})
+				if resp.Err != nil {
+					return 0, resp.Err
+				}
+				return resp.Fidelity, nil
+			})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		// "completed" counts worker-executed jobs only — cache hits return
+		// before reaching the backend — so it is exactly the backend query
+		// count.
+		return res.Latency.Mean(), b.Metrics().Counter("completed").Value(),
+			b.CacheStats().HitRatio(), nil
+	}
+
+	uncachedMean, uncachedBackend, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	cachedMean, cachedBackend, hitRatio, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &CacheAblationResult{
+		UncachedMean:    uncachedMean,
+		CachedMean:      cachedMean,
+		UncachedBackend: uncachedBackend,
+		CachedBackend:   cachedBackend,
+		HitRatio:        hitRatio,
+	}, nil
+}
+
+// LoadBalanceResult compares balancing policies on heterogeneous replicas.
+type LoadBalanceResult struct {
+	// Mean maps policy name → mean response time.
+	Mean map[string]time.Duration
+}
+
+// RunLoadBalanceComparison drives the same workload through a fast and a
+// slow replica under each policy.
+func RunLoadBalanceComparison(ctx context.Context, requests int) (*LoadBalanceResult, error) {
+	policies := []loadbalance.Policy{
+		&loadbalance.RoundRobin{},
+		loadbalance.LeastOutstanding{},
+		loadbalance.NewRandom(11),
+	}
+	out := &LoadBalanceResult{Mean: make(map[string]time.Duration, len(policies))}
+	for _, policy := range policies {
+		fast := &backend.DelayConnector{ServiceName: "fast", ProcessTime: 2 * time.Millisecond}
+		slow := &backend.DelayConnector{ServiceName: "slow", ProcessTime: 12 * time.Millisecond}
+		b, err := broker.New(nil,
+			broker.WithReplicas(policy, 8, fast, slow),
+			broker.WithThreshold(64, 1), broker.WithWorkers(8))
+		if err != nil {
+			return nil, err
+		}
+		res, err := workload.ClosedLoop{Concurrency: 8, Requests: requests}.Run(ctx,
+			func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+				resp := b.Handle(ctx, &broker.Request{Payload: []byte("q"), Class: qos.Class1, NoCache: true})
+				if resp.Err != nil {
+					return 0, resp.Err
+				}
+				return resp.Fidelity, nil
+			})
+		b.Close()
+		if err != nil {
+			return nil, err
+		}
+		out.Mean[policy.Name()] = res.Latency.Mean()
+	}
+	return out, nil
+}
+
+// TxnAblationResult compares transaction-step escalation against flat
+// classes for late-stage access survival under overload.
+type TxnAblationResult struct {
+	// FlatLateDrops counts dropped step-3 accesses without escalation.
+	FlatLateDrops int64
+	// EscalatedLateDrops counts dropped step-3 accesses with escalation.
+	EscalatedLateDrops int64
+}
+
+// RunTxnAblation saturates a small broker with low-priority traffic and
+// measures whether late transaction steps survive, with and without
+// escalation (paper §III's supply-chain scenario).
+func RunTxnAblation(ctx context.Context, requests int) (*TxnAblationResult, error) {
+	run := func(escalate bool) (int64, error) {
+		conn := &backend.DelayConnector{ServiceName: "vendor", ProcessTime: 20 * time.Millisecond}
+		opts := []broker.Option{broker.WithThreshold(6, 3), broker.WithWorkers(2)}
+		if escalate {
+			opts = append(opts, broker.WithTransactions())
+		}
+		b, err := broker.New(conn, opts...)
+		if err != nil {
+			return 0, err
+		}
+		defer b.Close()
+
+		var lateDrops int64
+		// Background class-2 load keeps the broker near its threshold.
+		var bg sync.WaitGroup
+		stop := make(chan struct{})
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				bg.Add(1)
+				go func(i int) {
+					defer bg.Done()
+					b.Handle(ctx, &broker.Request{
+						Payload: []byte(fmt.Sprintf("bg%d", i)), Class: qos.Class2, NoCache: true,
+					})
+				}(i)
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		time.Sleep(20 * time.Millisecond)
+
+		for i := 0; i < requests; i++ {
+			resp := b.Handle(ctx, &broker.Request{
+				Payload: []byte(fmt.Sprintf("purchase%d", i)),
+				Class:   qos.Class3,
+				TxnID:   fmt.Sprintf("txn%d", i),
+				TxnStep: 3,
+				NoCache: true,
+			})
+			if resp.Status == broker.StatusDropped {
+				lateDrops++
+			}
+		}
+		close(stop)
+		bg.Wait()
+		return lateDrops, nil
+	}
+
+	flat, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	escalated, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &TxnAblationResult{FlatLateDrops: flat, EscalatedLateDrops: escalated}, nil
+}
+
+// ModelComparisonResult compares the two deployment models of §IV.
+type ModelComparisonResult struct {
+	// DistributedMean and CentralizedMean are per-request latencies under
+	// light load (the centralized model's admission check is extra work on
+	// every request).
+	DistributedMean time.Duration
+	CentralizedMean time.Duration
+	// CentralizedAborts counts requests the centralized model rejected up
+	// front during an overload episode; the distributed model forwards
+	// everything and lets brokers shed.
+	CentralizedAborts int64
+	// ListenerUpdates counts load-report datagrams the centralized model's
+	// listener thread processed (its scalability cost).
+	ListenerUpdates int
+}
+
+// RunModelComparison builds both front ends over the same broker gateway
+// and measures light-load request cost, then overload behaviour.
+func RunModelComparison(ctx context.Context, requests int) (*ModelComparisonResult, error) {
+	mkStack := func() (*broker.Broker, *broker.Gateway, error) {
+		// 4 slots × 5ms ⇒ the backend serves 800 req/s; the overload
+		// episode's hold stream (2000 req/s) saturates it decisively.
+		b, err := broker.New(
+			&backend.DelayConnector{ServiceName: "db", ProcessTime: 5 * time.Millisecond, MaxConcurrent: 4},
+			broker.WithThreshold(8, 2), broker.WithWorkers(8))
+		if err != nil {
+			return nil, nil, err
+		}
+		g, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+		if err != nil {
+			b.Close()
+			return nil, nil, err
+		}
+		return b, g, nil
+	}
+	routes := []frontend.Route{{Pattern: "/db", Service: "db", DefaultClass: qos.Class1}}
+
+	// Distributed model.
+	b1, g1, err := mkStack()
+	if err != nil {
+		return nil, err
+	}
+	defer b1.Close()
+	defer g1.Close()
+	dist, err := frontend.NewDistributed("127.0.0.1:0", g1.Addr().String(), routes)
+	if err != nil {
+		return nil, err
+	}
+	defer dist.Close()
+	distMean, err := driveFrontend(ctx, dist.Addr(), requests)
+	if err != nil {
+		return nil, err
+	}
+
+	// Centralized model with a reporter feeding its listener thread.
+	b2, g2, err := mkStack()
+	if err != nil {
+		return nil, err
+	}
+	defer b2.Close()
+	defer g2.Close()
+	profiles := map[string][]frontend.Demand{"/db": {{Service: "db", Weight: 1}}}
+	cent, err := frontend.NewCentralized("127.0.0.1:0", g2.Addr().String(), "127.0.0.1:0", routes, profiles)
+	if err != nil {
+		return nil, err
+	}
+	defer cent.Close()
+	rep, err := frontend.NewReporter(b2, cent.ListenerAddr(), 5*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	defer rep.Close()
+	time.Sleep(20 * time.Millisecond) // first report
+	centMean, err := driveFrontend(ctx, cent.Addr(), requests)
+	if err != nil {
+		return nil, err
+	}
+
+	// Overload episode: a continuous stream of class-1 holds keeps the
+	// broker at its threshold while doomed requests arrive; the centralized
+	// model aborts them at the web server as soon as a load report shows
+	// the overload.
+	var hold sync.WaitGroup
+	stop := make(chan struct{})
+	hold.Add(1)
+	go func() {
+		defer hold.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			hold.Add(1)
+			go func(i int) {
+				defer hold.Done()
+				b2.Handle(ctx, &broker.Request{
+					Payload: []byte(fmt.Sprintf("hold%d", i)), Class: qos.Class1, NoCache: true,
+				})
+			}(i)
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	cli := httpserver.NewClient(cent.Addr())
+	deadline := time.Now().Add(2 * time.Second)
+	for cent.Metrics().Counter("aborted").Value() == 0 && time.Now().Before(deadline) {
+		cli.Get("/db", map[string]string{"q": "doomed", "qos": "2"})
+		time.Sleep(2 * time.Millisecond)
+	}
+	cli.Close()
+	close(stop)
+	hold.Wait()
+
+	return &ModelComparisonResult{
+		DistributedMean:   distMean,
+		CentralizedMean:   centMean,
+		CentralizedAborts: cent.Metrics().Counter("aborted").Value(),
+		ListenerUpdates:   cent.ListenerUpdates(),
+	}, nil
+}
+
+// driveFrontend issues sequential light-load requests and returns the mean.
+func driveFrontend(ctx context.Context, addr string, requests int) (time.Duration, error) {
+	cli := httpserver.NewClient(addr, httpserver.WithPersistent(1))
+	defer cli.Close()
+	var hist metrics.Histogram
+	for i := 0; i < requests; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		resp, err := cli.Get("/db", map[string]string{"q": fmt.Sprintf("q%d", i), "qos": "1"})
+		if err != nil {
+			return 0, err
+		}
+		if resp.Status != 200 {
+			return 0, fmt.Errorf("experiments: frontend status %d: %s", resp.Status, resp.Body)
+		}
+		hist.Observe(time.Since(t0))
+	}
+	return hist.Mean(), nil
+}
+
+// PrefetchAblationResult compares a periodically-updated content source
+// (the paper's news-headline scenario) with and without broker prefetching.
+type PrefetchAblationResult struct {
+	NoPrefetchMean time.Duration
+	PrefetchMean   time.Duration
+	NoPrefetchHit  float64
+	PrefetchHit    float64
+	Prefetched     int64
+}
+
+// RunPrefetchAblation models a news site: the backend takes fetchCost per
+// request and its content expires from the cache every ttl; readers arrive
+// in periodic bursts. With prefetching the broker re-fetches headlines
+// during the idle gaps, so bursts never pay the backend latency.
+func RunPrefetchAblation(ctx context.Context, fetchCost time.Duration, bursts, perBurst int) (*PrefetchAblationResult, error) {
+	if bursts <= 0 || perBurst <= 0 {
+		return nil, fmt.Errorf("experiments: bursts and perBurst must be positive")
+	}
+	const (
+		ttl         = 40 * time.Millisecond
+		burstGap    = 50 * time.Millisecond
+		prefetchEvy = 10 * time.Millisecond
+	)
+	run := func(withPrefetch bool) (time.Duration, float64, int64, error) {
+		conn := &backend.DelayConnector{ServiceName: "news", ProcessTime: fetchCost}
+		opts := []broker.Option{
+			broker.WithThreshold(16, 1),
+			broker.WithWorkers(2),
+			broker.WithCache(16, ttl),
+		}
+		if withPrefetch {
+			opts = append(opts, broker.WithPrefetch(prefetchEvy, 4, func() [][]byte {
+				return [][]byte{[]byte("/headlines")}
+			}))
+		}
+		b, err := broker.New(conn, opts...)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer b.Close()
+
+		var hist metrics.Histogram
+		for burst := 0; burst < bursts; burst++ {
+			for i := 0; i < perBurst; i++ {
+				if err := ctx.Err(); err != nil {
+					return 0, 0, 0, err
+				}
+				t0 := time.Now()
+				resp := b.Handle(ctx, &broker.Request{Payload: []byte("/headlines"), Class: qos.Class1})
+				if resp.Err != nil {
+					return 0, 0, 0, resp.Err
+				}
+				hist.Observe(time.Since(t0))
+			}
+			time.Sleep(burstGap)
+		}
+		return hist.Mean(), b.CacheStats().HitRatio(),
+			b.Metrics().Counter("prefetched").Value(), nil
+	}
+
+	noMean, noHit, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	yesMean, yesHit, prefetched, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &PrefetchAblationResult{
+		NoPrefetchMean: noMean,
+		PrefetchMean:   yesMean,
+		NoPrefetchHit:  noHit,
+		PrefetchHit:    yesHit,
+		Prefetched:     prefetched,
+	}, nil
+}

@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+)
+
+// Experiment tests run scaled-down configurations and assert the paper's
+// qualitative claims (curve shapes, orderings), not absolute numbers.
+
+// testClusteringConfig shrinks the Figure 7 testbed for CI speed.
+func testClusteringConfig() ClusteringConfig {
+	return ClusteringConfig{
+		Records:        2000,
+		Concurrency:    20,
+		Requests:       40,
+		MaxClients:     5,
+		Degrees:        []int{1, 5, 20},
+		HandshakeDelay: 8 * time.Millisecond,
+		BatchWait:      25 * time.Millisecond,
+	}
+}
+
+func TestClusteringReproducesUShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	series, err := RunClustering(context.Background(), testClusteringConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Figure7(series))
+	unclustered, ok := series.YAt(1)
+	if !ok {
+		t.Fatal("degree-1 point missing")
+	}
+	mid, ok := series.YAt(5)
+	if !ok {
+		t.Fatal("degree-5 point missing")
+	}
+	// The headline claim: a moderate degree of clustering beats no
+	// clustering (the left slope of the U).
+	if mid >= unclustered {
+		t.Fatalf("degree-5 mean %.2fms not better than unclustered %.2fms", mid, unclustered)
+	}
+	// And the minimum is not at the extreme right (the U turns back up):
+	// the best degree observed should be an interior or left point.
+	best := series.MinY()
+	if best.X == 20 {
+		max, _ := series.YAt(20)
+		t.Logf("note: best at extreme degree (%.2f); max-degree mean %.2f", best.Y, max)
+	}
+}
+
+func TestClusteringDegreeOneMatchesBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	cfg := testClusteringConfig()
+	cfg.Degrees = []int{1}
+	cfg.Requests = 20
+	series, err := RunClustering(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 1 || series.Points[0].Y <= 0 {
+		t.Fatalf("series = %+v", series.Points)
+	}
+}
+
+func TestRunClusteringValidation(t *testing.T) {
+	cfg := testClusteringConfig()
+	cfg.Degrees = nil
+	if _, err := RunClustering(context.Background(), cfg); err == nil {
+		t.Fatal("empty degree sweep accepted")
+	}
+}
+
+// testDiffConfig shrinks the Figure 8 testbed: 3ms per paper second.
+func testDiffConfig() DifferentiationConfig {
+	cfg := DefaultDifferentiationConfig(3 * time.Millisecond)
+	cfg.ClientCounts = []int{9, 90}
+	cfg.Duration = 80
+	return cfg
+}
+
+func TestDifferentiationReproducesPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunDifferentiation(context.Background(), testDiffConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Figure9(res))
+	t.Logf("\n%s", Figure10(res))
+	t.Logf("\n%s", Table1(res))
+	for i := 0; i < 3; i++ {
+		t.Logf("\n%s", DropTable(res, i))
+	}
+
+	light, heavy := res.Points[0], res.Points[1]
+
+	// Figure 9: API time grows sharply with load; at high load the broker
+	// beats the API because shed low-priority traffic stops queueing.
+	if heavy.APITime <= light.APITime {
+		t.Fatalf("API time did not grow with load: %.2f → %.2f", light.APITime, heavy.APITime)
+	}
+	if heavy.BrokerTime >= heavy.APITime {
+		t.Fatalf("broker (%.2f) not faster than API (%.2f) under heavy load",
+			heavy.BrokerTime, heavy.APITime)
+	}
+
+	// Tables II-IV: (almost) no drops under light load — the small-scale
+	// testbed keeps some arrival burstiness, so allow a small transient —
+	// and drops ordered by priority under heavy load.
+	for bi := 0; bi < 3; bi++ {
+		for c := 1; c <= 3; c++ {
+			if r := light.DropRatio[bi][qos.Class(c)]; r > 0.15 {
+				t.Errorf("broker %d class %d drop ratio %.3f under light load", bi+1, c, r)
+			}
+		}
+		if heavy.DropRatio[bi][qos.Class3] < heavy.DropRatio[bi][qos.Class1] {
+			t.Errorf("broker %d: class 3 drop ratio %.3f < class 1 %.3f under load",
+				bi+1, heavy.DropRatio[bi][qos.Class3], heavy.DropRatio[bi][qos.Class1])
+		}
+	}
+
+	// Figure 10: under heavy load the highest class keeps the longest
+	// processing time (highest fidelity).
+	if heavy.ClassTime[qos.Class1] < heavy.ClassTime[qos.Class3] {
+		t.Errorf("class 1 time %.2f < class 3 time %.2f under load (fidelity inversion)",
+			heavy.ClassTime[qos.Class1], heavy.ClassTime[qos.Class3])
+	}
+
+	// Table I: low-priority classes complete more requests under load
+	// (best-effort clients issue more when answers come back fast).
+	if heavy.ClassCompleted[qos.Class3] == 0 {
+		t.Error("class 3 completed nothing under load")
+	}
+}
+
+func TestRunDifferentiationValidation(t *testing.T) {
+	cfg := testDiffConfig()
+	cfg.ClientCounts = nil
+	if _, err := RunDifferentiation(context.Background(), cfg); err == nil {
+		t.Fatal("empty client counts accepted")
+	}
+	cfg = testDiffConfig()
+	cfg.StageSeconds = nil
+	if _, err := RunDifferentiation(context.Background(), cfg); err == nil {
+		t.Fatal("empty stages accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	res := &DiffResult{
+		Config: DifferentiationConfig{Classes: 3},
+		Points: []DiffPoint{{
+			Clients: 30, APITime: 9.5, BrokerTime: 4.2, APICompleted: 740,
+			ClassTime:      map[qos.Class]float64{1: 6.1, 2: 4.0, 3: 2.2},
+			ClassCompleted: map[qos.Class]int64{1: 100, 2: 200, 3: 300},
+			DropRatio: map[int]map[qos.Class]float64{
+				0: {1: 0, 2: 0.1, 3: 0.5},
+				1: {1: 0, 2: 0.2, 3: 0.6},
+				2: {1: 0.05, 2: 0.3, 3: 0.7},
+			},
+		}},
+	}
+	for name, out := range map[string]string{
+		"fig9":   Figure9(res),
+		"fig10":  Figure10(res),
+		"table1": Table1(res),
+		"table2": DropTable(res, 0),
+		"table4": DropTable(res, 2),
+	} {
+		if !strings.Contains(out, "30") {
+			t.Errorf("%s missing data row:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(DropTable(res, 2), "Table IV") {
+		t.Error("broker 3 table not labelled IV")
+	}
+	if !strings.Contains(Table1(res), "740") {
+		t.Error("API completions missing from Table I")
+	}
+}
+
+func TestConnectionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunConnectionAblation(context.Background(), 10*time.Millisecond, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.APIConnects != 40 {
+		t.Fatalf("API connects = %d, want 40", res.APIConnects)
+	}
+	// The API pays the 10ms setup per request; the broker amortizes it.
+	if res.BrokerMean >= res.APIMean {
+		t.Fatalf("broker mean %v not better than API mean %v", res.BrokerMean, res.APIMean)
+	}
+	if res.APIMean < 10*time.Millisecond {
+		t.Fatalf("API mean %v below the connection cost", res.APIMean)
+	}
+}
+
+func TestCacheAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunCacheAblation(context.Background(), 3*time.Millisecond, 300, 10, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CachedBackend >= res.UncachedBackend {
+		t.Fatalf("cached backend queries %d ≥ uncached %d", res.CachedBackend, res.UncachedBackend)
+	}
+	if res.CachedMean >= res.UncachedMean {
+		t.Fatalf("cached mean %v ≥ uncached mean %v", res.CachedMean, res.UncachedMean)
+	}
+	if res.HitRatio < 0.5 {
+		t.Fatalf("hit ratio %.2f too low for a 90%% hot workload", res.HitRatio)
+	}
+	if _, err := RunCacheAblation(context.Background(), time.Millisecond, 10, 0, 0.5); err == nil {
+		t.Fatal("bad parameters accepted")
+	}
+}
+
+func TestLoadBalanceComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunLoadBalanceComparison(context.Background(), 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, ok1 := res.Mean["least-outstanding"]
+	rr, ok2 := res.Mean["round-robin"]
+	if !ok1 || !ok2 {
+		t.Fatalf("policies missing: %+v", res.Mean)
+	}
+	// Accurate (broker-enabled) balancing must beat blind round robin on
+	// heterogeneous replicas.
+	if lo >= rr {
+		t.Fatalf("least-outstanding %v not better than round-robin %v", lo, rr)
+	}
+}
+
+func TestTxnAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunTxnAblation(context.Background(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Escalated step-3 accesses must survive overload better than flat
+	// class-3 accesses.
+	if res.EscalatedLateDrops >= res.FlatLateDrops {
+		t.Fatalf("escalated drops %d ≥ flat drops %d", res.EscalatedLateDrops, res.FlatLateDrops)
+	}
+}
+
+func TestModelComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunModelComparison(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistributedMean <= 0 || res.CentralizedMean <= 0 {
+		t.Fatalf("means = %v / %v", res.DistributedMean, res.CentralizedMean)
+	}
+	// The centralized model must abort doomed requests up front during the
+	// overload episode.
+	if res.CentralizedAborts == 0 {
+		t.Fatal("centralized model aborted nothing under overload")
+	}
+	// The listener thread must actually be receiving reports.
+	if res.ListenerUpdates == 0 {
+		t.Fatal("listener thread processed no load reports")
+	}
+}
+
+func TestPrefetchAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunPrefetchAblation(context.Background(), 8*time.Millisecond, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prefetched == 0 {
+		t.Fatal("prefetcher never ran")
+	}
+	if res.PrefetchMean >= res.NoPrefetchMean {
+		t.Fatalf("prefetch mean %v ≥ no-prefetch mean %v", res.PrefetchMean, res.NoPrefetchMean)
+	}
+	if res.PrefetchHit <= res.NoPrefetchHit {
+		t.Fatalf("prefetch hit ratio %.2f ≤ baseline %.2f", res.PrefetchHit, res.NoPrefetchHit)
+	}
+	if _, err := RunPrefetchAblation(context.Background(), time.Millisecond, 0, 1); err == nil {
+		t.Fatal("bad parameters accepted")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	series := &metrics.Series{Name: "ms"}
+	series.Add(1, 171.6)
+	series.Add(5, 85.1)
+	csv := Figure7CSV(series)
+	if !strings.HasPrefix(csv, "degree,avg_response_ms\n") || !strings.Contains(csv, "5,85.100") {
+		t.Fatalf("fig7 csv = %q", csv)
+	}
+
+	res := &DiffResult{
+		Config: DifferentiationConfig{Classes: 3},
+		Points: []DiffPoint{{
+			Clients: 30, APITime: 9.5, BrokerTime: 4.2, APICompleted: 740,
+			ClassTime:      map[qos.Class]float64{1: 6.1, 2: 4.0, 3: 2.2},
+			ClassCompleted: map[qos.Class]int64{1: 100, 2: 200, 3: 300},
+			DropRatio: map[int]map[qos.Class]float64{
+				0: {1: 0, 2: 0.1, 3: 0.5},
+				1: {1: 0, 2: 0.2, 3: 0.6},
+				2: {1: 0.05, 2: 0.3, 3: 0.7},
+			},
+		}},
+	}
+	csvs := DiffCSVs(res)
+	for _, name := range []string{"fig9.csv", "fig10.csv", "table1.csv", "table2.csv", "table3.csv", "table4.csv"} {
+		content, ok := csvs[name]
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		lines := strings.Split(strings.TrimSpace(content), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("%s has %d lines, want header + 1 row:\n%s", name, len(lines), content)
+		}
+		if !strings.HasPrefix(lines[1], "30") {
+			t.Fatalf("%s row = %q", name, lines[1])
+		}
+	}
+	if !strings.Contains(csvs["table4.csv"], "0.7000") {
+		t.Fatalf("table4 = %q", csvs["table4.csv"])
+	}
+}

@@ -1,0 +1,406 @@
+// Package frontend implements the paper's two deployment models for
+// incorporating service brokers into web servers (§IV):
+//
+//   - the distributed model (Figure 5): "the Web server imposes no admission
+//     control restrictions. Requests are forwarded to the brokers together
+//     with their QoS profiles", and each broker decides to forward or drop;
+//   - the centralized model (Figure 4): the web server itself "checks [the
+//     request's] resource requirements and current load status of the
+//     brokers before the request proceeds"; if any needed backend is
+//     overloaded, "the request is aborted before any real processing starts
+//     and an error message is sent to the end user".
+//
+// Both models run on the httpserver substrate and reach brokers through the
+// UDP wire gateway. The centralized model's load information arrives at a
+// listener goroutine fed by UDP load-report datagrams pushed by a Reporter
+// attached to each broker — the paper's "listener thread".
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"servicebroker/internal/broker"
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+)
+
+// Route maps one URL pattern to a brokered service call.
+type Route struct {
+	// Pattern is the httpserver pattern ("/db/query" exact or "/pages/"
+	// prefix).
+	Pattern string
+	// Service names the broker to call.
+	Service string
+	// Payload builds the broker payload from the HTTP request. When nil,
+	// the "q" query parameter is used.
+	Payload func(req *httpserver.Request) []byte
+	// DefaultClass applies when the request carries no qos parameter;
+	// zero means the framework default (lowest class at the broker).
+	DefaultClass qos.Class
+}
+
+// classOf extracts the QoS class from the request ("qos" query parameter,
+// else the route default).
+func classOf(req *httpserver.Request, route Route) qos.Class {
+	if v := req.Query["qos"]; v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 1 {
+			return qos.Class(n)
+		}
+	}
+	return route.DefaultClass
+}
+
+// payloadOf builds the broker payload for a request.
+func payloadOf(req *httpserver.Request, route Route) []byte {
+	if route.Payload != nil {
+		return route.Payload(req)
+	}
+	return []byte(req.Query["q"])
+}
+
+// txnOf extracts transaction tagging from the request.
+func txnOf(req *httpserver.Request) (string, int) {
+	id := req.Query["txn"]
+	if id == "" {
+		return "", 0
+	}
+	step, _ := strconv.Atoi(req.Query["step"])
+	if step < 1 {
+		step = 1
+	}
+	return id, step
+}
+
+// respond converts a broker response to HTTP. Dropped requests answer 200
+// with the adaptive low-fidelity payload and an x-fidelity header, mirroring
+// the paper's immediate short-message acknowledgement.
+func respond(resp *broker.Response) *httpserver.Response {
+	switch resp.Status {
+	case broker.StatusOK, broker.StatusDropped:
+		out := httpserver.NewResponse(200, resp.Payload)
+		out.Header["x-fidelity"] = resp.Fidelity.String()
+		out.Header["x-broker-status"] = resp.Status.String()
+		return out
+	default:
+		msg := "backend error"
+		if resp.Err != nil {
+			msg = resp.Err.Error()
+		}
+		return httpserver.Error(502, msg)
+	}
+}
+
+// Distributed is the Figure 5 deployment: a front-end web server that
+// forwards every routed request to the brokers and relays their responses.
+type Distributed struct {
+	srv *httpserver.Server
+	cli *broker.Client
+	reg *metrics.Registry
+}
+
+// NewDistributed starts a front-end web server on addr whose routes call
+// brokers behind gatewayAddr.
+func NewDistributed(addr, gatewayAddr string, routes []Route, opts ...httpserver.ServerOption) (*Distributed, error) {
+	if len(routes) == 0 {
+		return nil, errors.New("frontend: no routes")
+	}
+	cli, err := broker.DialGateway(gatewayAddr)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := httpserver.NewServer(addr, opts...)
+	if err != nil {
+		cli.Close()
+		return nil, err
+	}
+	d := &Distributed{srv: srv, cli: cli, reg: metrics.NewRegistry()}
+	for _, route := range routes {
+		route := route
+		srv.Handle(route.Pattern, func(req *httpserver.Request) *httpserver.Response {
+			return d.serve(req, route)
+		})
+	}
+	return d, nil
+}
+
+// Addr returns the web server's address.
+func (d *Distributed) Addr() string { return d.srv.Addr().String() }
+
+// Metrics returns the front-end registry ("forwarded", "dropped",
+// "errors").
+func (d *Distributed) Metrics() *metrics.Registry { return d.reg }
+
+func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Response {
+	txnID, step := txnOf(req)
+	d.reg.Counter("forwarded").Inc()
+	resp, err := d.cli.Do(context.Background(), route.Service, &broker.Request{
+		Payload: payloadOf(req, route),
+		Class:   classOf(req, route),
+		TxnID:   txnID,
+		TxnStep: step,
+	})
+	if err != nil {
+		d.reg.Counter("errors").Inc()
+		return httpserver.Error(502, err.Error())
+	}
+	if resp.Status == broker.StatusDropped {
+		d.reg.Counter("dropped").Inc()
+	}
+	return respond(resp)
+}
+
+// Close stops the web server and the gateway client.
+func (d *Distributed) Close() error {
+	err := d.srv.Close()
+	if cerr := d.cli.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Demand is one entry of a URL resource profile: the request needs the
+// given service, weighted by how heavily it uses it.
+type Demand struct {
+	Service string
+	// Weight scales the admission margin: a request of weight w is admitted
+	// only while the service's outstanding + w ≤ threshold. Weight 1 is a
+	// single backend access.
+	Weight int
+}
+
+// Centralized is the Figure 4 deployment: the web server runs admission
+// control against broker load reports gathered by its listener goroutine
+// and per-URL resource profiles, aborting doomed requests up front.
+type Centralized struct {
+	srv      *httpserver.Server
+	cli      *broker.Client
+	listener *Listener
+	profiles map[string][]Demand // pattern → demands
+	reg      *metrics.Registry
+}
+
+// NewCentralized starts the centralized front end. listenAddr is the UDP
+// address its listener thread binds for load reports; each route's resource
+// profile is given in profiles keyed by route pattern (routes without a
+// profile are admitted unconditionally).
+func NewCentralized(addr, gatewayAddr, listenAddr string, routes []Route, profiles map[string][]Demand, opts ...httpserver.ServerOption) (*Centralized, error) {
+	if len(routes) == 0 {
+		return nil, errors.New("frontend: no routes")
+	}
+	listener, err := NewListener(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := broker.DialGateway(gatewayAddr)
+	if err != nil {
+		listener.Close()
+		return nil, err
+	}
+	srv, err := httpserver.NewServer(addr, opts...)
+	if err != nil {
+		cli.Close()
+		listener.Close()
+		return nil, err
+	}
+	c := &Centralized{
+		srv:      srv,
+		cli:      cli,
+		listener: listener,
+		profiles: profiles,
+		reg:      metrics.NewRegistry(),
+	}
+	for _, route := range routes {
+		route := route
+		srv.Handle(route.Pattern, func(req *httpserver.Request) *httpserver.Response {
+			return c.serve(req, route)
+		})
+	}
+	return c, nil
+}
+
+// Addr returns the web server's address.
+func (c *Centralized) Addr() string { return c.srv.Addr().String() }
+
+// ListenerAddr returns the load-report UDP address brokers should report to.
+func (c *Centralized) ListenerAddr() string { return c.listener.Addr() }
+
+// ListenerUpdates counts load-report datagrams the listener thread has
+// processed — the update workload the paper's scalability discussion is
+// about.
+func (c *Centralized) ListenerUpdates() int { return c.listener.Updates() }
+
+// Metrics returns the front-end registry ("admitted", "aborted", "dropped",
+// "errors").
+func (c *Centralized) Metrics() *metrics.Registry { return c.reg }
+
+// admit applies the centralized admission check for one route.
+func (c *Centralized) admit(route Route) error {
+	demands, ok := c.profiles[route.Pattern]
+	if !ok {
+		return nil
+	}
+	for _, d := range demands {
+		report, ok := c.listener.Load(d.Service)
+		if !ok {
+			continue // no load information yet; fail open like the paper's warmup
+		}
+		weight := d.Weight
+		if weight < 1 {
+			weight = 1
+		}
+		// Abort when the demand does not fit the remaining headroom, or
+		// when the broker has declared a hot spot.
+		if report.Hot || report.Outstanding+weight > report.Threshold {
+			return fmt.Errorf("frontend: service %s overloaded (%d/%d outstanding, hot=%v)",
+				d.Service, report.Outstanding, report.Threshold, report.Hot)
+		}
+	}
+	return nil
+}
+
+func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Response {
+	if err := c.admit(route); err != nil {
+		c.reg.Counter("aborted").Inc()
+		return httpserver.Error(503, err.Error())
+	}
+	c.reg.Counter("admitted").Inc()
+	txnID, step := txnOf(req)
+	resp, err := c.cli.Do(context.Background(), route.Service, &broker.Request{
+		Payload: payloadOf(req, route),
+		Class:   classOf(req, route),
+		TxnID:   txnID,
+		TxnStep: step,
+	})
+	if err != nil {
+		c.reg.Counter("errors").Inc()
+		return httpserver.Error(502, err.Error())
+	}
+	if resp.Status == broker.StatusDropped {
+		c.reg.Counter("dropped").Inc()
+	}
+	return respond(resp)
+}
+
+// Close stops the web server, gateway client, and listener.
+func (c *Centralized) Close() error {
+	err := c.srv.Close()
+	if cerr := c.cli.Close(); err == nil {
+		err = cerr
+	}
+	if lerr := c.listener.Close(); err == nil {
+		err = lerr
+	}
+	return err
+}
+
+// Reporter periodically pushes one broker's load report to a listener
+// address over UDP. Attach one per broker in the centralized model; Close
+// stops the reporting goroutine.
+type Reporter struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewReporter starts reporting b's load to listenAddr every interval.
+func NewReporter(b *broker.Broker, listenAddr string, interval time.Duration) (*Reporter, error) {
+	if b == nil {
+		return nil, errors.New("frontend: nil broker")
+	}
+	if interval <= 0 {
+		return nil, errors.New("frontend: report interval must be positive")
+	}
+	conn, err := dialReport(listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reporter{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		defer conn.Close()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-ticker.C:
+				sendReport(conn, b.Load())
+			}
+		}
+	}()
+	return r, nil
+}
+
+// Close stops the reporter and waits for its goroutine.
+func (r *Reporter) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+// statusBody renders one line per known service load plus front-end
+// counters — the /broker-status page both models expose.
+func statusBody(loads []broker.LoadReport, reg *metrics.Registry) []byte {
+	var b strings.Builder
+	b.WriteString("service brokers\n")
+	for _, r := range loads {
+		state := "cool"
+		if r.Hot {
+			state = "hot"
+		}
+		fmt.Fprintf(&b, "  %-12s outstanding=%d/%d queued=%d %s\n",
+			r.Service, r.Outstanding, r.Threshold, r.QueueLen, state)
+	}
+	b.WriteString("front end\n")
+	b.WriteString(indentLines(reg.Dump()))
+	return []byte(b.String())
+}
+
+func indentLines(s string) string {
+	if s == "" {
+		return ""
+	}
+	return "  " + strings.ReplaceAll(s, "\n", "\n  ") + "\n"
+}
+
+// ServeStatus registers the /broker-status diagnostics page on the
+// distributed front end. Load information is not available in this model
+// (brokers decide autonomously), so only front-end counters appear.
+func (d *Distributed) ServeStatus() {
+	d.srv.Handle("/broker-status", func(*httpserver.Request) *httpserver.Response {
+		return httpserver.Text(string(statusBody(nil, d.reg)))
+	})
+}
+
+// ServeStatus registers the /broker-status diagnostics page on the
+// centralized front end, including the latest load report per service from
+// the listener thread.
+func (c *Centralized) ServeStatus() {
+	c.srv.Handle("/broker-status", func(*httpserver.Request) *httpserver.Response {
+		var loads []broker.LoadReport
+		var names []string
+		for pattern := range c.profiles {
+			for _, d := range c.profiles[pattern] {
+				names = append(names, d.Service)
+			}
+		}
+		sort.Strings(names)
+		seen := map[string]bool{}
+		for _, name := range names {
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			if r, ok := c.listener.Load(name); ok {
+				loads = append(loads, r)
+			}
+		}
+		return httpserver.Text(string(statusBody(loads, c.reg)))
+	})
+}

@@ -1,0 +1,480 @@
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/qos"
+)
+
+// testStack builds broker(s) + gateway and returns the gateway address.
+func testStack(t *testing.T, process time.Duration, opts ...broker.Option) (string, *broker.Broker) {
+	t.Helper()
+	b, err := broker.New(&backend.DelayConnector{ServiceName: "db", ProcessTime: process}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	g, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g.Addr().String(), b
+}
+
+var testRoutes = []Route{{
+	Pattern:      "/db",
+	Service:      "db",
+	DefaultClass: qos.Class3,
+}}
+
+func TestDistributedForwardsToBroker(t *testing.T) {
+	gw, _ := testStack(t, 0)
+	d, err := NewDistributed("127.0.0.1:0", gw, testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+	resp, err := cli.Get("/db", map[string]string{"q": "SELECT 1", "qos": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 || string(resp.Body) != "done:SELECT 1" {
+		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
+	}
+	if resp.Header["x-fidelity"] != "full" || resp.Header["x-broker-status"] != "ok" {
+		t.Fatalf("headers = %v", resp.Header)
+	}
+	if d.Metrics().Counter("forwarded").Value() != 1 {
+		t.Fatal("forwarded not counted")
+	}
+}
+
+func TestDistributedRelaysDrops(t *testing.T) {
+	gw, _ := testStack(t, 300*time.Millisecond,
+		broker.WithThreshold(2, 2), broker.WithWorkers(1))
+	d, err := NewDistributed("127.0.0.1:0", gw, testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+
+	// Saturate class 2's share.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cli.Get("/db", map[string]string{"q": "fill", "qos": "1"})
+	}()
+	time.Sleep(60 * time.Millisecond)
+
+	resp, err := cli.Get("/db", map[string]string{"q": "x", "qos": "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header["x-broker-status"] != "dropped" || resp.Header["x-fidelity"] != "busy" {
+		t.Fatalf("headers = %v body = %q", resp.Header, resp.Body)
+	}
+	if !strings.Contains(string(resp.Body), "busy") {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	wg.Wait()
+	if d.Metrics().Counter("dropped").Value() != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestDistributedDefaultClassAndPayload(t *testing.T) {
+	gw, b := testStack(t, 0)
+	routes := []Route{{
+		Pattern: "/custom",
+		Service: "db",
+		Payload: func(req *httpserver.Request) []byte {
+			return []byte("custom:" + req.Query["item"])
+		},
+		DefaultClass: qos.Class2,
+	}}
+	d, err := NewDistributed("127.0.0.1:0", gw, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+	resp, err := cli.Get("/custom", map[string]string{"item": "42"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Body) != "done:custom:42" {
+		t.Fatalf("body = %q", resp.Body)
+	}
+	if got := b.Metrics().Counter("requests_class_2").Value(); got != 1 {
+		t.Fatalf("class-2 requests = %d, want 1 (route default)", got)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := NewDistributed("127.0.0.1:0", "127.0.0.1:9", nil); err == nil {
+		t.Fatal("no routes accepted")
+	}
+}
+
+func TestListenerReceivesReports(t *testing.T) {
+	l, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := dialReport(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sendReport(conn, broker.LoadReport{Service: "db", Outstanding: 7, Threshold: 20, QueueLen: 3, Hot: false})
+	sendReport(conn, broker.LoadReport{Service: "db", Outstanding: 19, Threshold: 20, QueueLen: 9, Hot: true})
+
+	deadline := time.After(2 * time.Second)
+	for {
+		if r, ok := l.Load("db"); ok && r.Outstanding == 19 {
+			if !r.Hot || r.QueueLen != 9 || r.Threshold != 20 {
+				t.Fatalf("report = %+v", r)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("reports never arrived")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if l.Updates() < 2 {
+		t.Fatalf("updates = %d", l.Updates())
+	}
+}
+
+func TestListenerIgnoresGarbage(t *testing.T) {
+	l, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conn, _ := dialReport(l.Addr())
+	defer conn.Close()
+	conn.Write([]byte("NOISE not a report"))
+	conn.Write([]byte("LOAD db x y z hot"))
+	sendReport(conn, broker.LoadReport{Service: "db", Outstanding: 1, Threshold: 2})
+	deadline := time.After(2 * time.Second)
+	for {
+		if _, ok := l.Load("db"); ok {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("valid report lost among garbage")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestParseReport(t *testing.T) {
+	r, err := parseReport("LOAD db 3 20 1 hot")
+	if err != nil || r.Service != "db" || r.Outstanding != 3 || !r.Hot {
+		t.Fatalf("parse = %+v, %v", r, err)
+	}
+	for _, bad := range []string{"", "LOAD db 3 20 1", "NOPE db 3 20 1 hot", "LOAD db a b c hot"} {
+		if _, err := parseReport(bad); err == nil {
+			t.Errorf("parseReport(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestReporterPushesLoad(t *testing.T) {
+	_, b := testStack(t, 0)
+	l, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	r, err := NewReporter(b, l.Addr(), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	deadline := time.After(2 * time.Second)
+	for {
+		if report, ok := l.Load("db"); ok {
+			if report.Threshold != 20 {
+				t.Fatalf("report = %+v", report)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("reporter never delivered")
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+func TestReporterValidation(t *testing.T) {
+	if _, err := NewReporter(nil, "127.0.0.1:1", time.Second); err == nil {
+		t.Fatal("nil broker accepted")
+	}
+	_, b := testStack(t, 0)
+	if _, err := NewReporter(b, "127.0.0.1:1", 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestCentralizedAdmitsAndAborts(t *testing.T) {
+	gw, b := testStack(t, 0)
+	profiles := map[string][]Demand{"/db": {{Service: "db", Weight: 1}}}
+	c, err := NewCentralized("127.0.0.1:0", gw, "127.0.0.1:0", testRoutes, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := NewReporter(b, c.ListenerAddr(), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	cli := httpserver.NewClient(c.Addr())
+	defer cli.Close()
+
+	// Light load: admitted.
+	resp, err := cli.Get("/db", map[string]string{"q": "ok", "qos": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 200 {
+		t.Fatalf("light-load status = %d body %q", resp.Status, resp.Body)
+	}
+
+	// Simulate an overloaded backend via a direct listener record.
+	c.listener.Record(broker.LoadReport{Service: "db", Outstanding: 20, Threshold: 20, Hot: true})
+	resp, err = cli.Get("/db", map[string]string{"q": "doomed", "qos": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 503 {
+		t.Fatalf("overload status = %d, want 503 (aborted up front)", resp.Status)
+	}
+	if c.Metrics().Counter("aborted").Value() != 1 {
+		t.Fatal("abort not counted")
+	}
+
+	// Recovery: a fresh report re-opens the gate.
+	c.listener.Record(broker.LoadReport{Service: "db", Outstanding: 0, Threshold: 20})
+	resp, _ = cli.Get("/db", map[string]string{"q": "ok2", "qos": "1"})
+	if resp.Status != 200 {
+		t.Fatalf("recovery status = %d", resp.Status)
+	}
+}
+
+func TestCentralizedFailsOpenWithoutReports(t *testing.T) {
+	gw, _ := testStack(t, 0)
+	profiles := map[string][]Demand{"/db": {{Service: "db"}}}
+	c, err := NewCentralized("127.0.0.1:0", gw, "127.0.0.1:0", testRoutes, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli := httpserver.NewClient(c.Addr())
+	defer cli.Close()
+	resp, err := cli.Get("/db", map[string]string{"q": "warmup", "qos": "1"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("warmup = %d, %v (should fail open before first report)", resp.Status, err)
+	}
+}
+
+func TestCentralizedRouteWithoutProfile(t *testing.T) {
+	gw, _ := testStack(t, 0)
+	c, err := NewCentralized("127.0.0.1:0", gw, "127.0.0.1:0", testRoutes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Even with an "overloaded" report, no profile means no admission check.
+	c.listener.Record(broker.LoadReport{Service: "db", Outstanding: 99, Threshold: 20})
+	cli := httpserver.NewClient(c.Addr())
+	defer cli.Close()
+	resp, err := cli.Get("/db", map[string]string{"q": "x", "qos": "1"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp = %d, %v", resp.Status, err)
+	}
+}
+
+func TestCentralizedValidation(t *testing.T) {
+	if _, err := NewCentralized("127.0.0.1:0", "127.0.0.1:9", "127.0.0.1:0", nil, nil); err == nil {
+		t.Fatal("no routes accepted")
+	}
+}
+
+func TestConcurrentFrontendTraffic(t *testing.T) {
+	gw, _ := testStack(t, time.Millisecond, broker.WithThreshold(50, 3), broker.WithWorkers(8))
+	d, err := NewDistributed("127.0.0.1:0", gw, testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli := httpserver.NewClient(d.Addr(), httpserver.WithPersistent(1))
+			defer cli.Close()
+			for j := 0; j < 10; j++ {
+				resp, err := cli.Get("/db", map[string]string{
+					"q": fmt.Sprintf("q-%d-%d", i, j), "qos": fmt.Sprint(i%3 + 1),
+				})
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if resp.Status != 200 {
+					t.Errorf("status = %d body %q", resp.Status, resp.Body)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTransactionTagsFlowThroughFrontend(t *testing.T) {
+	gw, b := testStack(t, 0, broker.WithTransactions())
+	d, err := NewDistributed("127.0.0.1:0", gw, testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+
+	resp, err := cli.Get("/db", map[string]string{
+		"q": "purchase", "qos": "3", "txn": "order-7", "step": "3",
+	})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if s, ok := b.Tracker().Lookup("order-7"); !ok || s.Step != 3 {
+		t.Fatalf("tracker state = %+v, %v", s, ok)
+	}
+
+	// A txn tag with a missing/garbage step defaults to step 1.
+	resp, err = cli.Get("/db", map[string]string{"q": "browse", "qos": "3", "txn": "order-8"})
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if s, ok := b.Tracker().Lookup("order-8"); !ok || s.Step != 1 {
+		t.Fatalf("tracker state = %+v, %v", s, ok)
+	}
+}
+
+func TestFrontendRelaysBackendError(t *testing.T) {
+	// A broker whose backend always fails surfaces 502 at the front end.
+	failing, err := broker.New(&backend.FuncConnector{
+		ServiceName: "db",
+		DoFn: func(context.Context, []byte) ([]byte, error) {
+			return nil, fmt.Errorf("backend exploded")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer failing.Close()
+	g, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": failing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	d, err := NewDistributed("127.0.0.1:0", g.Addr().String(), testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+	resp, err := cli.Get("/db", map[string]string{"q": "x", "qos": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != 502 || !strings.Contains(string(resp.Body), "exploded") {
+		t.Fatalf("resp = %d %q", resp.Status, resp.Body)
+	}
+}
+
+func TestStatusEndpoints(t *testing.T) {
+	gw, b := testStack(t, 0)
+
+	d, err := NewDistributed("127.0.0.1:0", gw, testRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.ServeStatus()
+	cli := httpserver.NewClient(d.Addr())
+	defer cli.Close()
+	cli.Get("/db", map[string]string{"q": "warm", "qos": "1"})
+	resp, err := cli.Get("/broker-status", nil)
+	if err != nil || resp.Status != 200 {
+		t.Fatalf("distributed status = %+v, %v", resp, err)
+	}
+	if !strings.Contains(string(resp.Body), "forwarded") {
+		t.Fatalf("distributed status body = %q", resp.Body)
+	}
+
+	profiles := map[string][]Demand{"/db": {{Service: "db"}}}
+	c, err := NewCentralized("127.0.0.1:0", gw, "127.0.0.1:0", testRoutes, profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.ServeStatus()
+	rep, err := NewReporter(b, c.ListenerAddr(), 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Close()
+
+	cli2 := httpserver.NewClient(c.Addr())
+	defer cli2.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := cli2.Get("/broker-status", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(resp.Body), "outstanding=") {
+			if !strings.Contains(string(resp.Body), "db") {
+				t.Fatalf("centralized status body = %q", resp.Body)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never showed broker load: %q", resp.Body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,141 @@
+package frontend
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"servicebroker/internal/broker"
+)
+
+// Load-report datagrams are single text lines:
+//
+//	LOAD <service> <outstanding> <threshold> <queuelen> <hot|cool>
+//
+// A plain-text format keeps the listener thread cheap — the paper notes the
+// centralized model's scalability hinges on how little work per update the
+// listener does.
+
+// sendReport serializes and sends one report (best effort — UDP).
+func sendReport(conn net.Conn, r broker.LoadReport) {
+	state := "cool"
+	if r.Hot {
+		state = "hot"
+	}
+	fmt.Fprintf(conn, "LOAD %s %d %d %d %s", r.Service, r.Outstanding, r.Threshold, r.QueueLen, state)
+}
+
+// dialReport opens the UDP socket a Reporter writes to.
+func dialReport(addr string) (net.Conn, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: dial listener %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// parseReport decodes one datagram.
+func parseReport(line string) (broker.LoadReport, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 || fields[0] != "LOAD" {
+		return broker.LoadReport{}, fmt.Errorf("frontend: bad load report %q", line)
+	}
+	var r broker.LoadReport
+	r.Service = fields[1]
+	if _, err := fmt.Sscanf(fields[2]+" "+fields[3]+" "+fields[4], "%d %d %d",
+		&r.Outstanding, &r.Threshold, &r.QueueLen); err != nil {
+		return broker.LoadReport{}, fmt.Errorf("frontend: bad load report %q: %w", line, err)
+	}
+	r.Hot = fields[5] == "hot"
+	return r, nil
+}
+
+// Listener is the centralized model's listener thread: a goroutine that
+// receives load-report datagrams and keeps the latest report per service.
+type Listener struct {
+	conn net.PacketConn
+
+	mu      sync.Mutex
+	loads   map[string]broker.LoadReport
+	updates int
+	closed  bool
+
+	done chan struct{}
+}
+
+// NewListener binds a UDP socket on addr ("127.0.0.1:0" for ephemeral) and
+// starts the receive goroutine.
+func NewListener(addr string) (*Listener, error) {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: listen %s: %w", addr, err)
+	}
+	l := &Listener{
+		conn:  conn,
+		loads: make(map[string]broker.LoadReport),
+		done:  make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+// Addr returns the bound UDP address.
+func (l *Listener) Addr() string { return l.conn.LocalAddr().String() }
+
+func (l *Listener) run() {
+	defer close(l.done)
+	buf := make([]byte, 512)
+	for {
+		n, _, err := l.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		report, err := parseReport(string(buf[:n]))
+		if err != nil {
+			continue // drop garbage silently
+		}
+		l.mu.Lock()
+		l.loads[report.Service] = report
+		l.updates++
+		l.mu.Unlock()
+	}
+}
+
+// Load returns the latest report for a service.
+func (l *Listener) Load(service string) (broker.LoadReport, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, ok := l.loads[service]
+	return r, ok
+}
+
+// Updates counts processed report datagrams (the listener-thread workload
+// the paper's scalability discussion is about).
+func (l *Listener) Updates() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.updates
+}
+
+// Record injects a report directly (in-process deployments and tests).
+func (l *Listener) Record(r broker.LoadReport) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.loads[r.Service] = r
+	l.updates++
+}
+
+// Close stops the receive goroutine and releases the socket.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.mu.Unlock()
+	err := l.conn.Close()
+	<-l.done
+	return err
+}

@@ -1,0 +1,281 @@
+package httpserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Client is an HTTP/1.1 client with an optional persistent-connection pool.
+// With pooling disabled it behaves like the paper's API model: every request
+// pays TCP connection setup and tear-down. With pooling enabled it behaves
+// like a broker's multiplexed persistent channel.
+type Client struct {
+	addr string
+
+	persistent bool
+	maxIdle    int
+	timeout    time.Duration
+	dial       func(network, address string) (net.Conn, error)
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) apply(c *Client) { f(c) }
+
+// WithPersistent enables connection reuse with up to maxIdle pooled
+// connections.
+func WithPersistent(maxIdle int) ClientOption {
+	return clientOptionFunc(func(c *Client) {
+		c.persistent = true
+		if maxIdle > 0 {
+			c.maxIdle = maxIdle
+		}
+	})
+}
+
+// WithTimeout bounds dialing and each round trip.
+func WithTimeout(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.timeout = d })
+}
+
+// WithDial substitutes the dialer (e.g. netsim's).
+func WithDial(dial func(network, address string) (net.Conn, error)) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.dial = dial })
+}
+
+// ErrClientClosed is returned after Close.
+var ErrClientClosed = errors.New("httpserver: client closed")
+
+// NewClient creates a client for the server at addr ("host:port").
+func NewClient(addr string, opts ...ClientOption) *Client {
+	c := &Client{addr: addr, maxIdle: 2, dial: net.Dial}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// get borrows a pooled connection or dials a new one.
+func (c *Client) get() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if n := len(c.idle); n > 0 {
+		cc := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return cc, nil
+	}
+	c.mu.Unlock()
+
+	dial := c.dial
+	if c.timeout > 0 && isDefaultDial(dial) {
+		dial = func(network, address string) (net.Conn, error) {
+			return net.DialTimeout(network, address, c.timeout)
+		}
+	}
+	conn, err := dial("tcp", c.addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserver: dial %s: %w", c.addr, err)
+	}
+	return &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// isDefaultDial reports whether dial is the package default; custom dialers
+// manage their own timeouts.
+func isDefaultDial(dial func(string, string) (net.Conn, error)) bool {
+	return fmt.Sprintf("%p", dial) == fmt.Sprintf("%p", net.Dial)
+}
+
+// put returns a connection to the pool or closes it.
+func (c *Client) put(cc *clientConn, reusable bool) {
+	if !c.persistent || !reusable {
+		cc.conn.Close()
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle) >= c.maxIdle {
+		cc.conn.Close()
+		return
+	}
+	c.idle = append(c.idle, cc)
+}
+
+// Close drops pooled connections; in-flight requests finish on their own
+// connections.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, cc := range c.idle {
+		cc.conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// Get issues GET path?query and returns the response.
+func (c *Client) Get(path string, query map[string]string) (*Response, error) {
+	target := path
+	if q := encodeQuery(query); q != "" {
+		target += "?" + q
+	}
+	return c.roundTrip("GET "+target, nil)
+}
+
+// Post issues POST path with a body.
+func (c *Client) Post(path string, body []byte) (*Response, error) {
+	return c.roundTrip("POST "+path, body)
+}
+
+// MGet issues one MGET request for several URIs and returns the per-URI
+// parts in order.
+func (c *Client) MGet(uris []string) ([]MGetPart, error) {
+	if len(uris) == 0 {
+		return nil, errors.New("httpserver: MGet with no URIs")
+	}
+	targets := make([]string, len(uris))
+	for i, u := range uris {
+		targets[i] = "URI:" + u
+	}
+	resp, err := c.roundTrip("MGET "+strings.Join(targets, " "), nil)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status != 200 {
+		return nil, fmt.Errorf("httpserver: MGET status %d: %s", resp.Status, resp.Body)
+	}
+	parts, err := DecodeMGetParts(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != len(uris) {
+		return nil, fmt.Errorf("httpserver: MGET returned %d parts for %d URIs", len(parts), len(uris))
+	}
+	return parts, nil
+}
+
+// roundTrip sends "<METHOD> <target>" plus body and reads the response,
+// retrying once on a stale pooled connection.
+func (c *Client) roundTrip(methodAndTarget string, body []byte) (*Response, error) {
+	for attempt := 0; ; attempt++ {
+		cc, err := c.get()
+		if err != nil {
+			return nil, err
+		}
+		resp, reusable, err := c.exchange(cc, methodAndTarget, body)
+		if err != nil {
+			cc.conn.Close()
+			// A pooled connection may have been closed server-side between
+			// requests; retry once on a fresh connection.
+			if attempt == 0 && c.persistent {
+				continue
+			}
+			return nil, err
+		}
+		c.put(cc, reusable)
+		return resp, nil
+	}
+}
+
+func (c *Client) exchange(cc *clientConn, methodAndTarget string, body []byte) (*Response, bool, error) {
+	if c.timeout > 0 {
+		cc.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	fmt.Fprintf(cc.w, "%s HTTP/1.1\r\n", methodAndTarget)
+	fmt.Fprintf(cc.w, "host: %s\r\n", c.addr)
+	if len(body) > 0 {
+		fmt.Fprintf(cc.w, "content-length: %d\r\n", len(body))
+	}
+	if !c.persistent {
+		io.WriteString(cc.w, "connection: close\r\n")
+	}
+	io.WriteString(cc.w, "\r\n")
+	if len(body) > 0 {
+		cc.w.Write(body)
+	}
+	if err := cc.w.Flush(); err != nil {
+		return nil, false, fmt.Errorf("httpserver: write: %w", err)
+	}
+	resp, reusable, err := readResponse(cc.r)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, reusable, nil
+}
+
+// readResponse parses a response, reporting whether the connection may be
+// reused.
+func readResponse(r *bufio.Reader) (*Response, bool, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, false, fmt.Errorf("httpserver: read status: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.SplitN(line, " ", 3)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/") {
+		return nil, false, fmt.Errorf("httpserver: bad status line %q", line)
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, false, fmt.Errorf("httpserver: bad status %q", fields[1])
+	}
+	resp := &Response{Status: status, Header: map[string]string{}}
+	for {
+		hline, err := r.ReadString('\n')
+		if err != nil {
+			return nil, false, fmt.Errorf("httpserver: read header: %w", err)
+		}
+		hline = strings.TrimRight(hline, "\r\n")
+		if hline == "" {
+			break
+		}
+		name, value, ok := strings.Cut(hline, ":")
+		if !ok {
+			return nil, false, fmt.Errorf("httpserver: bad header %q", hline)
+		}
+		resp.Header[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+	}
+	n := 0
+	if cl := resp.Header["content-length"]; cl != "" {
+		n, err = strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, false, fmt.Errorf("httpserver: bad content-length %q", cl)
+		}
+	}
+	resp.Body = make([]byte, n)
+	if _, err := io.ReadFull(r, resp.Body); err != nil {
+		return nil, false, fmt.Errorf("httpserver: read body: %w", err)
+	}
+	reusable := !strings.EqualFold(resp.Header["connection"], "close")
+	return resp, reusable, nil
+}

@@ -1,0 +1,220 @@
+// Package httpserver is a small HTTP/1.1 server and client implemented
+// directly on net, standing in for the Apache and boa web servers of the
+// paper's testbed. It deliberately reproduces the two features the
+// experiments depend on:
+//
+//   - a MaxClients-style cap on simultaneously processed requests (the
+//     paper's backend web servers allow at most 5; excess requests queue),
+//     and
+//   - the MGET extension (paper §III, citing the www-talk MGET proposal)
+//     that lets a service broker fetch several URIs over one connection in
+//     a single round trip.
+//
+// The types are intentionally independent of net/http: this package is one
+// of the substrates the reproduction builds from scratch.
+package httpserver
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method string
+	// Path is the request target without the query string.
+	Path string
+	// Query holds decoded query parameters (last value wins).
+	Query map[string]string
+	Proto string
+	// Header holds canonicalized (lowercase) header names.
+	Header map[string]string
+	Body   []byte
+	// MGetTargets carries the URI list of an MGET request.
+	MGetTargets []string
+}
+
+// Response is one HTTP response.
+type Response struct {
+	Status int
+	Header map[string]string
+	Body   []byte
+}
+
+// StatusText returns the reason phrase for the handful of codes the server
+// uses.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status " + strconv.Itoa(code)
+	}
+}
+
+// NewResponse builds a response with a body and default headers.
+func NewResponse(status int, body []byte) *Response {
+	return &Response{Status: status, Header: map[string]string{}, Body: body}
+}
+
+// Text builds a 200 text/plain response.
+func Text(body string) *Response {
+	r := NewResponse(200, []byte(body))
+	r.Header["content-type"] = "text/plain"
+	return r
+}
+
+// Error builds an error response with a plain-text body.
+func Error(status int, msg string) *Response {
+	r := NewResponse(status, []byte(msg))
+	r.Header["content-type"] = "text/plain"
+	return r
+}
+
+// parseQuery decodes "a=1&b=2" (minimal %XX and + decoding).
+func parseQuery(raw string) map[string]string {
+	q := map[string]string{}
+	if raw == "" {
+		return q
+	}
+	for _, pair := range strings.Split(raw, "&") {
+		if pair == "" {
+			continue
+		}
+		k, v, _ := strings.Cut(pair, "=")
+		q[unescape(k)] = unescape(v)
+	}
+	return q
+}
+
+// encodeQuery is the inverse of parseQuery, with deterministic key order.
+func encodeQuery(q map[string]string) string {
+	if len(q) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, escape(k)+"="+escape(q[k]))
+	}
+	return strings.Join(parts, "&")
+}
+
+func unescape(s string) string {
+	if !strings.ContainsAny(s, "%+") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			b.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s) && isHex(s[i+1]) && isHex(s[i+2]):
+			b.WriteByte(unhex(s[i+1])<<4 | unhex(s[i+2]))
+			i += 2
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func escape(s string) string {
+	const safe = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.~*()/:,"
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if strings.IndexByte(safe, c) >= 0 {
+			b.WriteByte(c)
+			continue
+		}
+		fmt.Fprintf(&b, "%%%02X", c)
+	}
+	return b.String()
+}
+
+func isHex(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func unhex(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	default:
+		return c - 'A' + 10
+	}
+}
+
+// mgetBoundary separates part blocks in an MGET response body. Each part is
+//
+//	--MGETPART <uri> <status> <length>\n
+//	<length body bytes>\n
+const mgetBoundary = "--MGETPART"
+
+// EncodeMGetParts renders per-URI responses into one MGET response body.
+func EncodeMGetParts(uris []string, parts []*Response) []byte {
+	var b strings.Builder
+	for i, uri := range uris {
+		p := parts[i]
+		fmt.Fprintf(&b, "%s %s %d %d\n", mgetBoundary, uri, p.Status, len(p.Body))
+		b.Write(p.Body)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// MGetPart is one decoded part of an MGET response.
+type MGetPart struct {
+	URI    string
+	Status int
+	Body   []byte
+}
+
+// DecodeMGetParts splits an MGET response body back into parts.
+func DecodeMGetParts(body []byte) ([]MGetPart, error) {
+	var parts []MGetPart
+	rest := string(body)
+	for len(rest) > 0 {
+		if !strings.HasPrefix(rest, mgetBoundary+" ") {
+			return nil, fmt.Errorf("httpserver: malformed MGET body near %.20q", rest)
+		}
+		line, tail, ok := strings.Cut(rest, "\n")
+		if !ok {
+			return nil, fmt.Errorf("httpserver: truncated MGET header")
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("httpserver: bad MGET header %q", line)
+		}
+		status, err1 := strconv.Atoi(fields[2])
+		n, err2 := strconv.Atoi(fields[3])
+		if err1 != nil || err2 != nil || n < 0 {
+			return nil, fmt.Errorf("httpserver: bad MGET header %q", line)
+		}
+		if len(tail) < n+1 {
+			return nil, fmt.Errorf("httpserver: truncated MGET part for %s", fields[1])
+		}
+		parts = append(parts, MGetPart{URI: fields[1], Status: status, Body: []byte(tail[:n])})
+		rest = tail[n+1:]
+	}
+	return parts, nil
+}

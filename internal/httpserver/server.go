@@ -1,0 +1,379 @@
+package httpserver
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"servicebroker/internal/metrics"
+)
+
+// Handler produces a response for one request. Returning nil yields a 500.
+type Handler func(req *Request) *Response
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type serverOptionFunc func(*Server)
+
+func (f serverOptionFunc) apply(s *Server) { f(s) }
+
+// WithMaxClients caps simultaneously processed requests, like Apache's
+// MaxClients; excess requests wait. The paper's backend servers use 5.
+func WithMaxClients(n int) ServerOption {
+	return serverOptionFunc(func(s *Server) {
+		if n > 0 {
+			s.slots = make(chan struct{}, n)
+		}
+	})
+}
+
+// WithAccessLog writes one line per request to w.
+func WithAccessLog(w io.Writer) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.accessLog = w })
+}
+
+// WithHTTPMetrics directs server counters into reg.
+func WithHTTPMetrics(reg *metrics.Registry) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.reg = reg })
+}
+
+// WithReadTimeout bounds how long the server waits for the next request on
+// a keep-alive connection.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.readTimeout = d })
+}
+
+// Server is a minimal HTTP/1.1 server with path-prefix routing and MGET
+// support. Use NewServer, register handlers with Handle, and Close when
+// done.
+type Server struct {
+	ln          net.Listener
+	slots       chan struct{}
+	accessLog   io.Writer
+	reg         *metrics.Registry
+	readTimeout time.Duration
+
+	mu       sync.Mutex
+	handlers map[string]Handler // exact path or prefix ending in '/'
+	closed   bool
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	logMu    sync.Mutex
+}
+
+// NewServer listens on addr and begins serving. Handlers may be registered
+// before or after start.
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpserver: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:       ln,
+		reg:      metrics.NewRegistry(),
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Metrics returns the server's registry.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Handle registers a handler. A pattern ending in "/" matches by prefix;
+// otherwise the match is exact. Longest pattern wins.
+func (s *Server) Handle(pattern string, h Handler) {
+	if pattern == "" || pattern[0] != '/' {
+		panic("httpserver: pattern must begin with '/'")
+	}
+	if h == nil {
+		panic("httpserver: nil handler")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[pattern] = h
+}
+
+// lookup finds the handler for a path.
+func (s *Server) lookup(path string) Handler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.handlers[path]; ok {
+		return h
+	}
+	var (
+		best    Handler
+		bestLen = -1
+	)
+	for pattern, h := range s.handlers {
+		if strings.HasSuffix(pattern, "/") && strings.HasPrefix(path, pattern) && len(pattern) > bestLen {
+			best, bestLen = h, len(pattern)
+		}
+	}
+	return best
+}
+
+// Close stops the server and waits for in-flight sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.session(conn)
+		}()
+	}
+}
+
+// errBadRequest distinguishes protocol errors from io errors during parse.
+var errBadRequest = errors.New("httpserver: bad request")
+
+// session serves requests on one connection until close or protocol error.
+func (s *Server) session(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+		req, err := ReadRequest(r)
+		if err != nil {
+			if errors.Is(err, errBadRequest) {
+				writeResponse(w, Error(400, err.Error()), true)
+				w.Flush()
+			}
+			return
+		}
+		if s.readTimeout > 0 {
+			conn.SetReadDeadline(time.Time{})
+		}
+
+		resp, keepAlive := s.dispatch(req)
+		s.logRequest(conn, req, resp)
+		wantClose := strings.EqualFold(req.Header["connection"], "close") || !keepAlive
+		if err := writeResponse(w, resp, wantClose); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if wantClose {
+			return
+		}
+	}
+}
+
+// dispatch routes one request (including MGET fan-out) under the MaxClients
+// cap, reporting the response and whether keep-alive may continue.
+func (s *Server) dispatch(req *Request) (*Response, bool) {
+	if s.slots != nil {
+		s.slots <- struct{}{}
+		defer func() { <-s.slots }()
+	}
+	s.reg.Counter("requests").Inc()
+	s.reg.Gauge("active").Inc()
+	defer s.reg.Gauge("active").Dec()
+	timer := metrics.StartTimer(s.reg.Histogram("request_time"))
+	defer timer.ObserveDuration()
+
+	if req.Method == "MGET" {
+		parts := make([]*Response, len(req.MGetTargets))
+		for i, uri := range req.MGetTargets {
+			path, rawQuery, _ := strings.Cut(uri, "?")
+			sub := &Request{
+				Method: "GET",
+				Path:   path,
+				Query:  parseQuery(rawQuery),
+				Proto:  req.Proto,
+				Header: req.Header,
+			}
+			parts[i] = s.serveOne(sub)
+		}
+		resp := NewResponse(200, EncodeMGetParts(req.MGetTargets, parts))
+		resp.Header["content-type"] = "multipart/mget"
+		return resp, true
+	}
+	return s.serveOne(req), true
+}
+
+// serveOne runs the matched handler with panic containment.
+func (s *Server) serveOne(req *Request) (resp *Response) {
+	h := s.lookup(req.Path)
+	if h == nil {
+		s.reg.Counter("not_found").Inc()
+		return Error(404, "no handler for "+req.Path)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			s.reg.Counter("panics").Inc()
+			resp = Error(500, fmt.Sprintf("handler panic: %v", p))
+		}
+	}()
+	resp = h(req)
+	if resp == nil {
+		resp = Error(500, "handler returned nil")
+	}
+	return resp
+}
+
+func (s *Server) logRequest(conn net.Conn, req *Request, resp *Response) {
+	if s.accessLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.accessLog, "%s %s %s %d %d\n",
+		conn.RemoteAddr(), req.Method, req.Path, resp.Status, len(resp.Body))
+}
+
+// ReadRequest parses one request from r.
+func ReadRequest(r *bufio.Reader) (*Request, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("%w: request line %q", errBadRequest, line)
+	}
+	method := fields[0]
+	proto := fields[len(fields)-1]
+	if !strings.HasPrefix(proto, "HTTP/") {
+		return nil, fmt.Errorf("%w: protocol %q", errBadRequest, proto)
+	}
+	req := &Request{Method: method, Proto: proto, Header: map[string]string{}}
+
+	if method == "MGET" {
+		// MGET URI:/a URI:/b HTTP/1.1  (paper §III / www-talk proposal)
+		for _, f := range fields[1 : len(fields)-1] {
+			uri := strings.TrimPrefix(f, "URI:")
+			if uri == "" || uri[0] != '/' {
+				return nil, fmt.Errorf("%w: MGET target %q", errBadRequest, f)
+			}
+			req.MGetTargets = append(req.MGetTargets, uri)
+		}
+		if len(req.MGetTargets) == 0 {
+			return nil, fmt.Errorf("%w: MGET without targets", errBadRequest)
+		}
+	} else {
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%w: request line %q", errBadRequest, line)
+		}
+		target := fields[1]
+		if target == "" || target[0] != '/' {
+			return nil, fmt.Errorf("%w: target %q", errBadRequest, target)
+		}
+		path, rawQuery, _ := strings.Cut(target, "?")
+		req.Path = path
+		req.Query = parseQuery(rawQuery)
+	}
+
+	for {
+		hline, err := r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		hline = strings.TrimRight(hline, "\r\n")
+		if hline == "" {
+			break
+		}
+		name, value, ok := strings.Cut(hline, ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: header %q", errBadRequest, hline)
+		}
+		req.Header[strings.ToLower(strings.TrimSpace(name))] = strings.TrimSpace(value)
+	}
+
+	if cl := req.Header["content-length"]; cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 || n > 16<<20 {
+			return nil, fmt.Errorf("%w: content-length %q", errBadRequest, cl)
+		}
+		req.Body = make([]byte, n)
+		if _, err := io.ReadFull(r, req.Body); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// writeResponse serializes one response. close adds "Connection: close".
+func writeResponse(w io.Writer, resp *Response, close bool) error {
+	if _, err := fmt.Fprintf(w, "HTTP/1.1 %d %s\r\n", resp.Status, StatusText(resp.Status)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "content-length: %d\r\n", len(resp.Body)); err != nil {
+		return err
+	}
+	for name, value := range resp.Header {
+		lname := strings.ToLower(name)
+		if lname == "content-length" || lname == "connection" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s: %s\r\n", lname, value); err != nil {
+			return err
+		}
+	}
+	if close {
+		if _, err := io.WriteString(w, "connection: close\r\n"); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\r\n"); err != nil {
+		return err
+	}
+	_, err := w.Write(resp.Body)
+	return err
+}

@@ -1,0 +1,216 @@
+package ldapdir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter matches directory entries, mirroring the LDAP string filter
+// language: (attr=value) with * wildcards, (attr=*) presence tests, and
+// (&...), (|...), (!...) combinators.
+type Filter interface {
+	Match(e *Entry) bool
+	String() string
+}
+
+// Eq matches entries with an attribute value equal to (or, with wildcards,
+// matching) Value.
+type Eq struct {
+	Attr  string
+	Value string
+}
+
+// Match implements Filter.
+func (f *Eq) Match(e *Entry) bool {
+	for _, v := range e.Attrs[strings.ToLower(f.Attr)] {
+		if wildcardMatch(v, f.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the filter in LDAP syntax.
+func (f *Eq) String() string { return "(" + f.Attr + "=" + f.Value + ")" }
+
+// Present matches entries that carry the attribute at all.
+type Present struct{ Attr string }
+
+// Match implements Filter.
+func (f *Present) Match(e *Entry) bool {
+	return len(e.Attrs[strings.ToLower(f.Attr)]) > 0
+}
+
+// String renders the filter in LDAP syntax.
+func (f *Present) String() string { return "(" + f.Attr + "=*)" }
+
+// And matches entries satisfying every sub-filter.
+type And struct{ Subs []Filter }
+
+// Match implements Filter.
+func (f *And) Match(e *Entry) bool {
+	for _, s := range f.Subs {
+		if !s.Match(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the filter in LDAP syntax.
+func (f *And) String() string { return "(&" + joinFilters(f.Subs) + ")" }
+
+// Or matches entries satisfying any sub-filter.
+type Or struct{ Subs []Filter }
+
+// Match implements Filter.
+func (f *Or) Match(e *Entry) bool {
+	for _, s := range f.Subs {
+		if s.Match(e) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the filter in LDAP syntax.
+func (f *Or) String() string { return "(|" + joinFilters(f.Subs) + ")" }
+
+// NotF negates a sub-filter.
+type NotF struct{ Sub Filter }
+
+// Match implements Filter.
+func (f *NotF) Match(e *Entry) bool { return !f.Sub.Match(e) }
+
+// String renders the filter in LDAP syntax.
+func (f *NotF) String() string { return "(!" + f.Sub.String() + ")" }
+
+func joinFilters(subs []Filter) string {
+	var b strings.Builder
+	for _, s := range subs {
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
+
+// wildcardMatch matches value against a pattern with * wildcards,
+// case-insensitively (LDAP attribute values are usually compared
+// caseIgnoreMatch).
+func wildcardMatch(value, pattern string) bool {
+	v := strings.ToLower(value)
+	p := strings.ToLower(pattern)
+	if !strings.Contains(p, "*") {
+		return v == p
+	}
+	parts := strings.Split(p, "*")
+	// Anchor the first and last fragments, float the middle ones.
+	if !strings.HasPrefix(v, parts[0]) {
+		return false
+	}
+	v = v[len(parts[0]):]
+	last := parts[len(parts)-1]
+	if !strings.HasSuffix(v, last) {
+		return false
+	}
+	v = v[:len(v)-len(last)]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		idx := strings.Index(v, mid)
+		if idx < 0 {
+			return false
+		}
+		v = v[idx+len(mid):]
+	}
+	return true
+}
+
+// ParseFilter parses an LDAP-style filter string.
+func ParseFilter(s string) (Filter, error) {
+	p := &filterParser{s: strings.TrimSpace(s)}
+	f, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if p.i != len(p.s) {
+		return nil, fmt.Errorf("%w: trailing input at %d", ErrBadFilter, p.i)
+	}
+	return f, nil
+}
+
+type filterParser struct {
+	s string
+	i int
+}
+
+func (p *filterParser) parse() (Filter, error) {
+	if p.i >= len(p.s) || p.s[p.i] != '(' {
+		return nil, fmt.Errorf("%w: expected '(' at %d", ErrBadFilter, p.i)
+	}
+	p.i++
+	if p.i >= len(p.s) {
+		return nil, fmt.Errorf("%w: truncated", ErrBadFilter)
+	}
+	switch p.s[p.i] {
+	case '&', '|':
+		op := p.s[p.i]
+		p.i++
+		var subs []Filter
+		for p.i < len(p.s) && p.s[p.i] == '(' {
+			sub, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			subs = append(subs, sub)
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if len(subs) == 0 {
+			return nil, fmt.Errorf("%w: empty combinator", ErrBadFilter)
+		}
+		if op == '&' {
+			return &And{Subs: subs}, nil
+		}
+		return &Or{Subs: subs}, nil
+	case '!':
+		p.i++
+		sub, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return &NotF{Sub: sub}, nil
+	default:
+		end := strings.IndexByte(p.s[p.i:], ')')
+		if end < 0 {
+			return nil, fmt.Errorf("%w: missing ')'", ErrBadFilter)
+		}
+		body := p.s[p.i : p.i+end]
+		p.i += end + 1
+		attr, val, ok := strings.Cut(body, "=")
+		if !ok || attr == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadFilter, body)
+		}
+		attr = strings.TrimSpace(attr)
+		val = strings.TrimSpace(val)
+		if val == "*" {
+			return &Present{Attr: attr}, nil
+		}
+		if val == "" {
+			return nil, fmt.Errorf("%w: empty value in %q", ErrBadFilter, body)
+		}
+		return &Eq{Attr: attr, Value: val}, nil
+	}
+}
+
+func (p *filterParser) expect(c byte) error {
+	if p.i >= len(p.s) || p.s[p.i] != c {
+		return fmt.Errorf("%w: expected %q at %d", ErrBadFilter, string(c), p.i)
+	}
+	p.i++
+	return nil
+}

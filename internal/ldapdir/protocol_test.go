@@ -1,0 +1,193 @@
+package ldapdir
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDirectoryLen(t *testing.T) {
+	d := newTestDir(t)
+	if d.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", d.Len())
+	}
+}
+
+func TestBindDelay(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	d := newTestDir(t)
+	srv, err := NewServer(d, "127.0.0.1:0", WithBindDelay(delay))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Connect(srv.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	start := time.Now()
+	if err := cli.Bind("cn=web", "web"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("bind took %v, want ≥ %v", elapsed, delay)
+	}
+}
+
+func TestCustomBindCredentials(t *testing.T) {
+	d := newTestDir(t)
+	srv, err := NewServer(d, "127.0.0.1:0", WithBindCredentials("cn=admin", "hunter2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Connect(srv.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if err := cli.Bind("cn=web", "web"); err == nil {
+		t.Fatal("default credentials accepted against custom server")
+	}
+	if err := cli.Bind("cn=admin", "hunter2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rawLine dials and returns line-level helpers for protocol edge cases.
+func rawLine(t *testing.T, srv *Server) (say func(string), expect func(string)) {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	r := bufio.NewReader(conn)
+	say = func(line string) {
+		t.Helper()
+		fmt.Fprintf(conn, "%s\r\n", line)
+	}
+	expect = func(prefix string) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("got %q, want prefix %q", strings.TrimSpace(line), prefix)
+		}
+	}
+	expect("+OK")
+	return say, expect
+}
+
+func TestProtocolEdgeCases(t *testing.T) {
+	d := newTestDir(t)
+	srv, err := NewServer(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	say, expect := rawLine(t, srv)
+
+	say("NOPE")
+	expect("-ERR")
+	say("BIND cn=web web")
+	expect("+OK")
+
+	// SEARCH validation branches.
+	say("SEARCH onlybase")
+	expect("-ERR")
+	say("SEARCH ,,bad sub")
+	expect("-ERR")
+	say("SEARCH dc=example sideways")
+	expect("-ERR")
+	say("SEARCH dc=example sub (((")
+	expect("-ERR")
+
+	// ADD with a bad DN and bad attribute list.
+	say("ADD notadn a=b")
+	expect("-ERR")
+	say("ADD cn=x,dc=example noequalsign")
+	expect("-ERR")
+
+	// MODIFY and DEL with bad DNs.
+	say("MODIFY notadn a=b")
+	expect("-ERR")
+	say("DEL notadn")
+	expect("-ERR")
+
+	// The session still works after all errors.
+	say("SEARCH dc=example base")
+	expect("*ENTRY")
+}
+
+func TestParseAttrListDeletionMarker(t *testing.T) {
+	attrs, err := parseAttrList("title=|mail=a@x.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := attrs["title"]; !ok || v != nil {
+		t.Fatalf("title = %v, %v; want present-but-nil", v, ok)
+	}
+	if len(attrs["mail"]) != 1 {
+		t.Fatalf("mail = %v", attrs["mail"])
+	}
+	if _, err := parseAttrList("=value"); err == nil {
+		t.Fatal("empty attribute name accepted")
+	}
+}
+
+func TestConnectFailures(t *testing.T) {
+	if _, err := Connect("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("connect to closed port succeeded")
+	}
+	// A listener that sends a non-OK greeting.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			fmt.Fprintf(c, "-ERR go away\r\n")
+			c.Close()
+		}
+	}()
+	if _, err := Connect(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("bad greeting accepted")
+	}
+}
+
+func TestClientClosed(t *testing.T) {
+	d := newTestDir(t)
+	srv, err := NewServer(d, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Connect(srv.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := cli.Bind("cn=web", "web"); err == nil {
+		t.Fatal("bind after close succeeded")
+	}
+	if _, err := cli.Search("dc=example", Scope(99), ""); err == nil {
+		t.Fatal("invalid scope accepted")
+	}
+	cli.Close() // idempotent
+}
+
+func TestNewServerNilDirectory(t *testing.T) {
+	if _, err := NewServer(nil, "127.0.0.1:0"); err == nil {
+		t.Fatal("nil directory accepted")
+	}
+}

@@ -1,0 +1,307 @@
+package ldapdir
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The ldapdir wire protocol is line-oriented:
+//
+//	S: +OK ldapdir/1 ready
+//	C: BIND <user> <password>
+//	S: +OK bound
+//	C: SEARCH <base> <base|one|sub> <filter>
+//	S: *ENTRY <dn>          (repeated per entry)
+//	S: *ATTR <name> <value> (repeated per attribute value)
+//	S: +OK <n> entries
+//	C: ADD <dn> <attr=val|attr=val|...>
+//	C: MODIFY <dn> <attr=val|attr=|...>   (empty value deletes the attribute)
+//	C: DEL <dn>
+//	C: QUIT
+//
+// Errors are reported as "-ERR <message>". Every session must BIND first;
+// that round trip is the connection-setup cost the broker's persistent
+// connections amortize.
+
+// ErrNotBound is returned when operations precede BIND.
+var ErrNotBound = errors.New("ldapdir: not bound")
+
+// ErrBindFailed is returned for bad credentials.
+var ErrBindFailed = errors.New("ldapdir: bind failed")
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type serverOptionFunc func(*Server)
+
+func (f serverOptionFunc) apply(s *Server) { f(s) }
+
+// WithBindCredentials sets the accepted BIND user/password (default
+// "cn=web"/"web").
+func WithBindCredentials(user, pass string) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.user, s.pass = user, pass })
+}
+
+// WithBindDelay adds artificial cost to the BIND round trip.
+func WithBindDelay(d time.Duration) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.bindDelay = d })
+}
+
+// Server exposes a Directory over the line protocol.
+type Server struct {
+	dir *Directory
+	ln  net.Listener
+
+	user, pass string
+	bindDelay  time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer serves dir on addr.
+func NewServer(dir *Directory, addr string, opts ...ServerOption) (*Server, error) {
+	if dir == nil {
+		return nil, errors.New("ldapdir: nil directory")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ldapdir: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		dir:   dir,
+		ln:    ln,
+		user:  "cn=web",
+		pass:  "web",
+		conns: make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and waits for sessions to end.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.session(conn)
+		}()
+	}
+}
+
+func (s *Server) session(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	say := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(w, format+"\r\n", args...)
+		return w.Flush() == nil
+	}
+	if !say("+OK ldapdir/1 ready") {
+		return
+	}
+	bound := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "BIND":
+			if s.bindDelay > 0 {
+				time.Sleep(s.bindDelay)
+			}
+			user, pass, _ := strings.Cut(rest, " ")
+			if user != s.user || pass != s.pass {
+				if !say("-ERR %s", ErrBindFailed) {
+					return
+				}
+				continue
+			}
+			bound = true
+			if !say("+OK bound") {
+				return
+			}
+		case "QUIT":
+			say("+OK bye")
+			return
+		case "SEARCH", "ADD", "MODIFY", "DEL":
+			if !bound {
+				if !say("-ERR %s", ErrNotBound) {
+					return
+				}
+				continue
+			}
+			if !s.dispatch(say, strings.ToUpper(cmd), rest) {
+				return
+			}
+		default:
+			if !say("-ERR unknown command %q", cmd) {
+				return
+			}
+		}
+	}
+}
+
+// dispatch runs one bound command, reporting whether the session continues.
+func (s *Server) dispatch(say func(string, ...interface{}) bool, cmd, rest string) bool {
+	switch cmd {
+	case "SEARCH":
+		fields := strings.SplitN(rest, " ", 3)
+		if len(fields) < 2 {
+			return say("-ERR SEARCH <base> <scope> [filter]")
+		}
+		base, err := ParseDN(fields[0])
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		scope, err := ParseScope(fields[1])
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		var filter Filter
+		if len(fields) == 3 && strings.TrimSpace(fields[2]) != "" {
+			filter, err = ParseFilter(fields[2])
+			if err != nil {
+				return say("-ERR %s", err)
+			}
+		}
+		entries, err := s.dir.Search(base, scope, filter)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		for _, e := range entries {
+			if !say("*ENTRY %s", e.DN) {
+				return false
+			}
+			for name, vals := range e.Attrs {
+				for _, v := range vals {
+					if !say("*ATTR %s %s", name, v) {
+						return false
+					}
+				}
+			}
+		}
+		return say("+OK %d entries", len(entries))
+
+	case "ADD":
+		dnText, attrText, _ := strings.Cut(rest, " ")
+		dn, err := ParseDN(dnText)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		attrs, err := parseAttrList(attrText)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		if err := s.dir.Add(dn, attrs); err != nil {
+			return say("-ERR %s", err)
+		}
+		return say("+OK added")
+
+	case "MODIFY":
+		dnText, attrText, _ := strings.Cut(rest, " ")
+		dn, err := ParseDN(dnText)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		attrs, err := parseAttrList(attrText)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		if err := s.dir.Modify(dn, attrs); err != nil {
+			return say("-ERR %s", err)
+		}
+		return say("+OK modified")
+
+	case "DEL":
+		dn, err := ParseDN(rest)
+		if err != nil {
+			return say("-ERR %s", err)
+		}
+		if err := s.dir.Delete(dn); err != nil {
+			return say("-ERR %s", err)
+		}
+		return say("+OK deleted")
+	}
+	return say("-ERR unhandled %s", cmd)
+}
+
+// parseAttrList parses "attr=val|attr=val|attr=" (” value = delete).
+// Multiple values for one attribute accumulate.
+func parseAttrList(s string) (map[string][]string, error) {
+	attrs := make(map[string][]string)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return attrs, nil
+	}
+	for _, pair := range strings.Split(s, "|") {
+		attr, val, ok := strings.Cut(pair, "=")
+		if !ok || attr == "" {
+			return nil, fmt.Errorf("ldapdir: bad attribute %q", pair)
+		}
+		name := strings.ToLower(strings.TrimSpace(attr))
+		if val == "" {
+			// Explicit deletion marker: ensure the key exists with nil.
+			if _, present := attrs[name]; !present {
+				attrs[name] = nil
+			}
+			continue
+		}
+		attrs[name] = append(attrs[name], val)
+	}
+	return attrs, nil
+}

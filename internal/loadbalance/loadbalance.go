@@ -1,0 +1,218 @@
+// Package loadbalance implements the broker-side load-balancing policies of
+// the paper (§III, "Load balancing"). Because a broker sees every request
+// for its service and tracks outstanding work per replica, it can "accurately
+// distribute the workload among the backend servers", unlike API-based
+// access which, sharing no state, "can only work in a speculative manner".
+//
+// Policies pick a replica index given the per-replica outstanding counts; a
+// ReplicaSet maintains those counts and composes a policy with a set of
+// backend connectors.
+package loadbalance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"servicebroker/internal/backend"
+)
+
+// Policy selects a replica given per-replica outstanding request counts.
+// Implementations must be safe for concurrent use.
+type Policy interface {
+	// Pick returns an index in [0, len(outstanding)).
+	Pick(outstanding []int) int
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// RoundRobin cycles through replicas regardless of load.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// Pick implements Policy.
+func (r *RoundRobin) Pick(outstanding []int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx := r.next % len(outstanding)
+	r.next++
+	return idx
+}
+
+// Name implements Policy.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// LeastOutstanding picks the replica with the fewest in-flight requests —
+// the accurate, broker-enabled policy. Ties break on the lowest index.
+type LeastOutstanding struct{}
+
+// Pick implements Policy.
+func (LeastOutstanding) Pick(outstanding []int) int {
+	best := 0
+	for i, n := range outstanding {
+		if n < outstanding[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (LeastOutstanding) Name() string { return "least-outstanding" }
+
+// Random picks uniformly at random — the speculative policy available to
+// API-based access, which shares no load information.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom creates a Random policy with a deterministic seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Policy.
+func (r *Random) Pick(outstanding []int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rng.Intn(len(outstanding))
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random" }
+
+// Weighted picks the replica minimizing outstanding/weight, modelling
+// heterogeneous backend capacities.
+type Weighted struct {
+	// Weights holds one positive relative capacity per replica.
+	Weights []float64
+}
+
+// Pick implements Policy.
+func (w *Weighted) Pick(outstanding []int) int {
+	best, bestScore := 0, -1.0
+	for i, n := range outstanding {
+		weight := 1.0
+		if i < len(w.Weights) && w.Weights[i] > 0 {
+			weight = w.Weights[i]
+		}
+		score := float64(n) / weight
+		if bestScore < 0 || score < bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (w *Weighted) Name() string { return "weighted" }
+
+// ReplicaSet distributes requests across replicated backends using a
+// policy, maintaining accurate outstanding counts and per-replica session
+// pools. Use NewReplicaSet; Close releases the pools.
+type ReplicaSet struct {
+	policy Policy
+	pools  []*backend.Pool
+
+	mu          sync.Mutex
+	outstanding []int
+	served      []int
+	closed      bool
+}
+
+// NewReplicaSet pools each connector (poolCapacity persistent sessions per
+// replica) under the given policy.
+func NewReplicaSet(policy Policy, poolCapacity int, connectors ...backend.Connector) (*ReplicaSet, error) {
+	if policy == nil {
+		return nil, errors.New("loadbalance: nil policy")
+	}
+	if len(connectors) == 0 {
+		return nil, errors.New("loadbalance: no replicas")
+	}
+	rs := &ReplicaSet{
+		policy:      policy,
+		outstanding: make([]int, len(connectors)),
+		served:      make([]int, len(connectors)),
+	}
+	for _, c := range connectors {
+		pool, err := backend.NewPool(c, poolCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("loadbalance: pool: %w", err)
+		}
+		rs.pools = append(rs.pools, pool)
+	}
+	return rs, nil
+}
+
+// ErrClosed is returned by Do after Close.
+var ErrClosed = errors.New("loadbalance: replica set closed")
+
+// Do routes one request to a replica chosen by the policy.
+func (rs *ReplicaSet) Do(ctx context.Context, payload []byte) ([]byte, error) {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil, ErrClosed
+	}
+	snapshot := make([]int, len(rs.outstanding))
+	copy(snapshot, rs.outstanding)
+	idx := rs.policy.Pick(snapshot)
+	if idx < 0 || idx >= len(rs.pools) {
+		rs.mu.Unlock()
+		return nil, fmt.Errorf("loadbalance: policy %s picked invalid replica %d", rs.policy.Name(), idx)
+	}
+	rs.outstanding[idx]++
+	rs.served[idx]++
+	rs.mu.Unlock()
+
+	defer func() {
+		rs.mu.Lock()
+		rs.outstanding[idx]--
+		rs.mu.Unlock()
+	}()
+	return rs.pools[idx].Do(ctx, payload)
+}
+
+// Served returns how many requests each replica has been assigned.
+func (rs *ReplicaSet) Served() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]int, len(rs.served))
+	copy(out, rs.served)
+	return out
+}
+
+// Outstanding returns the current in-flight counts.
+func (rs *ReplicaSet) Outstanding() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]int, len(rs.outstanding))
+	copy(out, rs.outstanding)
+	return out
+}
+
+// Size returns the number of replicas.
+func (rs *ReplicaSet) Size() int { return len(rs.pools) }
+
+// Close releases every replica pool.
+func (rs *ReplicaSet) Close() error {
+	rs.mu.Lock()
+	if rs.closed {
+		rs.mu.Unlock()
+		return nil
+	}
+	rs.closed = true
+	rs.mu.Unlock()
+	var firstErr error
+	for _, p := range rs.pools {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

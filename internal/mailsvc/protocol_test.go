@@ -1,0 +1,142 @@
+package mailsvc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawSession dials the server and returns helpers for speaking the protocol
+// by hand, so tests can exercise error branches the Client never produces.
+func rawSession(t *testing.T, srv *Server) (say func(string), expect func(prefix string)) {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	r := bufio.NewReader(conn)
+	say = func(line string) {
+		t.Helper()
+		if _, err := fmt.Fprintf(conn, "%s\r\n", line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect = func(prefix string) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("got %q, want prefix %q", strings.TrimSpace(line), prefix)
+		}
+	}
+	expect("220") // greeting
+	return say, expect
+}
+
+func TestProtocolSequencingErrors(t *testing.T) {
+	srv, err := NewServer(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	say, expect := rawSession(t, srv)
+
+	// Everything before HELO is rejected with 503.
+	say("MAIL FROM:<a@x.com>")
+	expect("503")
+	say("LIST a@x.com")
+	expect("503")
+	say("RETR a@x.com 1")
+	expect("503")
+
+	say("HELO tester")
+	expect("250")
+
+	// RCPT before MAIL, DATA before RCPT.
+	say("RCPT TO:<b@x.com>")
+	expect("503")
+	say("DATA")
+	expect("503")
+
+	// Unknown verb keeps the session alive.
+	say("FROBNICATE")
+	expect("500")
+
+	// Bad addresses.
+	say("MAIL FROM:<notanaddress>")
+	expect("553")
+	say("MAIL FROM:<a@x.com>")
+	expect("250")
+	say("RCPT TO:<junk>")
+	expect("553")
+	say("RCPT TO:<b@x.com>")
+	expect("250")
+
+	// A full DATA exchange still works after all those errors.
+	say("DATA")
+	expect("354")
+	say("body line")
+	say(".")
+	expect("250")
+
+	say("QUIT")
+	expect("221")
+}
+
+func TestProtocolRetrBadSequence(t *testing.T) {
+	srv, err := NewServer(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	say, expect := rawSession(t, srv)
+	say("HELO t")
+	expect("250")
+	say("RETR a@x.com notanumber")
+	expect("501")
+}
+
+func TestConnectTimeoutAndFailure(t *testing.T) {
+	if _, err := Connect("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("connect to closed port succeeded")
+	}
+	// A listener that never greets trips the client's read.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close() // close without greeting
+		}
+	}()
+	if _, err := Connect(ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("connect without greeting succeeded")
+	}
+}
+
+func TestClientClosedOperations(t *testing.T) {
+	srv, err := NewServer(NewStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Connect(srv.Addr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if err := cli.Send("a@x.com", []string{"b@x.com"}, "x"); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	cli.Close() // idempotent
+}

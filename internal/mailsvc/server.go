@@ -1,0 +1,303 @@
+package mailsvc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The mailsvc protocol borrows SMTP's submission verbs and adds two
+// retrieval verbs:
+//
+//	S: 220 mailsvc ready
+//	C: HELO <host>            S: 250 hello
+//	C: MAIL FROM:<addr>       S: 250 ok
+//	C: RCPT TO:<addr>         S: 250 ok          (repeatable)
+//	C: DATA                   S: 354 end with .
+//	C: ...body lines... .     S: 250 delivered <n>
+//	C: LIST <user>            S: 250 <n> messages, then one line per message
+//	C: RETR <user> <seq>      S: 250 ok, then body lines, then "."
+//	C: QUIT                   S: 221 bye
+//
+// Errors use 5xx codes. HELO is mandatory before anything else — the greeting
+// round trip is the connection-setup cost brokers amortize.
+
+// ServerOption configures a Server.
+type ServerOption interface {
+	apply(*Server)
+}
+
+type serverOptionFunc func(*Server)
+
+func (f serverOptionFunc) apply(s *Server) { f(s) }
+
+// WithHeloDelay adds artificial cost to the HELO round trip.
+func WithHeloDelay(d time.Duration) ServerOption {
+	return serverOptionFunc(func(s *Server) { s.heloDelay = d })
+}
+
+// Server exposes a Store over the mailsvc protocol.
+type Server struct {
+	store     *Store
+	ln        net.Listener
+	heloDelay time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer serves store on addr.
+func NewServer(store *Store, addr string, opts ...ServerOption) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("mailsvc: nil store")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mailsvc: listen %s: %w", addr, err)
+	}
+	s := &Server{store: store, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and waits for sessions.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.session(conn)
+		}()
+	}
+}
+
+// angleAddr strips an optional <...> wrapper.
+func angleAddr(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	return strings.TrimSuffix(s, ">")
+}
+
+func (s *Server) session(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	say := func(format string, args ...interface{}) bool {
+		fmt.Fprintf(w, format+"\r\n", args...)
+		return w.Flush() == nil
+	}
+	if !say("220 mailsvc ready") {
+		return
+	}
+	var (
+		greeted bool
+		from    string
+		rcpts   []string
+	)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\r\n")
+		verb, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(verb) {
+		case "HELO":
+			if s.heloDelay > 0 {
+				time.Sleep(s.heloDelay)
+			}
+			greeted = true
+			if !say("250 hello") {
+				return
+			}
+		case "QUIT":
+			say("221 bye")
+			return
+		case "MAIL":
+			if !greeted {
+				if !say("503 HELO first") {
+					return
+				}
+				continue
+			}
+			addr := angleAddr(strings.TrimPrefix(rest, "FROM:"))
+			if !ValidAddress(addr) {
+				if !say("553 bad sender %q", addr) {
+					return
+				}
+				continue
+			}
+			from = addr
+			rcpts = nil
+			if !say("250 ok") {
+				return
+			}
+		case "RCPT":
+			if from == "" {
+				if !say("503 MAIL first") {
+					return
+				}
+				continue
+			}
+			addr := angleAddr(strings.TrimPrefix(rest, "TO:"))
+			if !ValidAddress(addr) {
+				if !say("553 bad recipient %q", addr) {
+					return
+				}
+				continue
+			}
+			rcpts = append(rcpts, addr)
+			if !say("250 ok") {
+				return
+			}
+		case "DATA":
+			if len(rcpts) == 0 {
+				if !say("503 RCPT first") {
+					return
+				}
+				continue
+			}
+			if !say("354 end with .") {
+				return
+			}
+			var body strings.Builder
+			for {
+				l, err := r.ReadString('\n')
+				if err != nil {
+					return
+				}
+				l = strings.TrimRight(l, "\r\n")
+				if l == "." {
+					break
+				}
+				// Dot-stuffing: a leading ".." encodes a literal ".".
+				body.WriteString(strings.TrimPrefix(l, "."))
+				body.WriteByte('\n')
+			}
+			n, err := s.store.Deliver(from, rcpts, strings.TrimSuffix(body.String(), "\n"))
+			if err != nil {
+				if !say("554 %s", err) {
+					return
+				}
+				continue
+			}
+			from, rcpts = "", nil
+			if !say("250 delivered %d", n) {
+				return
+			}
+		case "LIST":
+			if !greeted {
+				if !say("503 HELO first") {
+					return
+				}
+				continue
+			}
+			msgs, err := s.store.List(strings.TrimSpace(rest))
+			if err != nil {
+				if !say("550 %s", err) {
+					return
+				}
+				continue
+			}
+			if !say("250 %d messages", len(msgs)) {
+				return
+			}
+			for _, m := range msgs {
+				if !say("%d %s %d", m.Seq, m.From, len(m.Body)) {
+					return
+				}
+			}
+			if !say(".") {
+				return
+			}
+		case "RETR":
+			if !greeted {
+				if !say("503 HELO first") {
+					return
+				}
+				continue
+			}
+			userStr, seqStr, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			seq, err := strconv.Atoi(strings.TrimSpace(seqStr))
+			if err != nil {
+				if !say("501 bad sequence %q", seqStr) {
+					return
+				}
+				continue
+			}
+			m, err := s.store.Retr(userStr, seq)
+			if err != nil {
+				if !say("550 %s", err) {
+					return
+				}
+				continue
+			}
+			if !say("250 ok from %s", m.From) {
+				return
+			}
+			for _, l := range strings.Split(m.Body, "\n") {
+				if strings.HasPrefix(l, ".") {
+					l = "." + l
+				}
+				if !say("%s", l) {
+					return
+				}
+			}
+			if !say(".") {
+				return
+			}
+		default:
+			if !say("500 unknown verb %q", verb) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package metrics provides lightweight, concurrency-safe counters, gauges,
+// and latency histograms used by every subsystem in the service-broker
+// framework to record the measurements the paper's evaluation reports
+// (response times, completion counts, drop ratios).
+//
+// The package is dependency-free and allocation-conscious: a Histogram uses
+// fixed log-scaled buckets plus a bounded reservoir of raw samples so that
+// experiment harnesses can compute exact means and percentiles for the
+// figure-sized populations used in the paper (tens of thousands of requests)
+// without unbounded memory growth.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter safe for concurrent
+// use. The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta to the counter. Negative deltas are rejected so that the
+// counter stays monotone; use a Gauge for values that go down.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		panic("metrics: Counter.Add with negative delta")
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous 64-bit value safe for concurrent use. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative) and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Inc adds one and returns the new value.
+func (g *Gauge) Inc() int64 { return g.v.Add(1) }
+
+// Dec subtracts one and returns the new value.
+func (g *Gauge) Dec() int64 { return g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// reservoirSize bounds the raw-sample reservoir kept by a Histogram. 16384
+// samples give exact percentiles for the paper's populations (≤ a few
+// thousand requests per run) and statistically solid ones beyond that.
+const reservoirSize = 16384
+
+// bucketCount is the number of log-scaled buckets: bucket i covers
+// [2^i, 2^(i+1)) microseconds, i in [0, bucketCount).
+const bucketCount = 40
+
+// Histogram records duration observations. It keeps log-scaled bucket counts
+// (always exact for counts) plus a reservoir of raw samples for precise
+// quantiles. The zero value is ready to use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [bucketCount]int64
+	// reservoir holds up to reservoirSize raw samples; once full it degrades
+	// to uniform reservoir sampling using a deterministic LCG so experiment
+	// runs are reproducible.
+	reservoir []time.Duration
+	rng       uint64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[bucketFor(d)]++
+	if len(h.reservoir) < reservoirSize {
+		h.reservoir = append(h.reservoir, d)
+		return
+	}
+	// Vitter's algorithm R with a deterministic LCG.
+	h.rng = h.rng*6364136223846793005 + 1442695040888963407
+	idx := h.rng % uint64(h.count)
+	if idx < reservoirSize {
+		h.reservoir[idx] = d
+	}
+}
+
+func bucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observation, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) from the raw-sample
+// reservoir, or 0 if the histogram is empty. q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.reservoir) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.reservoir))
+	copy(sorted, h.reservoir)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Snapshot is an immutable copy of a Histogram's summary statistics.
+type Snapshot struct {
+	Count int64
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot returns the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}
+
+// String renders the snapshot in a compact single-line form suitable for
+// experiment logs.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v min=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count = 0
+	h.sum = 0
+	h.min = 0
+	h.max = 0
+	h.buckets = [bucketCount]int64{}
+	h.reservoir = h.reservoir[:0]
+	h.rng = 0
+}
+
+// Buckets returns a copy of the log-scaled bucket counts. Bucket i counts
+// observations in [2^i, 2^(i+1)) microseconds.
+func (h *Histogram) Buckets() []int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int64, bucketCount)
+	copy(out, h.buckets[:])
+	return out
+}
+
+// Timer measures one interval against a Histogram.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing an interval recorded into h on ObserveDuration.
+func StartTimer(h *Histogram) Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// ObserveDuration records the elapsed time since StartTimer and returns it.
+func (t Timer) ObserveDuration() time.Duration {
+	d := time.Since(t.start)
+	t.h.Observe(d)
+	return d
+}

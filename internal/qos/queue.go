@@ -1,0 +1,170 @@
+package qos
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueClosed is returned by Push and Pop after Close.
+var ErrQueueClosed = errors.New("qos: queue closed")
+
+// ErrQueueFull is returned by Push when the queue is at capacity.
+var ErrQueueFull = errors.New("qos: queue full")
+
+// Queue is a bounded strict-priority queue: Pop always returns the oldest
+// item of the highest-priority (lowest-numbered) non-empty class. Brokers
+// use it to "reshuffle the queued requests and schedule according to their
+// priorities" (paper §III, QoS awareness).
+//
+// Queue is safe for concurrent producers and consumers. Use NewQueue.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	nonEmpty *sync.Cond
+	classes  map[Class][]T
+	order    []Class // sorted ascending, maintained on demand
+	size     int
+	capacity int
+	closed   bool
+}
+
+// NewQueue creates a queue holding at most capacity items across all
+// classes. It panics if capacity is not positive.
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		panic("qos: queue capacity must be positive")
+	}
+	q := &Queue[T]{
+		classes:  make(map[Class][]T),
+		capacity: capacity,
+	}
+	q.nonEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues item with the given class. It returns ErrQueueFull when the
+// queue is at capacity and ErrQueueClosed after Close. Invalid classes are
+// rejected.
+func (q *Queue[T]) Push(c Class, item T) error {
+	if !c.Valid() {
+		return errors.New("qos: invalid class")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.size >= q.capacity {
+		return ErrQueueFull
+	}
+	if _, ok := q.classes[c]; !ok {
+		q.insertClass(c)
+	}
+	q.classes[c] = append(q.classes[c], item)
+	q.size++
+	q.nonEmpty.Signal()
+	return nil
+}
+
+// insertClass adds c to the sorted class order. Caller holds q.mu.
+func (q *Queue[T]) insertClass(c Class) {
+	i := 0
+	for i < len(q.order) && q.order[i] < c {
+		i++
+	}
+	q.order = append(q.order, 0)
+	copy(q.order[i+1:], q.order[i:])
+	q.order[i] = c
+}
+
+// Pop blocks until an item is available and returns the oldest item of the
+// highest-priority non-empty class. After Close it drains remaining items
+// and then returns ErrQueueClosed.
+func (q *Queue[T]) Pop() (T, Class, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.nonEmpty.Wait()
+	}
+	if q.size == 0 {
+		var zero T
+		return zero, 0, ErrQueueClosed
+	}
+	return q.popLocked()
+}
+
+// TryPop returns an item if one is immediately available; ok=false means the
+// queue was empty (or closed and drained).
+func (q *Queue[T]) TryPop() (item T, c Class, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.size == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	item, c, _ = q.popLocked()
+	return item, c, true
+}
+
+// popLocked removes and returns the head item. Caller holds q.mu and has
+// checked size > 0.
+func (q *Queue[T]) popLocked() (T, Class, error) {
+	for _, c := range q.order {
+		items := q.classes[c]
+		if len(items) == 0 {
+			continue
+		}
+		item := items[0]
+		// Shift rather than re-slice so the backing array does not pin
+		// popped items.
+		copy(items, items[1:])
+		var zero T
+		items[len(items)-1] = zero
+		q.classes[c] = items[:len(items)-1]
+		q.size--
+		return item, c, nil
+	}
+	var zero T
+	return zero, 0, ErrQueueClosed
+}
+
+// Len returns the total number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// LenClass returns the number of queued items of class c.
+func (q *Queue[T]) LenClass(c Class) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.classes[c])
+}
+
+// DropClass removes and returns all queued items of class c, used by
+// brokers to shed an entire class when its traffic exceeds contract.
+func (q *Queue[T]) DropClass(c Class) []T {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	items := q.classes[c]
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]T, len(items))
+	copy(out, items)
+	q.classes[c] = nil
+	q.size -= len(out)
+	return out
+}
+
+// Close marks the queue closed. Pending Pop calls drain remaining items and
+// then fail with ErrQueueClosed; Push fails immediately.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.nonEmpty.Broadcast()
+}

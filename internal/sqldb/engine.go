@@ -1,0 +1,969 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ResultSet is the outcome of a query: column names plus rows for SELECT,
+// Affected for INSERT/UPDATE/DELETE/DDL.
+type ResultSet struct {
+	Columns  []string
+	Rows     [][]Value
+	Affected int
+}
+
+// String renders the result set as a small text table (diagnostics and
+// examples).
+func (rs *ResultSet) String() string {
+	var b strings.Builder
+	if len(rs.Columns) == 0 {
+		fmt.Fprintf(&b, "OK, %d row(s) affected", rs.Affected)
+		return b.String()
+	}
+	b.WriteString(strings.Join(rs.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, row := range rs.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = formatValue(v)
+		}
+		b.WriteString(strings.Join(parts, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Engine errors.
+var (
+	ErrNoSuchTable   = errors.New("sqldb: no such table")
+	ErrNoSuchColumn  = errors.New("sqldb: no such column")
+	ErrTableExists   = errors.New("sqldb: table already exists")
+	ErrDuplicateKey  = errors.New("sqldb: duplicate primary key")
+	ErrColumnCount   = errors.New("sqldb: column count mismatch")
+	ErrNotComparable = errors.New("sqldb: incomparable operands")
+)
+
+// table is one in-memory table with optional indexes. Every CREATE INDEX
+// (and the primary key) maintains two access structures per column: a hash
+// index for equality lookups and a sorted position list for range scans.
+// Both rebuild lazily after invalidating mutations; inserts keep the hash
+// fresh incrementally and only mark the sorted list stale.
+type table struct {
+	name    string
+	columns []ColumnDef
+	colIdx  map[string]int
+	pkCol   int // -1 when no primary key
+	rows    [][]Value
+	// indexes maps column index → value(text form) → row positions.
+	indexes map[int]map[string][]int
+	dirty   map[int]bool
+	// sorted maps column index → row positions ordered by column value.
+	sorted      map[int][]int
+	sortedDirty map[int]bool
+}
+
+// Engine is the in-memory database. It is safe for concurrent use; reads
+// take a shared lock and mutations an exclusive one.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// NewEngine returns an empty database.
+func NewEngine() *Engine {
+	return &Engine{tables: make(map[string]*table)}
+}
+
+// Exec parses and executes one SQL statement.
+func (e *Engine) Exec(sql string) (*ResultSet, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt Statement) (*ResultSet, error) {
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return e.createTable(s)
+	case *CreateIndex:
+		return e.createIndex(s)
+	case *DropTable:
+		return e.dropTable(s)
+	case *Insert:
+		return e.insert(s)
+	case *Select:
+		return e.query(s)
+	case *Update:
+		return e.update(s)
+	case *Delete:
+		return e.delete(s)
+	default:
+		return nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// TableNames lists the tables in lexical order.
+func (e *Engine) TableNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RowCount returns the number of rows in a table.
+func (e *Engine) RowCount(name string) (int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return len(t.rows), nil
+}
+
+func (e *Engine) createTable(s *CreateTable) (*ResultSet, error) {
+	if len(s.Columns) == 0 {
+		return nil, errors.New("sqldb: table needs at least one column")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := e.tables[key]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	t := &table{
+		name:        s.Name,
+		columns:     s.Columns,
+		colIdx:      make(map[string]int, len(s.Columns)),
+		pkCol:       -1,
+		indexes:     make(map[int]map[string][]int),
+		dirty:       make(map[int]bool),
+		sorted:      make(map[int][]int),
+		sortedDirty: make(map[int]bool),
+	}
+	for i, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return nil, fmt.Errorf("sqldb: duplicate column %s", c.Name)
+		}
+		t.colIdx[lc] = i
+		if c.PrimaryKey {
+			if t.pkCol != -1 {
+				return nil, errors.New("sqldb: multiple primary keys")
+			}
+			t.pkCol = i
+		}
+	}
+	if t.pkCol != -1 {
+		t.indexes[t.pkCol] = make(map[string][]int)
+		t.sortedDirty[t.pkCol] = true
+	}
+	e.tables[key] = t
+	return &ResultSet{}, nil
+}
+
+func (e *Engine) createIndex(s *CreateIndex) (*ResultSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	ci, ok := t.colIdx[strings.ToLower(s.Column)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, s.Column)
+	}
+	if _, exists := t.indexes[ci]; !exists {
+		t.indexes[ci] = nil
+		t.dirty[ci] = true
+		t.sortedDirty[ci] = true
+	}
+	return &ResultSet{}, nil
+}
+
+func (e *Engine) dropTable(s *DropTable) (*ResultSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := strings.ToLower(s.Name)
+	if _, ok := e.tables[key]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Name)
+	}
+	delete(e.tables, key)
+	return &ResultSet{}, nil
+}
+
+func (e *Engine) insert(s *Insert) (*ResultSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	// Resolve the column order for the VALUES tuples.
+	order := make([]int, 0, len(t.columns))
+	if len(s.Columns) == 0 {
+		for i := range t.columns {
+			order = append(order, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			ci, ok := t.colIdx[strings.ToLower(name)]
+			if !ok {
+				return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, name)
+			}
+			order = append(order, ci)
+		}
+	}
+	for _, tuple := range s.Rows {
+		if len(tuple) != len(order) {
+			return nil, fmt.Errorf("%w: got %d values for %d columns", ErrColumnCount, len(tuple), len(order))
+		}
+		row := make([]Value, len(t.columns))
+		for i, v := range tuple {
+			cv, err := coerce(v, t.columns[order[i]].Type)
+			if err != nil {
+				return nil, err
+			}
+			row[order[i]] = cv
+		}
+		if t.pkCol != -1 {
+			pk := formatValue(row[t.pkCol])
+			t.ensureIndex(t.pkCol)
+			if len(t.indexes[t.pkCol][pk]) > 0 {
+				return nil, fmt.Errorf("%w: %s", ErrDuplicateKey, pk)
+			}
+		}
+		t.rows = append(t.rows, row)
+		// Keep built hash indexes incrementally fresh instead of
+		// invalidating; sorted lists would need an O(n) insertion, so they
+		// only go stale and rebuild lazily on the next range query.
+		for ci, idx := range t.indexes {
+			t.sortedDirty[ci] = true
+			if t.dirty[ci] || idx == nil {
+				continue
+			}
+			key := formatValue(row[ci])
+			idx[key] = append(idx[key], len(t.rows)-1)
+		}
+	}
+	return &ResultSet{Affected: len(s.Rows)}, nil
+}
+
+// ensureIndex builds the hash index for column ci if stale. Caller holds the
+// write lock (or the read lock upgraded path in query via queryIndexes).
+func (t *table) ensureIndex(ci int) {
+	idx, tracked := t.indexes[ci]
+	if !tracked {
+		return
+	}
+	if idx != nil && !t.dirty[ci] {
+		return
+	}
+	idx = make(map[string][]int, len(t.rows))
+	for pos, row := range t.rows {
+		key := formatValue(row[ci])
+		idx[key] = append(idx[key], pos)
+	}
+	t.indexes[ci] = idx
+	delete(t.dirty, ci)
+}
+
+// invalidateIndexes marks every index stale after a bulk mutation.
+func (t *table) invalidateIndexes() {
+	for ci := range t.indexes {
+		t.dirty[ci] = true
+		t.sortedDirty[ci] = true
+	}
+}
+
+func (e *Engine) update(s *Update) (*ResultSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	// Pre-resolve SET columns.
+	type setOp struct {
+		ci  int
+		val Value
+	}
+	ops := make([]setOp, 0, len(s.Set))
+	for col, v := range s.Set {
+		ci, ok := t.colIdx[strings.ToLower(col)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, s.Table, col)
+		}
+		cv, err := coerce(v, t.columns[ci].Type)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, setOp{ci: ci, val: cv})
+	}
+	affected := 0
+	for _, row := range t.rows {
+		match, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		for _, op := range ops {
+			row[op.ci] = op.val
+		}
+		affected++
+	}
+	if affected > 0 {
+		t.invalidateIndexes()
+	}
+	return &ResultSet{Affected: affected}, nil
+}
+
+func (e *Engine) delete(s *Delete) (*ResultSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	kept := t.rows[:0]
+	affected := 0
+	for _, row := range t.rows {
+		match, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if match {
+			affected++
+			continue
+		}
+		kept = append(kept, row)
+	}
+	// Release references past the new length.
+	for i := len(kept); i < len(t.rows); i++ {
+		t.rows[i] = nil
+	}
+	t.rows = kept
+	if affected > 0 {
+		t.invalidateIndexes()
+	}
+	return &ResultSet{Affected: affected}, nil
+}
+
+// planKind identifies the chosen access path for a query.
+type planKind int
+
+const (
+	planScan planKind = iota
+	planEq
+	planRange
+)
+
+// queryPlan is the planner's choice: a hash-index equality probe, a sorted
+// range scan, or a full scan. Index candidates are always re-checked against
+// the full WHERE clause, so the plan only affects performance.
+type queryPlan struct {
+	kind   planKind
+	ci     int
+	key    string // planEq: hash key
+	lo, hi Value  // planRange: bounds (nil = unbounded side)
+	loInc  bool
+	hiInc  bool
+}
+
+func (e *Engine) query(s *Select) (*ResultSet, error) {
+	// Index maintenance may mutate the table, so take the write lock when a
+	// usable index is stale; the common case takes the read lock only.
+	e.mu.RLock()
+	t, ok := e.tables[strings.ToLower(s.Table)]
+	if !ok {
+		e.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+	}
+	plan := planIndex(s.Where, t)
+	if plan.kind == planScan {
+		defer e.mu.RUnlock()
+		return selectScan(s, t)
+	}
+
+	if planStale(t, plan) {
+		// Upgrade to the write lock to (re)build the needed structure.
+		e.mu.RUnlock()
+		e.mu.Lock()
+		t.ensureIndex(plan.ci)
+		t.ensureSorted(plan.ci)
+		e.mu.Unlock()
+		e.mu.RLock()
+		// The table may have been dropped or replaced between locks.
+		if t2, ok := e.tables[strings.ToLower(s.Table)]; !ok || t2 != t {
+			e.mu.RUnlock()
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, s.Table)
+		}
+	}
+	defer e.mu.RUnlock()
+	if planStale(t, plan) {
+		// A concurrent mutation re-dirtied the index; fall back to a scan.
+		return selectScan(s, t)
+	}
+	switch plan.kind {
+	case planEq:
+		return selectRows(s, t, t.indexes[plan.ci][plan.key])
+	case planRange:
+		return selectRows(s, t, t.rangeLookup(plan))
+	default:
+		return selectScan(s, t)
+	}
+}
+
+// planStale reports whether the structures the plan needs require a rebuild.
+// Caller holds at least the read lock.
+func planStale(t *table, plan queryPlan) bool {
+	switch plan.kind {
+	case planEq:
+		return t.indexes[plan.ci] == nil || t.dirty[plan.ci]
+	case planRange:
+		return t.sortedDirty[plan.ci] || t.sorted[plan.ci] == nil
+	default:
+		return false
+	}
+}
+
+// planIndex chooses an access path for the WHERE clause: it flattens the
+// top-level AND conjunction and picks the first equality conjunct over an
+// indexed column (hash probe), else the first range conjunct over an
+// indexed column (sorted scan). Caller holds at least the read lock.
+func planIndex(where Expr, t *table) queryPlan {
+	conjuncts := flattenAnd(where, nil)
+	// Equality probes first: they are the most selective.
+	for _, c := range conjuncts {
+		if ci, key, ok := indexableEq(c, t); ok {
+			return queryPlan{kind: planEq, ci: ci, key: key}
+		}
+	}
+	for _, c := range conjuncts {
+		if plan, ok := indexableRange(c, t); ok {
+			return plan
+		}
+	}
+	return queryPlan{kind: planScan}
+}
+
+// flattenAnd collects the conjuncts of a top-level AND tree.
+func flattenAnd(e Expr, out []Expr) []Expr {
+	if l, ok := e.(*Logical); ok && l.Op == OpAnd {
+		out = flattenAnd(l.L, out)
+		return flattenAnd(l.R, out)
+	}
+	if e != nil {
+		out = append(out, e)
+	}
+	return out
+}
+
+// indexedColumn resolves a ColRef to an indexed column position.
+func indexedColumn(e Expr, t *table) (int, bool) {
+	col, ok := e.(*ColRef)
+	if !ok {
+		return 0, false
+	}
+	ci, exists := t.colIdx[strings.ToLower(col.Name)]
+	if !exists {
+		return 0, false
+	}
+	_, indexed := t.indexes[ci]
+	return ci, indexed
+}
+
+// indexableEq recognizes `col = literal` (either side) over an indexed
+// column.
+func indexableEq(where Expr, t *table) (ci int, key string, ok bool) {
+	cmp, isCmp := where.(*Cmp)
+	if !isCmp || cmp.Op != OpEq {
+		return 0, "", false
+	}
+	colExpr, litExpr := cmp.L, cmp.R
+	if _, isCol := colExpr.(*ColRef); !isCol {
+		colExpr, litExpr = cmp.R, cmp.L
+	}
+	ci, indexed := indexedColumn(colExpr, t)
+	if !indexed {
+		return 0, "", false
+	}
+	lit, isLit := litExpr.(*Literal)
+	if !isLit {
+		return 0, "", false
+	}
+	cv, err := coerce(lit.Val, t.columns[ci].Type)
+	if err != nil {
+		return 0, "", false
+	}
+	return ci, formatValue(cv), true
+}
+
+// indexableRange recognizes `col BETWEEN lo AND hi` and single comparisons
+// (`col < x`, `col >= x`, and their reversed forms) over an indexed column.
+func indexableRange(where Expr, t *table) (queryPlan, bool) {
+	switch x := where.(type) {
+	case *Between:
+		ci, indexed := indexedColumn(x.E, t)
+		if !indexed {
+			return queryPlan{}, false
+		}
+		lo, okLo := literalFor(x.Lo, t, ci)
+		hi, okHi := literalFor(x.Hi, t, ci)
+		if !okLo || !okHi {
+			return queryPlan{}, false
+		}
+		return queryPlan{kind: planRange, ci: ci, lo: lo, hi: hi, loInc: true, hiInc: true}, true
+
+	case *Cmp:
+		op := x.Op
+		colExpr, litExpr := x.L, x.R
+		if _, isCol := colExpr.(*ColRef); !isCol {
+			// literal OP col ⇒ col flipped-OP literal.
+			colExpr, litExpr = x.R, x.L
+			switch op {
+			case OpLt:
+				op = OpGt
+			case OpLe:
+				op = OpGe
+			case OpGt:
+				op = OpLt
+			case OpGe:
+				op = OpLe
+			}
+		}
+		ci, indexed := indexedColumn(colExpr, t)
+		if !indexed {
+			return queryPlan{}, false
+		}
+		lit, ok := literalFor(litExpr, t, ci)
+		if !ok {
+			return queryPlan{}, false
+		}
+		plan := queryPlan{kind: planRange, ci: ci}
+		switch op {
+		case OpLt:
+			plan.hi = lit
+		case OpLe:
+			plan.hi, plan.hiInc = lit, true
+		case OpGt:
+			plan.lo = lit
+		case OpGe:
+			plan.lo, plan.loInc = lit, true
+		default:
+			return queryPlan{}, false
+		}
+		return plan, true
+	}
+	return queryPlan{}, false
+}
+
+// literalFor coerces a literal expression to the column's type. NULL bounds
+// are rejected (the comparison would never match anyway).
+func literalFor(e Expr, t *table, ci int) (Value, bool) {
+	lit, ok := e.(*Literal)
+	if !ok || lit.Val == nil {
+		return nil, false
+	}
+	cv, err := coerce(lit.Val, t.columns[ci].Type)
+	if err != nil {
+		return nil, false
+	}
+	return cv, true
+}
+
+// ensureSorted builds the sorted position list for column ci if stale.
+// Caller holds the write lock.
+func (t *table) ensureSorted(ci int) {
+	if _, tracked := t.indexes[ci]; !tracked {
+		return
+	}
+	if t.sorted[ci] != nil && !t.sortedDirty[ci] {
+		return
+	}
+	positions := make([]int, len(t.rows))
+	for i := range positions {
+		positions[i] = i
+	}
+	sort.SliceStable(positions, func(a, b int) bool {
+		return compare(t.rows[positions[a]][ci], t.rows[positions[b]][ci]) < 0
+	})
+	t.sorted[ci] = positions
+	delete(t.sortedDirty, ci)
+}
+
+// rangeLookup returns the row positions whose plan.ci value falls within
+// the plan's bounds, using binary search over the sorted list. Caller holds
+// at least the read lock and has verified freshness.
+func (t *table) rangeLookup(plan queryPlan) []int {
+	positions := t.sorted[plan.ci]
+	valueAt := func(i int) Value { return t.rows[positions[i]][plan.ci] }
+
+	// start: first position satisfying the lower bound.
+	start := 0
+	if plan.lo != nil {
+		start = sort.Search(len(positions), func(i int) bool {
+			c := compare(valueAt(i), plan.lo)
+			if plan.loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	} else {
+		// NULLs sort first and never satisfy range predicates; skip them.
+		start = sort.Search(len(positions), func(i int) bool {
+			return valueAt(i) != nil
+		})
+	}
+	// end: first position beyond the upper bound.
+	end := len(positions)
+	if plan.hi != nil {
+		end = sort.Search(len(positions), func(i int) bool {
+			c := compare(valueAt(i), plan.hi)
+			if plan.hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil
+	}
+	return positions[start:end]
+}
+
+// selectScan evaluates s against every row.
+func selectScan(s *Select, t *table) (*ResultSet, error) {
+	var matched [][]Value
+	for _, row := range t.rows {
+		ok, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	return project(s, t, matched)
+}
+
+// selectRows evaluates s against a candidate row position list (from an
+// index); the WHERE clause is re-checked for correctness.
+func selectRows(s *Select, t *table, positions []int) (*ResultSet, error) {
+	var matched [][]Value
+	for _, pos := range positions {
+		row := t.rows[pos]
+		ok, err := evalBool(s.Where, t, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, row)
+		}
+	}
+	return project(s, t, matched)
+}
+
+// project applies ORDER BY, aggregates, column projection, and LIMIT.
+func project(s *Select, t *table, matched [][]Value) (*ResultSet, error) {
+	if s.OrderBy != "" {
+		ci, ok := t.colIdx[strings.ToLower(s.OrderBy)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.name, s.OrderBy)
+		}
+		sort.SliceStable(matched, func(i, j int) bool {
+			c := compare(matched[i][ci], matched[j][ci])
+			if s.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+
+	if isAggregate(s.Items) {
+		return aggregate(s, t, matched)
+	}
+
+	// Resolve the projection once.
+	var (
+		cols    []string
+		indices []int // -1 marks a star expansion slot
+	)
+	for _, item := range s.Items {
+		if item.Star {
+			for i, c := range t.columns {
+				cols = append(cols, c.Name)
+				indices = append(indices, i)
+			}
+			continue
+		}
+		ci, ok := t.colIdx[strings.ToLower(item.Column)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.name, item.Column)
+		}
+		name := item.Column
+		if item.Alias != "" {
+			name = item.Alias
+		}
+		cols = append(cols, name)
+		indices = append(indices, ci)
+	}
+
+	limit := s.Limit
+	if limit < 0 || limit > len(matched) {
+		limit = len(matched)
+	}
+	out := make([][]Value, 0, limit)
+	for _, row := range matched[:limit] {
+		proj := make([]Value, len(indices))
+		for i, ci := range indices {
+			proj[i] = row[ci]
+		}
+		out = append(out, proj)
+	}
+	return &ResultSet{Columns: cols, Rows: out}, nil
+}
+
+func isAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+func aggregate(s *Select, t *table, matched [][]Value) (*ResultSet, error) {
+	cols := make([]string, len(s.Items))
+	row := make([]Value, len(s.Items))
+	for i, item := range s.Items {
+		if item.Agg == AggNone {
+			return nil, errors.New("sqldb: mixing aggregates and plain columns is not supported")
+		}
+		name := item.Alias
+		if name == "" {
+			name = aggName(item.Agg)
+		}
+		cols[i] = name
+
+		if item.Agg == AggCount && item.Star {
+			row[i] = int64(len(matched))
+			continue
+		}
+		ci, ok := t.colIdx[strings.ToLower(item.Column)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.name, item.Column)
+		}
+		v, err := foldAgg(item.Agg, matched, ci)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return &ResultSet{Columns: cols, Rows: [][]Value{row}}, nil
+}
+
+func aggName(a AggFunc) string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "agg"
+	}
+}
+
+func foldAgg(a AggFunc, rows [][]Value, ci int) (Value, error) {
+	switch a {
+	case AggCount:
+		n := int64(0)
+		for _, r := range rows {
+			if r[ci] != nil {
+				n++
+			}
+		}
+		return n, nil
+	case AggSum, AggAvg:
+		sum := 0.0
+		n := 0
+		for _, r := range rows {
+			if r[ci] == nil {
+				continue
+			}
+			f, ok := toFloat(r[ci])
+			if !ok {
+				return nil, fmt.Errorf("sqldb: %s over non-numeric column", aggName(a))
+			}
+			sum += f
+			n++
+		}
+		if a == AggSum {
+			return sum, nil
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		return sum / float64(n), nil
+	case AggMin, AggMax:
+		var best Value
+		for _, r := range rows {
+			if r[ci] == nil {
+				continue
+			}
+			if best == nil {
+				best = r[ci]
+				continue
+			}
+			c := compare(r[ci], best)
+			if (a == AggMin && c < 0) || (a == AggMax && c > 0) {
+				best = r[ci]
+			}
+		}
+		return best, nil
+	default:
+		return nil, fmt.Errorf("sqldb: unknown aggregate %d", a)
+	}
+}
+
+// evalBool evaluates a WHERE expression; nil means "all rows".
+func evalBool(e Expr, t *table, row []Value) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	switch x := e.(type) {
+	case *Logical:
+		l, err := evalBool(x.L, t, row)
+		if err != nil {
+			return false, err
+		}
+		if x.Op == OpAnd && !l {
+			return false, nil
+		}
+		if x.Op == OpOr && l {
+			return true, nil
+		}
+		return evalBool(x.R, t, row)
+	case *Not:
+		v, err := evalBool(x.E, t, row)
+		return !v, err
+	case *Cmp:
+		l, err := evalValue(x.L, t, row)
+		if err != nil {
+			return false, err
+		}
+		r, err := evalValue(x.R, t, row)
+		if err != nil {
+			return false, err
+		}
+		// SQL three-valued logic collapsed to two: NULL comparisons are
+		// false except = NULL / != NULL which test for null-ness.
+		if l == nil || r == nil {
+			switch x.Op {
+			case OpEq:
+				return l == nil && r == nil, nil
+			case OpNe:
+				return (l == nil) != (r == nil), nil
+			default:
+				return false, nil
+			}
+		}
+		c := compare(l, r)
+		switch x.Op {
+		case OpEq:
+			return c == 0, nil
+		case OpNe:
+			return c != 0, nil
+		case OpLt:
+			return c < 0, nil
+		case OpLe:
+			return c <= 0, nil
+		case OpGt:
+			return c > 0, nil
+		case OpGe:
+			return c >= 0, nil
+		}
+		return false, fmt.Errorf("sqldb: unknown comparison op %d", x.Op)
+	case *Between:
+		v, err := evalValue(x.E, t, row)
+		if err != nil {
+			return false, err
+		}
+		lo, err := evalValue(x.Lo, t, row)
+		if err != nil {
+			return false, err
+		}
+		hi, err := evalValue(x.Hi, t, row)
+		if err != nil {
+			return false, err
+		}
+		if v == nil || lo == nil || hi == nil {
+			return false, nil
+		}
+		return compare(v, lo) >= 0 && compare(v, hi) <= 0, nil
+	case *In:
+		v, err := evalValue(x.E, t, row)
+		if err != nil {
+			return false, err
+		}
+		for _, le := range x.List {
+			lv, err := evalValue(le, t, row)
+			if err != nil {
+				return false, err
+			}
+			if v == nil && lv == nil {
+				return true, nil
+			}
+			if v != nil && lv != nil && compare(v, lv) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Like:
+		v, err := evalValue(x.E, t, row)
+		if err != nil {
+			return false, err
+		}
+		if v == nil {
+			return false, nil
+		}
+		return likeMatch(formatValue(v), x.Pattern), nil
+	default:
+		return false, fmt.Errorf("sqldb: expression %T is not boolean", e)
+	}
+}
+
+// evalValue evaluates a value expression against a row.
+func evalValue(e Expr, t *table, row []Value) (Value, error) {
+	switch x := e.(type) {
+	case *ColRef:
+		ci, ok := t.colIdx[strings.ToLower(x.Name)]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, t.name, x.Name)
+		}
+		return row[ci], nil
+	case *Literal:
+		return x.Val, nil
+	default:
+		return nil, fmt.Errorf("sqldb: expression %T is not a value", e)
+	}
+}

@@ -1,0 +1,147 @@
+package sqldb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * = < > <= >= != <>
+)
+
+// token is one lexical unit. For numbers, val holds the canonical text and
+// num the parsed value; isInt distinguishes INT literals from FLOAT.
+type token struct {
+	kind  tokenKind
+	val   string // uppercased for keywords
+	num   float64
+	isInt bool
+	pos   int
+}
+
+// keywords recognized by the parser. Everything else alphanumeric is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "CREATE": true, "TABLE": true, "INDEX": true, "ON": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "AND": true, "OR": true,
+	"NOT": true, "BETWEEN": true, "IN": true, "LIKE": true, "ORDER": true,
+	"BY": true, "ASC": true, "DESC": true, "LIMIT": true, "NULL": true,
+	"INT": true, "FLOAT": true, "TEXT": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "AS": true, "DROP": true,
+	"PRIMARY": true, "KEY": true,
+}
+
+// lex tokenizes a SQL statement.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'' || c == '"':
+			quote := byte(c)
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, fmt.Errorf("sqldb: unterminated string at %d", i)
+				}
+				if input[j] == quote {
+					// '' escapes a quote inside the string.
+					if j+1 < len(input) && input[j+1] == quote {
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tokString, val: sb.String(), pos: i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1])) && startsValue(toks)):
+			j := i + 1
+			isInt := true
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				if input[j] == '.' {
+					isInt = false
+				}
+				j++
+			}
+			text := input[i:j]
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: bad number %q at %d", text, i)
+			}
+			toks = append(toks, token{kind: tokNumber, val: text, num: f, isInt: isInt, pos: i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, val: upper, pos: i})
+			} else {
+				toks = append(toks, token{kind: tokIdent, val: word, pos: i})
+			}
+			i = j
+		case c == '<' || c == '>' || c == '!':
+			sym := string(c)
+			if i+1 < len(input) && (input[i+1] == '=' || (c == '<' && input[i+1] == '>')) {
+				sym += string(input[i+1])
+				i++
+			}
+			if sym == "!" {
+				return nil, fmt.Errorf("sqldb: stray '!' at %d", i)
+			}
+			toks = append(toks, token{kind: tokSymbol, val: sym, pos: i})
+			i++
+		case strings.ContainsRune("(),*=;", c):
+			if c == ';' {
+				i++ // statement terminator, ignored
+				continue
+			}
+			toks = append(toks, token{kind: tokSymbol, val: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqldb: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at the current position begins a
+// negative literal (rather than being subtraction, which the grammar does
+// not support anyway). True when the previous token cannot end a value.
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokNumber, tokString, tokIdent:
+		return false
+	case tokSymbol:
+		return last.val != ")"
+	default:
+		return true
+	}
+}

@@ -1,0 +1,160 @@
+// Package txn implements the transaction-integrity support of the service
+// broker framework (paper §III, "Transaction integrity assurance"). The
+// motivating example is a supply-chain purchase spanning several backend
+// servers multiple times: a computer manufacturer selects monitors (step 1),
+// then video cards (step 2), then returns to the monitor vendor to purchase
+// (step 3). Brokers tag each access with its transaction and step, and
+// "gradually increase the priority of the subsequent accesses that belong to
+// the same transaction": under load a broker prefers step-3 accesses and
+// sheds step-1 accesses, so nearly-complete transactions do not abort.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"servicebroker/internal/qos"
+)
+
+// State describes one tracked transaction.
+type State struct {
+	ID      string
+	Step    int
+	Started time.Time
+	// Accesses counts brokered requests made on behalf of the transaction.
+	Accesses int
+}
+
+// Tracker records transaction progress and computes priority escalation.
+// It is safe for concurrent use. Use NewTracker.
+type Tracker struct {
+	mu     sync.Mutex
+	active map[string]*State
+	now    func() time.Time
+
+	completed int
+	aborted   int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{active: make(map[string]*State), now: time.Now}
+}
+
+// Tracker errors.
+var (
+	ErrUnknownTxn = errors.New("txn: unknown transaction")
+	ErrBadStep    = errors.New("txn: step must not decrease")
+)
+
+// Begin starts tracking a transaction at step 1. Beginning an existing ID
+// is an error.
+func (t *Tracker) Begin(id string) error {
+	if id == "" {
+		return errors.New("txn: empty id")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.active[id]; ok {
+		return fmt.Errorf("txn: %s already active", id)
+	}
+	t.active[id] = &State{ID: id, Step: 1, Started: t.now()}
+	return nil
+}
+
+// Observe records one access for transaction id at the given step,
+// creating the transaction on first sight (brokers learn about transactions
+// from tagged requests, not from explicit begins). The step may only grow.
+func (t *Tracker) Observe(id string, step int) (*State, error) {
+	if id == "" {
+		return nil, errors.New("txn: empty id")
+	}
+	if step < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadStep, step)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.active[id]
+	if !ok {
+		s = &State{ID: id, Step: step, Started: t.now()}
+		t.active[id] = s
+	}
+	if step < s.Step {
+		return nil, fmt.Errorf("%w: %d after %d", ErrBadStep, step, s.Step)
+	}
+	s.Step = step
+	s.Accesses++
+	cp := *s
+	return &cp, nil
+}
+
+// Complete finishes a transaction successfully.
+func (t *Tracker) Complete(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.active[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTxn, id)
+	}
+	delete(t.active, id)
+	t.completed++
+	return nil
+}
+
+// Abort finishes a transaction unsuccessfully.
+func (t *Tracker) Abort(id string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.active[id]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTxn, id)
+	}
+	delete(t.active, id)
+	t.aborted++
+	return nil
+}
+
+// Lookup returns a copy of a transaction's state.
+func (t *Tracker) Lookup(id string) (*State, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.active[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *s
+	return &cp, true
+}
+
+// ActiveCount returns the number of in-flight transactions.
+func (t *Tracker) ActiveCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Stats returns (completed, aborted) totals.
+func (t *Tracker) Stats() (completed, aborted int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.completed, t.aborted
+}
+
+// EscalatedClass returns the effective QoS class for an access of the given
+// base class at the given transaction step: each step beyond the first
+// raises priority by one class (smaller number = higher priority), floored
+// at class 1. Non-transactional accesses (step ≤ 1) keep their base class.
+//
+// This is the paper's "put more weight on those accesses whose transactions
+// are in step 3 and selectively drop those whose transactions are in step 1
+// if the load is high".
+func EscalatedClass(base qos.Class, step int) qos.Class {
+	if step <= 1 {
+		return base
+	}
+	escalated := int(base) - (step - 1)
+	if escalated < 1 {
+		escalated = 1
+	}
+	return qos.Class(escalated)
+}

@@ -1,0 +1,162 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"servicebroker/internal/qos"
+)
+
+func TestBeginObserveComplete(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.Begin("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Begin("t1"); err == nil {
+		t.Fatal("duplicate begin accepted")
+	}
+	s, err := tr.Observe("t1", 1)
+	if err != nil || s.Step != 1 || s.Accesses != 1 {
+		t.Fatalf("observe = %+v, %v", s, err)
+	}
+	s, err = tr.Observe("t1", 3)
+	if err != nil || s.Step != 3 || s.Accesses != 2 {
+		t.Fatalf("observe = %+v, %v", s, err)
+	}
+	if err := tr.Complete("t1"); err != nil {
+		t.Fatal(err)
+	}
+	completed, aborted := tr.Stats()
+	if completed != 1 || aborted != 0 {
+		t.Fatalf("stats = %d, %d", completed, aborted)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Fatal("transaction still active after complete")
+	}
+}
+
+func TestObserveCreatesImplicitly(t *testing.T) {
+	tr := NewTracker()
+	s, err := tr.Observe("implicit", 2)
+	if err != nil || s.Step != 2 {
+		t.Fatalf("observe = %+v, %v", s, err)
+	}
+	if tr.ActiveCount() != 1 {
+		t.Fatal("implicit transaction not tracked")
+	}
+}
+
+func TestObserveStepMonotone(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("t", 3)
+	if _, err := tr.Observe("t", 2); !errors.Is(err, ErrBadStep) {
+		t.Fatalf("err = %v, want ErrBadStep", err)
+	}
+	if _, err := tr.Observe("t", 0); !errors.Is(err, ErrBadStep) {
+		t.Fatalf("err = %v, want ErrBadStep", err)
+	}
+	if _, err := tr.Observe("", 1); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := tr.Begin(""); err == nil {
+		t.Fatal("empty begin accepted")
+	}
+}
+
+func TestAbort(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("t")
+	if err := tr.Abort("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Abort("t"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("double abort err = %v", err)
+	}
+	if err := tr.Complete("ghost"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("complete unknown err = %v", err)
+	}
+	_, aborted := tr.Stats()
+	if aborted != 1 {
+		t.Fatalf("aborted = %d", aborted)
+	}
+}
+
+func TestLookupCopies(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("t", 1)
+	s, ok := tr.Lookup("t")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	s.Step = 99
+	again, _ := tr.Lookup("t")
+	if again.Step != 1 {
+		t.Fatal("Lookup leaked internal state")
+	}
+	if _, ok := tr.Lookup("ghost"); ok {
+		t.Fatal("ghost lookup ok")
+	}
+}
+
+func TestEscalatedClass(t *testing.T) {
+	tests := []struct {
+		base qos.Class
+		step int
+		want qos.Class
+	}{
+		{qos.Class3, 1, qos.Class3},
+		{qos.Class3, 2, qos.Class2},
+		{qos.Class3, 3, qos.Class1},
+		{qos.Class3, 9, qos.Class1}, // floored
+		{qos.Class1, 3, qos.Class1},
+		{qos.Class2, 0, qos.Class2},
+	}
+	for _, tt := range tests {
+		if got := EscalatedClass(tt.base, tt.step); got != tt.want {
+			t.Errorf("EscalatedClass(%v, %d) = %v, want %v", tt.base, tt.step, got, tt.want)
+		}
+	}
+}
+
+// Property: escalation never lowers priority and never exceeds class 1.
+func TestEscalationMonotoneProperty(t *testing.T) {
+	f := func(base uint8, step uint8) bool {
+		b := qos.Class(int(base)%5 + 1)
+		got := EscalatedClass(b, int(step)%6)
+		return got >= qos.Class1 && got <= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentObserves(t *testing.T) {
+	tr := NewTracker()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("txn-%d", w)
+			for step := 1; step <= 5; step++ {
+				if _, err := tr.Observe(id, step); err != nil {
+					t.Errorf("observe: %v", err)
+					return
+				}
+			}
+			if w%2 == 0 {
+				tr.Complete(id)
+			} else {
+				tr.Abort(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	completed, aborted := tr.Stats()
+	if completed != 4 || aborted != 4 {
+		t.Fatalf("stats = %d, %d; want 4, 4", completed, aborted)
+	}
+}

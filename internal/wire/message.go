@@ -1,0 +1,202 @@
+// Package wire implements the lightweight UDP messaging used between
+// front-end web applications and service brokers. The paper's prototype has
+// "the brokers and the front-end Web server exchange request and response
+// messages through lightweight UDP" (§V-B); this package provides the framed
+// message codec, a request/response client with retransmission, and a
+// datagram server that demultiplexes requests to a handler.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"servicebroker/internal/qos"
+)
+
+// MsgType distinguishes requests from responses.
+type MsgType uint8
+
+const (
+	// TypeRequest is a broker-bound query message.
+	TypeRequest MsgType = iota + 1
+	// TypeResponse is a broker reply.
+	TypeResponse
+)
+
+// Status codes carried by responses.
+type Status uint8
+
+const (
+	// StatusOK marks a successful full- or cached-fidelity response.
+	StatusOK Status = iota + 1
+	// StatusDropped marks a request shed by the broker's QoS policy; the
+	// payload carries the adaptive (low-fidelity) message.
+	StatusDropped
+	// StatusError marks a backend or broker failure; the payload carries
+	// the error text.
+	StatusError
+)
+
+// String names the status code.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDropped:
+		return "dropped"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Message is one datagram exchanged between an application and a broker.
+type Message struct {
+	Type MsgType
+	// ID correlates a response with its request. Assigned by the client.
+	ID uint64
+	// Service names the broker-managed backend service ("db", "dir", ...).
+	Service string
+	// Class is the request's QoS class (requests only).
+	Class qos.Class
+	// TxnID tags the enclosing multi-server transaction; empty when the
+	// request is not transactional (paper §III, transaction integrity).
+	TxnID string
+	// TxnStep is the 1-based step within the transaction; later steps get
+	// escalated priority at the broker.
+	TxnStep uint16
+	// Fidelity grades a response (responses only).
+	Fidelity qos.Fidelity
+	// Status is the response disposition (responses only).
+	Status Status
+	// Flags carries request options (FlagNoCache).
+	Flags uint8
+	// Payload is the service-specific query or result body.
+	Payload []byte
+}
+
+// FlagNoCache asks the broker to bypass its result cache for this request.
+const FlagNoCache uint8 = 1 << 0
+
+const (
+	magic0 = 'S'
+	magic1 = 'B'
+	// codecVersion identifies the frame layout.
+	codecVersion = 1
+	// headerSize is the fixed-size prefix before variable-length fields.
+	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
+	// MaxFrame bounds an encoded message so it fits in a UDP datagram.
+	MaxFrame = 60 * 1024
+	// maxStringLen bounds each variable-length string field.
+	maxStringLen = 1024
+)
+
+// Frame layout (all integers big-endian):
+//
+//	magic[2] version[1] type[1] id[8] class[1] txnStep[2] fidelity[1] status[1]
+//	flags[1] serviceLen[2] service[...] txnIDLen[2] txnID[...]
+//	payloadLen[4] payload[...]
+
+// Encoding and decoding errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrBadFrame      = errors.New("wire: malformed frame")
+)
+
+// Encode serializes m into a datagram-sized frame.
+func Encode(m *Message) ([]byte, error) {
+	if len(m.Service) > maxStringLen {
+		return nil, fmt.Errorf("%w: service name %d bytes", ErrFrameTooLarge, len(m.Service))
+	}
+	if len(m.TxnID) > maxStringLen {
+		return nil, fmt.Errorf("%w: txn id %d bytes", ErrFrameTooLarge, len(m.TxnID))
+	}
+	total := headerSize + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload)
+	if total > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
+	}
+	buf := make([]byte, 0, total)
+	buf = append(buf, magic0, magic1, codecVersion, byte(m.Type))
+	buf = binary.BigEndian.AppendUint64(buf, m.ID)
+	buf = append(buf, byte(m.Class))
+	buf = binary.BigEndian.AppendUint16(buf, m.TxnStep)
+	buf = append(buf, byte(m.Fidelity), byte(m.Status), m.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Service)))
+	buf = append(buf, m.Service...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.TxnID)))
+	buf = append(buf, m.TxnID...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// Decode parses a frame produced by Encode. The returned message's Payload
+// is a copy, so the caller may reuse buf.
+func Decode(buf []byte) (*Message, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(buf))
+	}
+	if buf[0] != magic0 || buf[1] != magic1 {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if buf[2] != codecVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
+	}
+	m := &Message{
+		Type:     MsgType(buf[3]),
+		ID:       binary.BigEndian.Uint64(buf[4:12]),
+		Class:    qos.Class(buf[12]),
+		TxnStep:  binary.BigEndian.Uint16(buf[13:15]),
+		Fidelity: qos.Fidelity(buf[15]),
+		Status:   Status(buf[16]),
+		Flags:    buf[17],
+	}
+	if m.Type != TypeRequest && m.Type != TypeResponse {
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[3])
+	}
+	rest := buf[headerSize:]
+
+	service, rest, err := readString(rest)
+	if err != nil {
+		return nil, err
+	}
+	m.Service = service
+
+	txnID, rest, err := readString(rest)
+	if err != nil {
+		return nil, err
+	}
+	m.TxnID = txnID
+
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: truncated payload length", ErrBadFrame)
+	}
+	n := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) != n {
+		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
+	}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		copy(m.Payload, rest)
+	}
+	return m, nil
+}
+
+// readString decodes a 2-byte length-prefixed string.
+func readString(buf []byte) (string, []byte, error) {
+	if len(buf) < 2 {
+		return "", nil, fmt.Errorf("%w: truncated string length", ErrBadFrame)
+	}
+	n := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if n > maxStringLen {
+		return "", nil, fmt.Errorf("%w: string length %d", ErrBadFrame, n)
+	}
+	if len(buf) < n {
+		return "", nil, fmt.Errorf("%w: string length %d, have %d", ErrBadFrame, n, len(buf))
+	}
+	return string(buf[:n]), buf[n:], nil
+}

@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Handler processes one request message and returns the response. The
+// request's ID is echoed onto the returned response automatically; handlers
+// may leave it zero. A nil return sends a StatusError response.
+type Handler func(ctx context.Context, from net.Addr, req *Message) *Message
+
+// Server receives request datagrams, invokes a handler, and sends the
+// response back to the originating address. Duplicate requests (client
+// retransmissions) are answered from a small response cache without
+// re-invoking the handler, giving at-most-once handler execution for the
+// idempotent window.
+type Server struct {
+	conn    net.PacketConn
+	handler Handler
+
+	// dedup maps "addr|id" to the encoded response most recently sent.
+	mu     sync.Mutex
+	dedup  map[string][]byte
+	order  []string // FIFO of dedup keys for bounded memory
+	closed bool
+
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+}
+
+// dedupWindow bounds the retransmission-suppression cache.
+const dedupWindow = 4096
+
+// NewServer starts a datagram server on addr ("127.0.0.1:0" for an ephemeral
+// port). Close must be called to release the socket and stop the serving
+// goroutines.
+func NewServer(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("wire: nil handler")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		conn:    conn,
+		handler: handler,
+		dedup:   make(map[string][]byte),
+		cancel:  cancel,
+	}
+	s.wg.Add(1)
+	go s.serve(ctx)
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the server and waits for in-flight handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+// serve is the receive loop. Each request is handled on its own goroutine so
+// a slow backend does not head-of-line-block the socket.
+func (s *Server) serve(ctx context.Context) {
+	defer s.wg.Done()
+	buf := make([]byte, MaxFrame)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // socket closed
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		s.wg.Add(1)
+		go func(frame []byte, from net.Addr) {
+			defer s.wg.Done()
+			s.handleFrame(ctx, frame, from)
+		}(frame, from)
+	}
+}
+
+func (s *Server) handleFrame(ctx context.Context, frame []byte, from net.Addr) {
+	req, err := Decode(frame)
+	if err != nil || req.Type != TypeRequest {
+		return // drop garbage silently, as a datagram service must
+	}
+
+	key := from.String() + "|" + fmt.Sprint(req.ID)
+	s.mu.Lock()
+	if cached, ok := s.dedup[key]; ok {
+		s.mu.Unlock()
+		_, _ = s.conn.WriteTo(cached, from)
+		return
+	}
+	s.mu.Unlock()
+
+	resp := s.handler(ctx, from, req)
+	if resp == nil {
+		resp = &Message{Status: StatusError, Payload: []byte("wire: handler returned no response")}
+	}
+	resp.Type = TypeResponse
+	resp.ID = req.ID
+	out, err := Encode(resp)
+	if err != nil {
+		resp = &Message{Type: TypeResponse, ID: req.ID, Status: StatusError, Payload: []byte(err.Error())}
+		out, _ = Encode(resp)
+	}
+
+	s.mu.Lock()
+	if _, dup := s.dedup[key]; !dup {
+		s.dedup[key] = out
+		s.order = append(s.order, key)
+		for len(s.order) > dedupWindow {
+			delete(s.dedup, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+
+	_, _ = s.conn.WriteTo(out, from)
+}
+
+// Client issues requests to a wire server and matches responses by ID,
+// retransmitting on loss. A single UDP socket is shared by all calls; a
+// reader goroutine demultiplexes responses to waiting callers.
+type Client struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *Message
+	closed  bool
+
+	retransmit time.Duration
+	attempts   int
+
+	wg sync.WaitGroup
+}
+
+// ClientOption configures a Client.
+type ClientOption interface {
+	apply(*Client)
+}
+
+type clientOptionFunc func(*Client)
+
+func (f clientOptionFunc) apply(c *Client) { f(c) }
+
+// WithRetransmit sets the per-attempt timeout before a request datagram is
+// re-sent (default 200 ms).
+func WithRetransmit(d time.Duration) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.retransmit = d })
+}
+
+// WithAttempts sets the total number of transmissions per call (default 3).
+func WithAttempts(n int) ClientOption {
+	return clientOptionFunc(func(c *Client) { c.attempts = n })
+}
+
+// Dial connects a client to the wire server at addr.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:       conn,
+		pending:    make(map[uint64]chan *Message),
+		retransmit: 200 * time.Millisecond,
+		attempts:   3,
+	}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close releases the socket and stops the reader goroutine. Outstanding
+// calls fail with a closed-connection error.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+// ErrClientClosed is returned by Call after Close.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// ErrTimeout is returned by Call when every transmission attempt expires
+// without a response.
+var ErrTimeout = errors.New("wire: request timed out")
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, MaxFrame)
+	for {
+		n, err := c.conn.Read(buf)
+		if err != nil {
+			return
+		}
+		m, err := Decode(buf[:n])
+		if err != nil || m.Type != TypeResponse {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[m.ID]
+		if ok {
+			delete(c.pending, m.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- m
+			close(ch)
+		}
+	}
+}
+
+// Call sends req and waits for the matching response, retransmitting up to
+// the configured number of attempts. The req.ID field is assigned by the
+// client. Call honors ctx cancellation.
+func (c *Client) Call(ctx context.Context, req *Message) (*Message, error) {
+	req.Type = TypeRequest
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *Message, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	frame, err := Encode(req)
+	if err != nil {
+		c.abandon(req.ID)
+		return nil, err
+	}
+
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if _, err := c.conn.Write(frame); err != nil {
+			c.abandon(req.ID)
+			return nil, fmt.Errorf("wire: send: %w", err)
+		}
+		timer := time.NewTimer(c.retransmit)
+		select {
+		case m, ok := <-ch:
+			timer.Stop()
+			if !ok {
+				return nil, ErrClientClosed
+			}
+			return m, nil
+		case <-ctx.Done():
+			timer.Stop()
+			c.abandon(req.ID)
+			return nil, ctx.Err()
+		case <-timer.C:
+			// retransmit
+		}
+	}
+	c.abandon(req.ID)
+	return nil, fmt.Errorf("%w after %d attempts", ErrTimeout, c.attempts)
+}
+
+// abandon forgets a pending request.
+func (c *Client) abandon(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, id)
+}

@@ -1,0 +1,258 @@
+// Package workload provides the client-side load generators for the
+// experiments: a ClosedLoop driver modelled on ab (Apache bench — a fixed
+// number of concurrent clients issuing requests back to back) and a
+// Population modelled on WebStone 2.5 (groups of best-effort clients, one
+// group per QoS class, running for a fixed duration; like WebStone clients,
+// "with shorter processing time, more ... requests [are] initiated").
+package workload
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+)
+
+// Target performs one request on behalf of client `client` (its `seq`-th
+// request) and returns the response fidelity. Implementations map their
+// protocol's outcomes onto fidelities: a full or cached answer counts as a
+// completion, a degraded or busy answer as a drop.
+type Target func(ctx context.Context, client, seq int) (qos.Fidelity, error)
+
+// Result aggregates one run (or one group of a Population run).
+type Result struct {
+	// Issued counts requests sent.
+	Issued int64
+	// Completed counts full- or cached-fidelity responses.
+	Completed int64
+	// Dropped counts degraded- or busy-fidelity responses.
+	Dropped int64
+	// Errors counts failed requests.
+	Errors int64
+	// Latency records the processing time of every non-error request —
+	// completions and drops alike, matching the paper's per-class
+	// processing-time curves (quick low-fidelity replies pull the mean
+	// down).
+	Latency *metrics.Histogram
+	// FullLatency records only full-fidelity completions.
+	FullLatency *metrics.Histogram
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+func newResult() *Result {
+	return &Result{Latency: &metrics.Histogram{}, FullLatency: &metrics.Histogram{}}
+}
+
+// DropRatio returns Dropped / Issued (0 when nothing was issued).
+func (r *Result) DropRatio() float64 {
+	if r.Issued == 0 {
+		return 0
+	}
+	return float64(r.Dropped) / float64(r.Issued)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("issued=%d completed=%d dropped=%d errors=%d mean=%v",
+		r.Issued, r.Completed, r.Dropped, r.Errors, r.Latency.Mean())
+}
+
+// record accounts one request outcome.
+func (r *Result) record(fid qos.Fidelity, err error, elapsed time.Duration,
+	issued, completed, dropped, errs *counterSet) {
+	issued.inc()
+	if err != nil {
+		errs.inc()
+		return
+	}
+	r.Latency.Observe(elapsed)
+	switch fid {
+	case qos.FidelityFull, qos.FidelityCached:
+		completed.inc()
+		if fid == qos.FidelityFull {
+			r.FullLatency.Observe(elapsed)
+		}
+	default:
+		dropped.inc()
+	}
+}
+
+// counterSet wraps an int64 with a mutex-free atomic-ish accessor via the
+// owning goroutine pattern; simpler: use metrics.Counter.
+type counterSet struct{ c metrics.Counter }
+
+func (s *counterSet) inc() { s.c.Inc() }
+
+// ClosedLoop is the ab-style driver: Concurrency clients cooperate to issue
+// exactly Requests total requests as fast as responses allow.
+type ClosedLoop struct {
+	// Concurrency is the number of simultaneous clients (ab -c).
+	Concurrency int
+	// Requests is the total request budget (ab -n).
+	Requests int
+}
+
+// Run drives target until the request budget is spent.
+func (c ClosedLoop) Run(ctx context.Context, target Target) (*Result, error) {
+	if c.Concurrency <= 0 {
+		return nil, errors.New("workload: concurrency must be positive")
+	}
+	if c.Requests <= 0 {
+		return nil, errors.New("workload: request budget must be positive")
+	}
+	if target == nil {
+		return nil, errors.New("workload: nil target")
+	}
+	res := newResult()
+	var issued, completed, dropped, errs counterSet
+
+	tickets := make(chan int, c.Requests)
+	for i := 0; i < c.Requests; i++ {
+		tickets <- i
+	}
+	close(tickets)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for client := 0; client < c.Concurrency; client++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			for seq := range tickets {
+				if ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
+				fid, err := target(ctx, client, seq)
+				res.record(fid, err, time.Since(t0), &issued, &completed, &dropped, &errs)
+			}
+		}(client)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.Issued = issued.c.Value()
+	res.Completed = completed.c.Value()
+	res.Dropped = dropped.c.Value()
+	res.Errors = errs.c.Value()
+	return res, nil
+}
+
+// Group is one WebStone client group: Clients best-effort clients issuing
+// requests of one QoS class against one target.
+type Group struct {
+	// Name labels the group in results ("QoS 1").
+	Name string
+	// Class is carried for reporting; the target itself decides how the
+	// class reaches the system under test.
+	Class qos.Class
+	// Clients is the number of concurrent best-effort clients.
+	Clients int
+	// Target performs one request.
+	Target Target
+	// ThinkTime optionally pauses each client between requests.
+	ThinkTime time.Duration
+	// Stagger spreads client start times: client i of N starts after
+	// i×Stagger/N, avoiding an artificial thundering herd at t=0.
+	Stagger time.Duration
+}
+
+// Population is the WebStone-style driver: all groups run concurrently for
+// the configured duration.
+type Population struct {
+	Groups []Group
+	// Duration is how long clients issue requests.
+	Duration time.Duration
+}
+
+// Run drives every group until the duration elapses and returns per-group
+// results keyed by group name.
+func (p Population) Run(ctx context.Context) (map[string]*Result, error) {
+	if len(p.Groups) == 0 {
+		return nil, errors.New("workload: no groups")
+	}
+	if p.Duration <= 0 {
+		return nil, errors.New("workload: duration must be positive")
+	}
+	for i, g := range p.Groups {
+		if g.Clients <= 0 {
+			return nil, fmt.Errorf("workload: group %d has no clients", i)
+		}
+		if g.Target == nil {
+			return nil, fmt.Errorf("workload: group %d has nil target", i)
+		}
+		if g.Name == "" {
+			return nil, fmt.Errorf("workload: group %d has no name", i)
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, p.Duration)
+	defer cancel()
+
+	type groupState struct {
+		res                              *Result
+		issued, completed, dropped, errs counterSet
+	}
+	states := make([]*groupState, len(p.Groups))
+	for i := range states {
+		states[i] = &groupState{res: newResult()}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for gi, g := range p.Groups {
+		st := states[gi]
+		for c := 0; c < g.Clients; c++ {
+			wg.Add(1)
+			go func(g Group, st *groupState, client int) {
+				defer wg.Done()
+				if g.Stagger > 0 && g.Clients > 1 {
+					delay := g.Stagger * time.Duration(client) / time.Duration(g.Clients)
+					select {
+					case <-time.After(delay):
+					case <-runCtx.Done():
+						return
+					}
+				}
+				for seq := 0; ; seq++ {
+					if runCtx.Err() != nil {
+						return
+					}
+					t0 := time.Now()
+					fid, err := g.Target(runCtx, client, seq)
+					if runCtx.Err() != nil && err != nil {
+						// The run ended mid-request; do not count the
+						// artificial cancellation.
+						return
+					}
+					st.res.record(fid, err, time.Since(t0),
+						&st.issued, &st.completed, &st.dropped, &st.errs)
+					if g.ThinkTime > 0 {
+						select {
+						case <-time.After(g.ThinkTime):
+						case <-runCtx.Done():
+							return
+						}
+					}
+				}
+			}(g, st, c)
+		}
+	}
+	wg.Wait()
+
+	out := make(map[string]*Result, len(p.Groups))
+	for gi, g := range p.Groups {
+		st := states[gi]
+		st.res.Elapsed = time.Since(start)
+		st.res.Issued = st.issued.c.Value()
+		st.res.Completed = st.completed.c.Value()
+		st.res.Dropped = st.dropped.c.Value()
+		st.res.Errors = st.errs.c.Value()
+		out[g.Name] = st.res
+	}
+	return out, nil
+}

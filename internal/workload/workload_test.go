@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servicebroker/internal/qos"
+)
+
+func okTarget(d time.Duration) Target {
+	return func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+		if d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return qos.FidelityFull, nil
+	}
+}
+
+func TestClosedLoopExactBudget(t *testing.T) {
+	var calls atomic.Int64
+	target := func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+		calls.Add(1)
+		return qos.FidelityFull, nil
+	}
+	res, err := ClosedLoop{Concurrency: 4, Requests: 100}.Run(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 100 || res.Issued != 100 || res.Completed != 100 {
+		t.Fatalf("calls = %d, result = %+v", calls.Load(), res)
+	}
+	if res.Latency.Count() != 100 {
+		t.Fatalf("latency samples = %d", res.Latency.Count())
+	}
+}
+
+func TestClosedLoopSeqUnique(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	target := func(_ context.Context, _, seq int) (qos.Fidelity, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[seq] {
+			t.Errorf("seq %d issued twice", seq)
+		}
+		seen[seq] = true
+		return qos.FidelityFull, nil
+	}
+	if _, err := (ClosedLoop{Concurrency: 8, Requests: 50}).Run(context.Background(), target); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 50 {
+		t.Fatalf("unique seqs = %d", len(seen))
+	}
+}
+
+func TestClosedLoopConcurrencyBound(t *testing.T) {
+	var active, peak atomic.Int64
+	target := func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		active.Add(-1)
+		return qos.FidelityFull, nil
+	}
+	if _, err := (ClosedLoop{Concurrency: 3, Requests: 30}).Run(context.Background(), target); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency = %d, want ≤ 3", p)
+	}
+}
+
+func TestClosedLoopCountsOutcomes(t *testing.T) {
+	target := func(_ context.Context, _, seq int) (qos.Fidelity, error) {
+		switch seq % 4 {
+		case 0:
+			return qos.FidelityFull, nil
+		case 1:
+			return qos.FidelityCached, nil
+		case 2:
+			return qos.FidelityBusy, nil
+		default:
+			return 0, errors.New("boom")
+		}
+	}
+	res, err := ClosedLoop{Concurrency: 2, Requests: 40}.Run(context.Background(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 20 || res.Dropped != 10 || res.Errors != 10 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.FullLatency.Count() != 10 {
+		t.Fatalf("full-latency samples = %d, want 10", res.FullLatency.Count())
+	}
+	if got := res.DropRatio(); got != 0.25 {
+		t.Fatalf("drop ratio = %g", got)
+	}
+}
+
+func TestClosedLoopValidation(t *testing.T) {
+	tgt := okTarget(0)
+	cases := []ClosedLoop{
+		{Concurrency: 0, Requests: 1},
+		{Concurrency: 1, Requests: 0},
+	}
+	for _, c := range cases {
+		if _, err := c.Run(context.Background(), tgt); err == nil {
+			t.Errorf("%+v accepted", c)
+		}
+	}
+	if _, err := (ClosedLoop{Concurrency: 1, Requests: 1}).Run(context.Background(), nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestClosedLoopContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	target := func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return qos.FidelityFull, nil
+	}
+	res, err := ClosedLoop{Concurrency: 1, Requests: 1000}.Run(ctx, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Issued >= 1000 {
+		t.Fatalf("issued = %d, want early stop", res.Issued)
+	}
+}
+
+func TestPopulationRunsAllGroups(t *testing.T) {
+	p := Population{
+		Duration: 100 * time.Millisecond,
+		Groups: []Group{
+			{Name: "QoS 1", Class: qos.Class1, Clients: 2, Target: okTarget(5 * time.Millisecond)},
+			{Name: "QoS 2", Class: qos.Class2, Clients: 2, Target: okTarget(10 * time.Millisecond)},
+		},
+	}
+	results, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("groups = %d", len(results))
+	}
+	fast, slow := results["QoS 1"], results["QoS 2"]
+	if fast.Issued == 0 || slow.Issued == 0 {
+		t.Fatalf("results = %+v / %+v", fast, slow)
+	}
+	// Best-effort semantics: the faster group issues more requests.
+	if fast.Issued <= slow.Issued {
+		t.Fatalf("fast issued %d ≤ slow issued %d; best-effort property violated",
+			fast.Issued, slow.Issued)
+	}
+}
+
+func TestPopulationStopsAtDuration(t *testing.T) {
+	p := Population{
+		Duration: 50 * time.Millisecond,
+		Groups:   []Group{{Name: "g", Class: qos.Class1, Clients: 4, Target: okTarget(time.Millisecond)}},
+	}
+	start := time.Now()
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("run took %v, want ≈50ms", elapsed)
+	}
+}
+
+func TestPopulationThinkTime(t *testing.T) {
+	var calls atomic.Int64
+	target := func(context.Context, int, int) (qos.Fidelity, error) {
+		calls.Add(1)
+		return qos.FidelityFull, nil
+	}
+	p := Population{
+		Duration: 60 * time.Millisecond,
+		Groups:   []Group{{Name: "g", Class: qos.Class1, Clients: 1, Target: target, ThinkTime: 20 * time.Millisecond}},
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if c := calls.Load(); c > 5 {
+		t.Fatalf("calls = %d, want throttled by think time", c)
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	tgt := okTarget(0)
+	bad := []Population{
+		{Duration: time.Second},
+		{Duration: 0, Groups: []Group{{Name: "g", Clients: 1, Target: tgt}}},
+		{Duration: time.Second, Groups: []Group{{Name: "g", Clients: 0, Target: tgt}}},
+		{Duration: time.Second, Groups: []Group{{Name: "g", Clients: 1}}},
+		{Duration: time.Second, Groups: []Group{{Clients: 1, Target: tgt}}},
+	}
+	for i, p := range bad {
+		if _, err := p.Run(context.Background()); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPopulationDoesNotCountCancellationArtifacts(t *testing.T) {
+	// A target that blocks until the run ends produces no counted error.
+	target := func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}
+	p := Population{
+		Duration: 30 * time.Millisecond,
+		Groups:   []Group{{Name: "g", Class: qos.Class1, Clients: 2, Target: target}},
+	}
+	results, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["g"].Errors; got != 0 {
+		t.Fatalf("errors = %d, want 0 (cancellation artifacts)", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := newResult()
+	r.Issued = 3
+	if r.String() == "" {
+		t.Fatal("empty string")
+	}
+	if r.DropRatio() != 0 {
+		t.Fatal("drop ratio on zero issued")
+	}
+}
