@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +22,8 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/ldapdir"
 	"servicebroker/internal/mailsvc"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
 	"servicebroker/internal/sqldb"
 )
 
@@ -32,16 +35,20 @@ func main() {
 		handshake  = flag.Duration("handshake", 0, "db: artificial connection handshake cost")
 		delay      = flag.Duration("delay", time.Second, "cgi: bounded processing time")
 		maxClients = flag.Int("maxclients", 5, "cgi: max simultaneous requests")
+		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, pprof (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients); err != nil {
-		fmt.Fprintln(os.Stderr, "backendd:", err)
+	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients, *admin); err != nil {
+		slog.Error("backendd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int) error {
+func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int, admin string) error {
+	reg := metrics.NewRegistry()
+	reg.Gauge("up").Set(1)
+	served := reg.Counter("cgi_requests")
 	var (
 		boundAddr string
 		shutdown  func() error
@@ -49,7 +56,7 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 	switch kind {
 	case "db":
 		engine := sqldb.NewEngine()
-		fmt.Printf("loading %d fixture records...\n", records)
+		slog.Info("loading fixture records", "count", records)
 		if err := sqldb.LoadRecords(engine, records); err != nil {
 			return err
 		}
@@ -83,6 +90,7 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 			return err
 		}
 		srv.Handle("/cgi", func(req *httpserver.Request) *httpserver.Response {
+			served.Inc()
 			time.Sleep(delay)
 			return httpserver.Text(fmt.Sprintf("processed %s after %v", req.Query["q"], delay))
 		})
@@ -92,9 +100,19 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 		return fmt.Errorf("unknown kind %q", kind)
 	}
 
-	fmt.Printf("backendd: %s serving on %s\n", kind, boundAddr)
+	if admin != "" {
+		adminSrv := obs.New()
+		adminSrv.MountRegistry("backend."+kind+".", reg)
+		if err := adminSrv.Start(admin); err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
+	}
+
+	slog.Info("serving", "kind", kind, "addr", boundAddr)
 	wait()
-	fmt.Println("backendd: shutting down")
+	slog.Info("shutting down")
 	return shutdown()
 }
 

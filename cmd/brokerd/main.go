@@ -13,12 +13,14 @@
 //	        -threshold 20 -classes 3 -workers 20 -cache 1024
 //
 // With -report-to the broker pushes load reports to a centralized front
-// end's listener thread.
+// end's listener thread. With -admin the process serves the obs admin
+// endpoints (/metrics, /tracez, /loadz, /healthz, pprof) over HTTP.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +30,9 @@ import (
 	"servicebroker/internal/backend"
 	"servicebroker/internal/broker"
 	"servicebroker/internal/frontend"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
+	"servicebroker/internal/trace"
 )
 
 // serviceFlags collects repeated -service flags.
@@ -51,21 +56,38 @@ func main() {
 		cacheTTL  = flag.Duration("cache-ttl", 30*time.Second, "result cache TTL")
 		reportTo  = flag.String("report-to", "", "push load reports to this UDP listener address")
 		reportEvy = flag.Duration("report-every", time.Second, "load report interval")
+		admin     = flag.String("admin", "", "admin HTTP address for /metrics, /tracez, /loadz (empty disables)")
 	)
 	flag.Var(&services, "service", "broker spec name:kind:backendAddr (repeatable)")
 	flag.Parse()
 
 	if err := run(services, *listen, *threshold, *classes, *workers,
-		*cacheSize, *cacheTTL, *reportTo, *reportEvy); err != nil {
-		fmt.Fprintln(os.Stderr, "brokerd:", err)
+		*cacheSize, *cacheTTL, *reportTo, *reportEvy, *admin); err != nil {
+		slog.Error("brokerd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
 func run(services serviceFlags, listen string, threshold, classes, workers,
-	cacheSize int, cacheTTL time.Duration, reportTo string, reportEvery time.Duration) error {
+	cacheSize int, cacheTTL time.Duration, reportTo string, reportEvery time.Duration,
+	admin string) error {
 	if len(services) == 0 {
 		return fmt.Errorf("at least one -service is required")
+	}
+
+	// One trace recorder is shared by every hosted broker so /tracez shows
+	// the whole process; its registry's names are already fully qualified
+	// ("trace.<service>.<stage>").
+	var (
+		adminSrv *obs.Server
+		tracer   *trace.Recorder
+	)
+	if admin != "" {
+		adminSrv = obs.New()
+		traceReg := metrics.NewRegistry()
+		tracer = trace.NewRecorder(trace.WithMetrics(traceReg))
+		adminSrv.SetRecorder(tracer)
+		adminSrv.MountRegistry("", traceReg)
 	}
 
 	brokers := make(map[string]*broker.Broker, len(services))
@@ -95,11 +117,17 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		if cacheSize > 0 {
 			opts = append(opts, broker.WithCache(cacheSize, cacheTTL))
 		}
+		if tracer != nil {
+			opts = append(opts, broker.WithTracer(tracer))
+		}
 		b, err := broker.New(connector, opts...)
 		if err != nil {
 			return fmt.Errorf("broker %s: %w", name, err)
 		}
 		brokers[name] = b
+		if adminSrv != nil {
+			adminSrv.MountRegistry("broker."+name+".", b.Metrics())
+		}
 		if reportTo != "" {
 			r, err := frontend.NewReporter(b, reportTo, reportEvery)
 			if err != nil {
@@ -115,9 +143,24 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 	}
 	defer gw.Close()
 
-	fmt.Printf("brokerd: gateway on %s serving %v\n", gw.Addr(), gw.Services())
+	if adminSrv != nil {
+		adminSrv.AddLoadSource(func() []broker.LoadReport {
+			reports := make([]broker.LoadReport, 0, len(brokers))
+			for _, b := range brokers {
+				reports = append(reports, b.Load())
+			}
+			return reports
+		})
+		if err := adminSrv.Start(admin); err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
+	}
+
+	slog.Info("gateway up", "addr", gw.Addr().String(), "services", gw.Services())
 	wait()
-	fmt.Println("brokerd: shutting down")
+	slog.Info("shutting down")
 	return nil
 }
 

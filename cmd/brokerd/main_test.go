@@ -37,7 +37,7 @@ func TestMakeConnector(t *testing.T) {
 }
 
 func TestRunRequiresService(t *testing.T) {
-	if err := run(nil, "127.0.0.1:0", 20, 3, 4, 0, 0, "", 0); err == nil {
+	if err := run(nil, "127.0.0.1:0", 20, 3, 4, 0, 0, "", 0, ""); err == nil {
 		t.Fatal("run without services succeeded")
 	}
 }

@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +28,9 @@ import (
 
 	"servicebroker/internal/frontend"
 	"servicebroker/internal/httpserver"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
+	"servicebroker/internal/trace"
 )
 
 type routeFlags []string
@@ -46,17 +50,18 @@ func main() {
 		gateway    = flag.String("gateway", "", "broker gateway UDP address (required)")
 		listenAddr = flag.String("load-listen", "127.0.0.1:0", "centralized: UDP address for broker load reports")
 		maxClients = flag.Int("maxclients", 0, "cap simultaneous request processing (0 = unlimited)")
+		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /tracez (empty disables)")
 	)
 	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
 	flag.Parse()
 
-	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes); err != nil {
-		fmt.Fprintln(os.Stderr, "frontend:", err)
+	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin); err != nil {
+		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags) error {
+func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -79,6 +84,26 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		httpOpts = append(httpOpts, httpserver.WithMaxClients(maxClients))
 	}
 
+	// startAdmin mounts the front end's registry and trace recorder on an
+	// obs server when -admin is set; it returns a cleanup (possibly no-op).
+	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder)) (func(), error) {
+		if admin == "" {
+			return func() {}, nil
+		}
+		adminSrv := obs.New()
+		traceReg := metrics.NewRegistry()
+		rec := trace.NewRecorder(trace.WithMetrics(traceReg))
+		enableTracing(rec)
+		adminSrv.SetRecorder(rec)
+		adminSrv.MountRegistry("", traceReg)
+		adminSrv.MountRegistry("frontend.", reg)
+		if err := adminSrv.Start(admin); err != nil {
+			return nil, err
+		}
+		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
+		return func() { adminSrv.Close() }, nil
+	}
+
 	switch model {
 	case "distributed":
 		d, err := frontend.NewDistributed(addr, gateway, routes, httpOpts...)
@@ -86,11 +111,16 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 			return err
 		}
 		defer d.Close()
+		stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing)
+		if err != nil {
+			return err
+		}
+		defer stopAdmin()
 		d.ServeStatus()
-		fmt.Printf("frontend: distributed model on http://%s (gateway %s)\n", d.Addr(), gateway)
-		fmt.Printf("frontend: diagnostics at http://%s/broker-status\n", d.Addr())
+		slog.Info("distributed model up", "http", d.Addr(), "gateway", gateway,
+			"status", "http://"+d.Addr()+"/broker-status")
 		wait()
-		fmt.Println("frontend: shutting down")
+		slog.Info("shutting down")
 		return nil
 
 	case "centralized":
@@ -99,12 +129,17 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 			return err
 		}
 		defer c.Close()
+		stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing)
+		if err != nil {
+			return err
+		}
+		defer stopAdmin()
 		c.ServeStatus()
-		fmt.Printf("frontend: centralized model on http://%s (gateway %s)\n", c.Addr(), gateway)
-		fmt.Printf("frontend: diagnostics at http://%s/broker-status\n", c.Addr())
-		fmt.Printf("frontend: load-report listener on %s — point brokerd -report-to here\n", c.ListenerAddr())
+		slog.Info("centralized model up", "http", c.Addr(), "gateway", gateway,
+			"status", "http://"+c.Addr()+"/broker-status",
+			"load_listener", c.ListenerAddr())
 		wait()
-		fmt.Println("frontend: shutting down")
+		slog.Info("shutting down")
 		return nil
 
 	default:

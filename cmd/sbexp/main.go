@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"servicebroker/internal/experiments"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
 	"servicebroker/internal/sqldb"
 )
 
@@ -32,17 +34,32 @@ func main() {
 		scale  = flag.Duration("scale", 20*time.Millisecond, "wall-clock length of one paper second")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		csvDir = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+		admin  = flag.String("admin", "", "admin HTTP address for /metrics and pprof during long sweeps (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *scale, *quick, *csvDir); err != nil {
+	if err := run(*exp, *scale, *quick, *csvDir, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "sbexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale time.Duration, quick bool, csvDir string) error {
+func run(exp string, scale time.Duration, quick bool, csvDir, admin string) error {
 	ctx := context.Background()
+
+	// Long sweeps benefit from live pprof; the progress registry lets an
+	// operator watch sections complete from /metrics.
+	progress := metrics.NewRegistry()
+	sections := progress.Counter("sections_done")
+	if admin != "" {
+		adminSrv := obs.New()
+		adminSrv.MountRegistry("sbexp.", progress)
+		if err := adminSrv.Start(admin); err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		fmt.Println("admin endpoint on http://" + adminSrv.Addr().String())
+	}
 	writeCSV := func(name, content string) error {
 		if csvDir == "" {
 			return nil
@@ -81,6 +98,7 @@ func run(exp string, scale time.Duration, quick bool, csvDir string) error {
 		if err := writeCSV("fig7.csv", experiments.Figure7CSV(series)); err != nil {
 			return err
 		}
+		sections.Inc()
 	}
 
 	if needDiff {
@@ -114,12 +132,14 @@ func run(exp string, scale time.Duration, quick bool, csvDir string) error {
 				return err
 			}
 		}
+		sections.Inc()
 	}
 
 	if exp == "all" || exp == "ablations" {
 		if err := runAblations(ctx, quick); err != nil {
 			return err
 		}
+		sections.Inc()
 	}
 
 	switch exp {

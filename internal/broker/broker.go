@@ -29,6 +29,7 @@ import (
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/trace"
 	"servicebroker/internal/txn"
 )
 
@@ -44,6 +45,11 @@ type Request struct {
 	TxnStep int
 	// NoCache bypasses the result cache for this request.
 	NoCache bool
+	// TraceID carries the end-to-end trace identifier assigned where the
+	// request entered the system (normally the front end). Zero means
+	// untraced; with WithTracer the broker assigns a fresh ID so its own
+	// stages are still recorded.
+	TraceID trace.ID
 }
 
 // Status is the broker's disposition of a request.
@@ -104,6 +110,7 @@ type Broker struct {
 	do     cluster.Do // the backend access path (pool or replica set)
 	policy *qos.ThresholdPolicy
 	reg    *metrics.Registry
+	tracer *trace.Recorder // nil unless WithTracer
 
 	// optional machinery
 	pool     *backend.Pool
@@ -142,6 +149,7 @@ type job struct {
 	class   qos.Class
 	resp    chan *Response
 	started time.Time
+	tr      *trace.Active // nil when tracing is off
 }
 
 // Option configures a Broker.
@@ -290,6 +298,20 @@ func WithHotSpotNotify(frac float64, notify func(LoadReport)) Option {
 func WithMetrics(reg *metrics.Registry) Option {
 	return optionFunc(func(b *Broker) error {
 		b.reg = reg
+		return nil
+	})
+}
+
+// WithTracer records one trace per handled request into rec, annotating the
+// queue, cache, cluster, and backend stages plus the drop decision. A single
+// recorder is typically shared by every broker in the process so /tracez can
+// show the whole request path.
+func WithTracer(rec *trace.Recorder) Option {
+	return optionFunc(func(b *Broker) error {
+		if rec == nil {
+			return errors.New("broker: nil trace recorder")
+		}
+		b.tracer = rec
 		return nil
 	})
 }
@@ -459,6 +481,15 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		class = txn.EscalatedClass(class, req.TxnStep)
 	}
 
+	// One trace per request when a recorder is attached. The active trace
+	// is annotated here (cache, drop decision) and by the worker goroutine
+	// (queue wait, backend access); whoever produces the final disposition
+	// finishes it.
+	var tr *trace.Active
+	if b.tracer != nil {
+		tr = b.tracer.Start(req.TraceID, b.name, int(class))
+	}
+
 	b.reg.Counter("requests").Inc()
 	b.reg.Counter(fmt.Sprintf("requests_class_%d", class)).Inc()
 
@@ -466,55 +497,71 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	// capacity (paper §III, "Caching of query results").
 	key := cacheKey(req.Payload)
 	if b.results != nil && !req.NoCache {
-		if body, ok := b.results.Get(key); ok {
+		lookup := tr.StartSpan(trace.StageCache)
+		body, ok := b.results.Get(key)
+		if ok {
+			lookup.EndNote("hit")
 			b.reg.Counter("cache_hits").Inc()
+			tr.SetStatus("ok")
+			tr.Finish()
 			return &Response{Status: StatusOK, Fidelity: qos.FidelityCached, Payload: body}
 		}
+		lookup.EndNote("miss")
 	}
 
 	// Contract enforcement (loosely coupled services).
 	if c := b.contract[req.Class]; c != nil && !c.Allow() {
-		return b.drop(req, class, key, "contract exceeded")
+		return b.drop(req, class, key, "contract exceeded", tr)
 	}
 
 	// Admission control: the binary forward/drop rule.
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		tr.SetStatus("error")
+		tr.Finish()
 		return &Response{Status: StatusError, Err: ErrBrokerClosed}
 	}
 	if !b.policy.Admit(class, b.outstanding) {
 		b.mu.Unlock()
-		return b.drop(req, class, key, "threshold exceeded")
+		return b.drop(req, class, key, "threshold exceeded", tr)
 	}
 	b.outstanding++
+	outstanding := b.outstanding
 	hotChanged, report := b.updateHotLocked()
 	b.mu.Unlock()
+	b.reg.Gauge("outstanding").Set(int64(outstanding))
 	if hotChanged && b.hotNotify != nil {
 		b.hotNotify(report)
 	}
 
-	j := &job{ctx: ctx, req: req, class: class, resp: make(chan *Response, 1), started: time.Now()}
+	j := &job{ctx: ctx, req: req, class: class, resp: make(chan *Response, 1), started: time.Now(), tr: tr}
 	if err := b.queue.Push(class, j); err != nil {
 		b.finishJob()
+		tr.SetStatus("error")
+		tr.Finish()
 		return &Response{Status: StatusError, Err: err}
 	}
+	b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
 
 	select {
 	case resp := <-j.resp:
 		return resp
 	case <-ctx.Done():
-		// The worker will still run the job (resp is buffered); the caller
-		// just stops waiting.
+		// The worker will still run the job (resp is buffered) and finish
+		// its trace; the caller just stops waiting.
 		return &Response{Status: StatusError, Err: ctx.Err()}
 	}
 }
 
 // drop produces the immediate low-fidelity response for a shed request:
 // a (possibly stale) cached result when available, else the busy message.
-func (b *Broker) drop(req *Request, class qos.Class, key, reason string) *Response {
+func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *trace.Active) *Response {
 	b.reg.Counter("dropped").Inc()
 	b.reg.Counter(fmt.Sprintf("dropped_class_%d", class)).Inc()
+	tr.SetStatus("dropped")
+	tr.SetNote(reason)
+	defer tr.Finish()
 	if b.results != nil && !req.NoCache {
 		if body, ok := b.results.Get(key); ok {
 			b.reg.Counter("degraded_replies").Inc()
@@ -537,9 +584,24 @@ func (b *Broker) worker() {
 		if err != nil {
 			return // queue closed
 		}
+		popped := time.Now()
+		wait := popped.Sub(j.started)
+		j.tr.Span(trace.StageQueue, j.started, popped, "")
+		b.reg.Histogram("queue_wait").Observe(wait)
+		b.reg.Histogram(fmt.Sprintf("queue_wait_class_%d", j.class)).Observe(wait)
+		b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
 		resp := b.execute(j)
 		b.finishJob()
 		b.observeCompletion(j, resp)
+		switch resp.Status {
+		case StatusOK:
+			j.tr.SetStatus("ok")
+		case StatusDropped:
+			j.tr.SetStatus("dropped")
+		default:
+			j.tr.SetStatus("error")
+		}
+		j.tr.Finish()
 		j.resp <- resp
 	}
 }
@@ -552,9 +614,15 @@ func (b *Broker) execute(j *job) *Response {
 		err  error
 	)
 	if b.batcher != nil {
+		// The cluster span covers both waiting for batch companions and the
+		// combined backend access — the paper's "clustering delay".
+		span := j.tr.StartSpan(trace.StageCluster)
 		body, err = b.batcher.Submit(j.ctx, j.req.Payload)
+		b.reg.Histogram("cluster_time").Observe(span.EndNote("batched access"))
 	} else {
+		span := j.tr.StartSpan(trace.StageBackend)
 		body, err = b.do(j.ctx, j.req.Payload)
+		b.reg.Histogram("backend_rtt").Observe(span.End())
 	}
 	if err != nil {
 		b.reg.Counter("backend_errors").Inc()
@@ -570,8 +638,10 @@ func (b *Broker) execute(j *job) *Response {
 func (b *Broker) finishJob() {
 	b.mu.Lock()
 	b.outstanding--
+	outstanding := b.outstanding
 	hotChanged, report := b.updateHotLocked()
 	b.mu.Unlock()
+	b.reg.Gauge("outstanding").Set(int64(outstanding))
 	if hotChanged && b.hotNotify != nil {
 		b.hotNotify(report)
 	}

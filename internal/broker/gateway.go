@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"servicebroker/internal/qos"
+	"servicebroker/internal/trace"
 	"servicebroker/internal/wire"
 )
 
@@ -81,8 +82,9 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 		TxnID:   m.TxnID,
 		TxnStep: int(m.TxnStep),
 		NoCache: m.Flags&wire.FlagNoCache != 0,
+		TraceID: trace.ID(m.TraceID),
 	})
-	out := &wire.Message{Fidelity: resp.Fidelity, Payload: resp.Payload}
+	out := &wire.Message{Fidelity: resp.Fidelity, Payload: resp.Payload, TraceID: m.TraceID}
 	switch resp.Status {
 	case StatusOK:
 		out.Status = wire.StatusOK
@@ -128,6 +130,7 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		TxnID:   req.TxnID,
 		TxnStep: uint16(req.TxnStep),
 		Payload: req.Payload,
+		TraceID: uint64(req.TraceID),
 	}
 	if req.NoCache {
 		m.Flags |= wire.FlagNoCache

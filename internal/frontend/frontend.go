@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/trace"
 )
 
 // Route maps one URL pattern to a brokered service call.
@@ -80,21 +82,56 @@ func txnOf(req *httpserver.Request) (string, int) {
 
 // respond converts a broker response to HTTP. Dropped requests answer 200
 // with the adaptive low-fidelity payload and an x-fidelity header, mirroring
-// the paper's immediate short-message acknowledgement.
-func respond(resp *broker.Response) *httpserver.Response {
+// the paper's immediate short-message acknowledgement. A nonzero trace ID is
+// surfaced as x-trace-id so clients can correlate with /tracez output.
+func respond(resp *broker.Response, traceID trace.ID) *httpserver.Response {
+	var out *httpserver.Response
 	switch resp.Status {
 	case broker.StatusOK, broker.StatusDropped:
-		out := httpserver.NewResponse(200, resp.Payload)
+		out = httpserver.NewResponse(200, resp.Payload)
 		out.Header["x-fidelity"] = resp.Fidelity.String()
 		out.Header["x-broker-status"] = resp.Status.String()
-		return out
 	default:
 		msg := "backend error"
 		if resp.Err != nil {
 			msg = resp.Err.Error()
 		}
-		return httpserver.Error(502, msg)
+		out = httpserver.Error(502, msg)
 	}
+	if traceID != 0 {
+		out.Header["x-trace-id"] = traceID.String()
+	}
+	return out
+}
+
+// tracedCall wraps one gateway call with trace bookkeeping shared by both
+// deployment models: it assigns the request's end-to-end trace ID, times the
+// wire (UDP round-trip) stage, and finishes the front-end trace record with
+// the request's disposition. With a nil recorder it degrades to a plain
+// call with a zero trace ID.
+func tracedCall(rec *trace.Recorder, cli *broker.Client, service string, req *broker.Request) (*broker.Response, trace.ID, error) {
+	var tr *trace.Active
+	if rec != nil {
+		tr = rec.Start(0, service, int(req.Class))
+		req.TraceID = tr.ID()
+	}
+	span := tr.StartSpan(trace.StageWire)
+	resp, err := cli.Do(context.Background(), service, req)
+	span.End()
+	switch {
+	case err != nil:
+		tr.SetStatus("error")
+		slog.Debug("frontend: broker call failed",
+			"service", service, "trace", req.TraceID.String(), "err", err)
+	case resp.Status == broker.StatusDropped:
+		tr.SetStatus("dropped")
+	case resp.Status == broker.StatusError:
+		tr.SetStatus("error")
+	default:
+		tr.SetStatus("ok")
+	}
+	tr.Finish()
+	return resp, req.TraceID, err
 }
 
 // Distributed is the Figure 5 deployment: a front-end web server that
@@ -103,6 +140,7 @@ type Distributed struct {
 	srv *httpserver.Server
 	cli *broker.Client
 	reg *metrics.Registry
+	rec *trace.Recorder
 }
 
 // NewDistributed starts a front-end web server on addr whose routes call
@@ -137,10 +175,16 @@ func (d *Distributed) Addr() string { return d.srv.Addr().String() }
 // "errors").
 func (d *Distributed) Metrics() *metrics.Registry { return d.reg }
 
+// EnableTracing assigns each forwarded request an end-to-end trace ID,
+// records the front end's wire span into rec, and propagates the ID to the
+// brokers over the wire protocol. Share rec with the obs admin server to
+// expose /tracez.
+func (d *Distributed) EnableTracing(rec *trace.Recorder) { d.rec = rec }
+
 func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Response {
 	txnID, step := txnOf(req)
 	d.reg.Counter("forwarded").Inc()
-	resp, err := d.cli.Do(context.Background(), route.Service, &broker.Request{
+	resp, traceID, err := tracedCall(d.rec, d.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,
@@ -153,7 +197,7 @@ func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Re
 	if resp.Status == broker.StatusDropped {
 		d.reg.Counter("dropped").Inc()
 	}
-	return respond(resp)
+	return respond(resp, traceID)
 }
 
 // Close stops the web server and the gateway client.
@@ -184,6 +228,7 @@ type Centralized struct {
 	listener *Listener
 	profiles map[string][]Demand // pattern → demands
 	reg      *metrics.Registry
+	rec      *trace.Recorder
 }
 
 // NewCentralized starts the centralized front end. listenAddr is the UDP
@@ -265,6 +310,11 @@ func (c *Centralized) admit(route Route) error {
 	return nil
 }
 
+// EnableTracing assigns each admitted request an end-to-end trace ID,
+// records the front end's wire span into rec, and propagates the ID to the
+// brokers over the wire protocol.
+func (c *Centralized) EnableTracing(rec *trace.Recorder) { c.rec = rec }
+
 func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Response {
 	if err := c.admit(route); err != nil {
 		c.reg.Counter("aborted").Inc()
@@ -272,7 +322,7 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 	}
 	c.reg.Counter("admitted").Inc()
 	txnID, step := txnOf(req)
-	resp, err := c.cli.Do(context.Background(), route.Service, &broker.Request{
+	resp, traceID, err := tracedCall(c.rec, c.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,
@@ -285,7 +335,7 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 	if resp.Status == broker.StatusDropped {
 		c.reg.Counter("dropped").Inc()
 	}
-	return respond(resp)
+	return respond(resp, traceID)
 }
 
 // Close stops the web server, gateway client, and listener.

@@ -182,32 +182,57 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	sorted := make([]time.Duration, len(h.reservoir))
 	copy(sorted, h.reservoir)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	return quantileOf(sorted, q)
 }
 
-// Snapshot is an immutable copy of a Histogram's summary statistics.
+// Snapshot is an immutable copy of a Histogram's summary statistics,
+// including the raw log-scaled bucket counts needed for Prometheus-style
+// exposition (bucket i counts observations in [2^i, 2^(i+1)) microseconds;
+// see BucketUpperBound).
 type Snapshot struct {
-	Count int64
-	Mean  time.Duration
-	Min   time.Duration
-	Max   time.Duration
-	P50   time.Duration
-	P95   time.Duration
-	P99   time.Duration
+	Count   int64
+	Sum     time.Duration
+	Mean    time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	P50     time.Duration
+	P95     time.Duration
+	P99     time.Duration
+	Buckets []int64
 }
 
-// Snapshot returns the current summary statistics.
+// Snapshot returns the current summary statistics. The whole snapshot is
+// computed under a single lock acquisition with a single sort of the sample
+// reservoir, so one scrape does not re-copy and re-sort the 16K-sample
+// reservoir once per quantile.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P95:   h.Quantile(0.95),
-		P99:   h.Quantile(0.99),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Buckets: make([]int64, bucketCount),
 	}
+	copy(s.Buckets, h.buckets[:])
+	if h.count > 0 {
+		s.Mean = h.sum / time.Duration(h.count)
+	}
+	if len(h.reservoir) > 0 {
+		sorted := make([]time.Duration, len(h.reservoir))
+		copy(sorted, h.reservoir)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		s.P50 = quantileOf(sorted, 0.50)
+		s.P95 = quantileOf(sorted, 0.95)
+		s.P99 = quantileOf(sorted, 0.99)
+	}
+	return s
+}
+
+// quantileOf indexes a pre-sorted sample slice; q must be in [0, 1].
+func quantileOf(sorted []time.Duration, q float64) time.Duration {
+	return sorted[int(q*float64(len(sorted)-1))]
 }
 
 // String renders the snapshot in a compact single-line form suitable for
@@ -228,6 +253,22 @@ func (h *Histogram) Reset() {
 	h.buckets = [bucketCount]int64{}
 	h.reservoir = h.reservoir[:0]
 	h.rng = 0
+}
+
+// NumBuckets reports the number of log-scaled histogram buckets.
+const NumBuckets = bucketCount
+
+// BucketUpperBound returns the exclusive upper bound of bucket i: 2^(i+1)
+// microseconds. The final bucket is unbounded above (it absorbs every larger
+// observation), matching Prometheus's +Inf bucket.
+func BucketUpperBound(i int) time.Duration {
+	if i < 0 {
+		i = 0
+	}
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	return time.Duration(1<<uint(i+1)) * time.Microsecond
 }
 
 // Buckets returns a copy of the log-scaled bucket counts. Bucket i counts

@@ -343,3 +343,118 @@ func TestStopwatch(t *testing.T) {
 		t.Fatalf("identity Wall = %v, want 250ms", got)
 	}
 }
+
+func TestSnapshotSingleLockMatchesQuantile(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != h.Sum() {
+		t.Fatalf("snapshot sum = %v, histogram sum = %v", s.Sum, h.Sum())
+	}
+	for _, c := range []struct {
+		q   float64
+		got time.Duration
+	}{{0.50, s.P50}, {0.95, s.P95}, {0.99, s.P99}} {
+		if want := h.Quantile(c.q); c.got != want {
+			t.Errorf("snapshot q%.2f = %v, Quantile = %v", c.q, c.got, want)
+		}
+	}
+	if len(s.Buckets) != NumBuckets {
+		t.Fatalf("snapshot buckets = %d, want %d", len(s.Buckets), NumBuckets)
+	}
+	var bucketSum int64
+	for _, b := range s.Buckets {
+		bucketSum += b
+	}
+	if bucketSum != s.Count {
+		t.Fatalf("bucket sum = %d, count = %d", bucketSum, s.Count)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 || s.Sum != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	if got := BucketUpperBound(0); got != 2*time.Microsecond {
+		t.Fatalf("bucket 0 upper = %v, want 2µs", got)
+	}
+	if got := BucketUpperBound(9); got != 1024*time.Microsecond {
+		t.Fatalf("bucket 9 upper = %v, want ~1ms", got)
+	}
+	// Clamped at both ends.
+	if BucketUpperBound(-5) != BucketUpperBound(0) {
+		t.Fatal("negative index not clamped")
+	}
+	if BucketUpperBound(NumBuckets+3) != BucketUpperBound(NumBuckets-1) {
+		t.Fatal("overflow index not clamped")
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	cases := []struct {
+		name  string
+		first func(r *Registry)
+		then  func(r *Registry)
+	}{
+		{"counter-then-histogram", func(r *Registry) { r.Counter("x") }, func(r *Registry) { r.Histogram("x") }},
+		{"histogram-then-counter", func(r *Registry) { r.Histogram("x") }, func(r *Registry) { r.Counter("x") }},
+		{"gauge-then-counter", func(r *Registry) { r.Gauge("x") }, func(r *Registry) { r.Counter("x") }},
+		{"counter-then-gauge", func(r *Registry) { r.Counter("x") }, func(r *Registry) { r.Gauge("x") }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := NewRegistry()
+			c.first(r)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on metric kind collision")
+				}
+			}()
+			c.then(r)
+		})
+	}
+}
+
+func TestRegistrySameKindDoesNotPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(time.Millisecond)
+	r.Histogram("z").Observe(time.Millisecond)
+	if r.Counter("x").Value() != 2 {
+		t.Fatal("counter reuse broken")
+	}
+}
+
+func TestRegistryView(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(3)
+	r.Gauge("depth").Set(-2)
+	r.Histogram("lat").Observe(5 * time.Millisecond)
+	v := r.View()
+	if v.Counters["reqs"] != 3 {
+		t.Fatalf("view counter = %d", v.Counters["reqs"])
+	}
+	if v.Gauges["depth"] != -2 {
+		t.Fatalf("view gauge = %d", v.Gauges["depth"])
+	}
+	h, ok := v.Histograms["lat"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("view histogram = %+v, ok=%v", h, ok)
+	}
+	if len(h.Buckets) != NumBuckets {
+		t.Fatalf("view histogram buckets = %d", len(h.Buckets))
+	}
+}

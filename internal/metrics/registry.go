@@ -9,11 +9,17 @@ import (
 )
 
 // Registry is a named collection of metrics. Subsystems register their
-// counters and histograms under stable names so that experiment harnesses
-// and the cmd/sbexp binary can dump a consistent snapshot. The zero value is
-// ready to use.
+// counters and histograms under stable names so that experiment harnesses,
+// the cmd/sbexp binary, and the obs admin server can dump a consistent
+// snapshot. The zero value is ready to use.
+//
+// A name identifies exactly one metric of one kind: asking for the same name
+// as two different kinds (e.g. Counter("x") then Histogram("x")) is a
+// programming error and panics, instead of silently yielding two unrelated
+// metrics that would both appear in exports.
 type Registry struct {
 	mu         sync.Mutex
+	kinds      map[string]string // name → "counter" | "gauge" | "histogram"
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -22,10 +28,25 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// claim records the kind of a metric name, panicking if the name is already
+// registered as a different kind. Caller holds r.mu.
+func (r *Registry) claim(name, kind string) {
+	if r.kinds == nil {
+		r.kinds = make(map[string]string)
+	}
+	if existing, ok := r.kinds[name]; ok && existing != kind {
+		panic(fmt.Sprintf("metrics: %q already registered as a %s, requested as a %s",
+			name, existing, kind))
+	}
+	r.kinds[name] = kind
+}
+
 // Counter returns the counter with the given name, creating it on first use.
+// It panics if name is already registered as a different metric kind.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.claim(name, "counter")
 	if r.counters == nil {
 		r.counters = make(map[string]*Counter)
 	}
@@ -38,9 +59,11 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Gauge returns the gauge with the given name, creating it on first use.
+// It panics if name is already registered as a different metric kind.
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.claim(name, "gauge")
 	if r.gauges == nil {
 		r.gauges = make(map[string]*Gauge)
 	}
@@ -53,10 +76,11 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Histogram returns the histogram with the given name, creating it on first
-// use.
+// use. It panics if name is already registered as a different metric kind.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.claim(name, "histogram")
 	if r.histograms == nil {
 		r.histograms = make(map[string]*Histogram)
 	}
@@ -66,6 +90,43 @@ func (r *Registry) Histogram(name string) *Histogram {
 		r.histograms[name] = h
 	}
 	return h
+}
+
+// View is a point-in-time export of a registry's metrics, keyed by name.
+// Histogram values are full snapshots (including bucket counts) so renderers
+// such as the obs admin server can emit Prometheus-style exposition without
+// reaching into live metric objects.
+type View struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]Snapshot
+}
+
+// View exports every registered metric. Counter and gauge values are read
+// under the registry lock; histogram snapshots are taken afterwards so one
+// slow histogram does not stall concurrent registrations.
+func (r *Registry) View() View {
+	r.mu.Lock()
+	v := View{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]Snapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		v.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		v.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+	for name, h := range hists {
+		v.Histograms[name] = h.Snapshot()
+	}
+	return v
 }
 
 // Dump renders every metric, sorted by name, one per line.

@@ -1,0 +1,306 @@
+// Package obs is the framework's operational introspection plane: a small
+// admin HTTP server that any daemon (brokerd, frontend, backendd, sbexp) can
+// mount behind a -admin flag. It exposes:
+//
+//	/metrics  Prometheus-style text exposition of every mounted
+//	          metrics.Registry, including histogram buckets
+//	/healthz  liveness probe
+//	/tracez   recent completed traces with per-stage latency breakdowns,
+//	          filterable by service and QoS class
+//	/loadz    live broker.LoadReport lines from registered load sources
+//	/debug/pprof/...  the standard net/http/pprof handlers
+//
+// The server is stdlib-only and safe to mount in front of live registries:
+// rendering works from point-in-time View snapshots, never from live metric
+// objects.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"servicebroker/internal/broker"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/trace"
+)
+
+// LoadSource supplies live broker load summaries for /loadz. A brokerd
+// process registers one source per hosted broker (or one returning all of
+// them); the centralized front end can register its listener's view.
+type LoadSource func() []broker.LoadReport
+
+// Server is the admin endpoint. The zero value is not usable; call New.
+// Mount* and Add* calls are safe at any time, including while serving.
+type Server struct {
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	mounts  []mount
+	rec     *trace.Recorder
+	sources []LoadSource
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+type mount struct {
+	prefix string
+	reg    *metrics.Registry
+}
+
+// New returns an admin server with all endpoints registered.
+func New() *Server {
+	s := &Server{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/tracez", s.handleTracez)
+	s.mux.HandleFunc("/loadz", s.handleLoadz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// MountRegistry exposes reg's metrics on /metrics with every name prefixed
+// by prefix (use "broker.db." to get broker_db_queue_wait and friends, or ""
+// for names that are already fully qualified). Mounting the same registry
+// twice under different prefixes exports it twice.
+func (s *Server) MountRegistry(prefix string, reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.mounts = append(s.mounts, mount{prefix: prefix, reg: reg})
+	s.mu.Unlock()
+}
+
+// SetRecorder wires the trace recorder backing /tracez.
+func (s *Server) SetRecorder(rec *trace.Recorder) {
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+// AddLoadSource registers a /loadz supplier.
+func (s *Server) AddLoadSource(src LoadSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// Handler returns the admin mux (useful for embedding in tests or an
+// existing server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr ("127.0.0.1:0" for ephemeral) and serves in a
+// background goroutine. It returns once the listener is bound, so Addr is
+// immediately valid.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	s.mu.Lock()
+	s.ln, s.srv = ln, srv
+	s.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// Addr returns the bound listen address, or nil before Start.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the HTTP server if Start was called.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// --- /metrics -------------------------------------------------------------
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	mounts := append([]mount(nil), s.mounts...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, m := range mounts {
+		WriteProm(&b, m.prefix, m.reg.View())
+	}
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// WriteProm renders one registry view in the Prometheus text exposition
+// format. Metric names get prefix prepended and are then sanitized (dots and
+// other invalid characters become underscores). Histograms emit cumulative
+// _bucket{le="..."} lines with upper bounds in seconds, plus _sum and _count.
+func WriteProm(b *strings.Builder, prefix string, v metrics.View) {
+	names := make([]string, 0, len(v.Counters))
+	for name := range v.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(prefix + name)
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", pn, pn, v.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range v.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(prefix + name)
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", pn, pn, v.Gauges[name])
+	}
+
+	names = names[:0]
+	for name := range v.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		snap := v.Histograms[name]
+		pn := PromName(prefix + name)
+		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, n := range snap.Buckets {
+			cum += n
+			if n == 0 {
+				continue
+			}
+			le := strconv.FormatFloat(metrics.BucketUpperBound(i).Seconds(), 'g', -1, 64)
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, snap.Count)
+		fmt.Fprintf(b, "%s_sum %s\n", pn, strconv.FormatFloat(snap.Sum.Seconds(), 'g', -1, 64))
+		fmt.Fprintf(b, "%s_count %d\n", pn, snap.Count)
+	}
+}
+
+// PromName sanitizes a dotted metric name into the Prometheus name charset
+// [a-zA-Z0-9_:], mapping every other rune to '_' and prefixing '_' when the
+// name would start with a digit.
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// --- /tracez --------------------------------------------------------------
+
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rec := s.rec
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if rec == nil {
+		fmt.Fprintln(w, "tracez: no trace recorder configured")
+		return
+	}
+
+	q := r.URL.Query()
+	f := trace.Filter{Service: q.Get("service"), Limit: 100}
+	if v := q.Get("class"); v != "" {
+		if c, err := strconv.Atoi(v); err == nil {
+			f.Class = c
+		}
+	}
+	if v := q.Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			f.Limit = n
+		}
+	}
+	if v := q.Get("min"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			f.MinDuration = d
+		}
+	}
+
+	traces := rec.Snapshot(f)
+	fmt.Fprintf(w, "%d traces (newest first)\n", len(traces))
+	for _, t := range traces {
+		fmt.Fprintf(w, "trace %s service=%s class=%d status=%s dur=%s",
+			t.ID, t.Service, t.Class, t.Status, trace.FormatDuration(t.Duration()))
+		if t.Note != "" {
+			fmt.Fprintf(w, " note=%q", t.Note)
+		}
+		fmt.Fprintln(w)
+		for _, sp := range t.Spans {
+			fmt.Fprintf(w, "  stage=%s dur=%s", sp.Stage, trace.FormatDuration(sp.Duration()))
+			if sp.Note != "" {
+				fmt.Fprintf(w, " note=%q", sp.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// --- /loadz ---------------------------------------------------------------
+
+func (s *Server) handleLoadz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sources := append([]LoadSource(nil), s.sources...)
+	s.mu.Unlock()
+
+	var reports []broker.LoadReport
+	for _, src := range sources {
+		reports = append(reports, src()...)
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Service < reports[j].Service })
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(sources) == 0 {
+		fmt.Fprintln(w, "loadz: no load sources configured")
+		return
+	}
+	for _, lr := range reports {
+		fmt.Fprintf(w, "service=%s outstanding=%d threshold=%d queue=%d hot=%v\n",
+			lr.Service, lr.Outstanding, lr.Threshold, lr.QueueLen, lr.Hot)
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import "sync"
+
+// DefaultRingCapacity is the default bound on retained completed traces.
+// At a few hundred bytes per trace this keeps /tracez memory below a couple
+// of megabytes even on a saturated broker.
+const DefaultRingCapacity = 2048
+
+// Ring is a bounded buffer of recently completed traces. Writers overwrite
+// the oldest entry once the ring is full; readers take a consistent snapshot.
+//
+// Writes are the hot path (every completed request lands here), so Put does
+// a single short critical section: claim a slot, copy the record, done. No
+// allocation happens under the lock after warmup because the backing slice
+// is pre-sized.
+type Ring struct {
+	mu    sync.Mutex
+	slots []Trace
+	next  uint64 // total Puts; next%cap is the slot to write
+}
+
+// NewRing returns a ring holding up to capacity traces (capacity < 1 is
+// raised to 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{slots: make([]Trace, 0, capacity)}
+}
+
+// Put appends one completed trace, evicting the oldest when full.
+func (r *Ring) Put(t Trace) {
+	r.mu.Lock()
+	if len(r.slots) < cap(r.slots) {
+		r.slots = append(r.slots, t)
+	} else {
+		r.slots[r.next%uint64(cap(r.slots))] = t
+	}
+	r.next++
+	r.mu.Unlock()
+}
+
+// Len reports how many traces the ring holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.slots)
+}
+
+// Snapshot returns the retained traces newest-first, filtered by f. The
+// returned slice and its spans are copies; callers may hold them freely.
+func (r *Ring) Snapshot(f Filter) []Trace {
+	r.mu.Lock()
+	n := len(r.slots)
+	ordered := make([]Trace, 0, n)
+	// Walk backward from the most recent write position.
+	for i := 0; i < n; i++ {
+		idx := int((r.next + uint64(cap(r.slots)) - 1 - uint64(i)) % uint64(cap(r.slots)))
+		ordered = append(ordered, r.slots[idx])
+	}
+	r.mu.Unlock()
+
+	out := make([]Trace, 0, len(ordered))
+	for _, t := range ordered {
+		if !f.matches(t) {
+			continue
+		}
+		t.Spans = append([]Span(nil), t.Spans...)
+		out = append(out, t)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+// Package trace provides the end-to-end request tracing layer of the
+// service-broker framework. A 64-bit trace ID is assigned where a request
+// enters the system (normally the front-end web server), carried across the
+// UDP wire protocol to the broker, and annotated at every stage of the
+// brokered access path:
+//
+//	wire     the front end's call to the broker gateway (UDP round trip)
+//	queue    time spent waiting in the broker's priority queue
+//	cache    the result-cache lookup (hit or miss)
+//	cluster  waiting for / executing a clustered (batched) backend access
+//	backend  one direct backend request/response exchange
+//
+// Completed traces land in a bounded Ring so an admin endpoint (/tracez,
+// package obs) can show the recent request history with per-stage latency
+// breakdowns, and per-service/per-stage/per-class durations are aggregated
+// into a metrics.Registry for scraping.
+//
+// The package is stdlib-only and race-clean: an Active trace may be
+// annotated from several goroutines (the broker's Handle path and its worker
+// pool touch the same trace).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"servicebroker/internal/metrics"
+)
+
+// ID is a 64-bit trace identifier. The zero value means "no trace" and is
+// never returned by NewID.
+type ID uint64
+
+// idState seeds the process-local ID generator. The counter is mixed through
+// a SplitMix64 finalizer so consecutive IDs are well distributed even though
+// allocation is a single atomic add.
+var idState = func() *atomic.Uint64 {
+	var v atomic.Uint64
+	v.Store(uint64(time.Now().UnixNano()))
+	return &v
+}()
+
+// NewID returns a new nonzero trace ID, unique within the process and
+// unlikely to collide across processes.
+func NewID() ID {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return ID(x)
+		}
+	}
+}
+
+// String renders the ID as 16 lowercase hex digits (zero-padded).
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// ParseID parses the hex form produced by String. The empty string and "0"
+// parse to the zero ID.
+func ParseID(s string) (ID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad id %q: %w", s, err)
+	}
+	return ID(v), nil
+}
+
+// Stage names one segment of the brokered request path.
+type Stage string
+
+// The canonical stages annotated by the framework.
+const (
+	StageWire    Stage = "wire"
+	StageQueue   Stage = "queue"
+	StageCache   Stage = "cache"
+	StageCluster Stage = "cluster"
+	StageBackend Stage = "backend"
+)
+
+// Span is one timed stage within a trace.
+type Span struct {
+	Stage Stage
+	// Note carries a stage-specific annotation ("hit", "miss", a drop
+	// reason, a batch size, ...). May be empty.
+	Note  string
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the span's elapsed time.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Trace is one completed request's record.
+type Trace struct {
+	ID      ID
+	Service string
+	Class   int
+	Status  string
+	// Note carries a trace-level annotation (e.g. the broker's drop
+	// reason). May be empty.
+	Note  string
+	Start time.Time
+	End   time.Time
+	Spans []Span
+}
+
+// Duration returns the trace's total elapsed time.
+func (t Trace) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// Active is a trace under construction. It is safe for concurrent
+// annotation; call Finish exactly once when the request completes.
+type Active struct {
+	rec *Recorder
+
+	mu       sync.Mutex
+	t        Trace
+	finished bool
+}
+
+// Recorder owns the ring of completed traces and the metric aggregation.
+// A single Recorder is typically shared by every traced component in a
+// process (all brokers behind a gateway, plus the front end). The zero value
+// is not usable; call NewRecorder.
+type Recorder struct {
+	ring *Ring
+	reg  *metrics.Registry
+}
+
+// RecorderOption configures a Recorder.
+type RecorderOption func(*Recorder)
+
+// WithCapacity bounds the completed-trace ring (default DefaultRingCapacity).
+func WithCapacity(n int) RecorderOption {
+	return func(r *Recorder) { r.ring = NewRing(n) }
+}
+
+// WithMetrics aggregates per-stage durations into reg under names
+// "trace.<service>.<stage>" (histogram), "trace.<service>.<stage>.class_<c>"
+// (histogram), and "trace.<service>.finished" / ".finished_<status>"
+// (counters).
+func WithMetrics(reg *metrics.Registry) RecorderOption {
+	return func(r *Recorder) { r.reg = reg }
+}
+
+// NewRecorder returns a ready Recorder.
+func NewRecorder(opts ...RecorderOption) *Recorder {
+	r := &Recorder{ring: NewRing(DefaultRingCapacity)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Start begins an active trace for one request. A zero id is replaced with a
+// fresh one (use the returned Active's ID method to learn it).
+func (r *Recorder) Start(id ID, service string, class int) *Active {
+	if id == 0 {
+		id = NewID()
+	}
+	return &Active{
+		rec: r,
+		t: Trace{
+			ID:      id,
+			Service: service,
+			Class:   class,
+			Start:   time.Now(),
+		},
+	}
+}
+
+// Snapshot returns recently completed traces, newest first, filtered by f.
+func (r *Recorder) Snapshot(f Filter) []Trace { return r.ring.Snapshot(f) }
+
+// Len reports how many completed traces the ring currently holds.
+func (r *Recorder) Len() int { return r.ring.Len() }
+
+// ID returns the trace's identifier.
+func (a *Active) ID() ID {
+	if a == nil {
+		return 0
+	}
+	return a.t.ID
+}
+
+// SetClass records the request's effective QoS class (it may change after
+// Start, e.g. transaction escalation).
+func (a *Active) SetClass(class int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Class = class
+	a.mu.Unlock()
+}
+
+// SetStatus records the request's disposition ("ok", "dropped", "error").
+func (a *Active) SetStatus(status string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Status = status
+	a.mu.Unlock()
+}
+
+// SetNote records a trace-level annotation such as a drop reason.
+func (a *Active) SetNote(note string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Note = note
+	a.mu.Unlock()
+}
+
+// Span records one completed stage with explicit bounds.
+func (a *Active) Span(stage Stage, start, end time.Time, note string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Spans = append(a.t.Spans, Span{Stage: stage, Note: note, Start: start, End: end})
+	a.mu.Unlock()
+}
+
+// SpanTimer measures one in-progress stage; obtain one with StartSpan and
+// finish it with End or EndNote.
+type SpanTimer struct {
+	a     *Active
+	stage Stage
+	start time.Time
+}
+
+// StartSpan begins timing a stage.
+func (a *Active) StartSpan(stage Stage) SpanTimer {
+	return SpanTimer{a: a, stage: stage, start: time.Now()}
+}
+
+// End records the span with no note and returns its duration.
+func (st SpanTimer) End() time.Duration { return st.EndNote("") }
+
+// EndNote records the span with a note and returns its duration.
+func (st SpanTimer) EndNote(note string) time.Duration {
+	end := time.Now()
+	st.a.Span(st.stage, st.start, end, note)
+	return end.Sub(st.start)
+}
+
+// Finish seals the trace, appends it to the recorder's ring, and aggregates
+// its spans into the recorder's registry. Repeated calls are no-ops. Finish
+// returns the completed record (copy).
+func (a *Active) Finish() Trace {
+	if a == nil {
+		return Trace{}
+	}
+	a.mu.Lock()
+	if a.finished {
+		t := a.t
+		a.mu.Unlock()
+		return t
+	}
+	a.finished = true
+	a.t.End = time.Now()
+	if a.t.Status == "" {
+		a.t.Status = "ok"
+	}
+	t := a.t
+	t.Spans = append([]Span(nil), a.t.Spans...)
+	a.mu.Unlock()
+
+	a.rec.ring.Put(t)
+	if reg := a.rec.reg; reg != nil {
+		reg.Counter("trace." + t.Service + ".finished").Inc()
+		reg.Counter("trace." + t.Service + ".finished_" + t.Status).Inc()
+		for _, sp := range t.Spans {
+			d := sp.Duration()
+			reg.Histogram("trace." + t.Service + "." + string(sp.Stage)).Observe(d)
+			if t.Class > 0 {
+				reg.Histogram(fmt.Sprintf("trace.%s.%s.class_%d", t.Service, sp.Stage, t.Class)).Observe(d)
+			}
+		}
+	}
+	return t
+}
+
+// Filter selects traces from a Ring snapshot. Zero values match everything.
+type Filter struct {
+	// Service keeps only traces of this service when non-empty.
+	Service string
+	// Class keeps only traces of this QoS class when positive.
+	Class int
+	// MinDuration keeps only traces at least this long.
+	MinDuration time.Duration
+	// Limit caps the number of returned traces (newest first); ≤ 0 means
+	// no cap.
+	Limit int
+}
+
+func (f Filter) matches(t Trace) bool {
+	if f.Service != "" && t.Service != f.Service {
+		return false
+	}
+	if f.Class > 0 && t.Class != f.Class {
+		return false
+	}
+	if f.MinDuration > 0 && t.Duration() < f.MinDuration {
+		return false
+	}
+	return true
+}
+
+// StageBreakdown sums span durations by stage across a set of traces —
+// the per-stage view the paper's evaluation (§V) reasons about.
+func StageBreakdown(traces []Trace) map[Stage]time.Duration {
+	out := make(map[Stage]time.Duration)
+	for _, t := range traces {
+		for _, sp := range t.Spans {
+			out[sp.Stage] += sp.Duration()
+		}
+	}
+	return out
+}
+
+// FormatDuration renders d compactly for /tracez output (3 significant
+// digits, never scientific notation).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return trimZeros(float64(d)/float64(time.Microsecond)) + "µs"
+	case d < time.Second:
+		return trimZeros(float64(d)/float64(time.Millisecond)) + "ms"
+	default:
+		return trimZeros(d.Seconds()) + "s"
+	}
+}
+
+func trimZeros(v float64) string {
+	s := strconv.FormatFloat(math.Round(v*100)/100, 'f', -1, 64)
+	return s
+}

@@ -73,6 +73,12 @@ type Message struct {
 	Status Status
 	// Flags carries request options (FlagNoCache).
 	Flags uint8
+	// TraceID propagates the end-to-end request trace across the wire
+	// (package trace assigns it at the front end). Zero means untraced; a
+	// zero TraceID encodes in the original frame layout, so old peers and
+	// previously captured frames remain fully interoperable. The field is a
+	// raw uint64 rather than trace.ID to keep the codec dependency-free.
+	TraceID uint64
 	// Payload is the service-specific query or result body.
 	Payload []byte
 }
@@ -83,10 +89,16 @@ const FlagNoCache uint8 = 1 << 0
 const (
 	magic0 = 'S'
 	magic1 = 'B'
-	// codecVersion identifies the frame layout.
+	// codecVersion is the original frame layout, still emitted for untraced
+	// messages (TraceID == 0) so old peers keep interoperating.
 	codecVersion = 1
-	// headerSize is the fixed-size prefix before variable-length fields.
+	// codecVersionTraced extends the fixed header with an 8-byte trace ID.
+	codecVersionTraced = 2
+	// headerSize is the fixed-size version-1 prefix before variable-length
+	// fields.
 	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
+	// headerSizeTraced is the version-2 prefix: headerSize plus the trace ID.
+	headerSizeTraced = headerSize + 8
 	// MaxFrame bounds an encoded message so it fits in a UDP datagram.
 	MaxFrame = 60 * 1024
 	// maxStringLen bounds each variable-length string field.
@@ -96,8 +108,13 @@ const (
 // Frame layout (all integers big-endian):
 //
 //	magic[2] version[1] type[1] id[8] class[1] txnStep[2] fidelity[1] status[1]
-//	flags[1] serviceLen[2] service[...] txnIDLen[2] txnID[...]
-//	payloadLen[4] payload[...]
+//	flags[1] {traceID[8] when version == 2} serviceLen[2] service[...]
+//	txnIDLen[2] txnID[...] payloadLen[4] payload[...]
+//
+// Version 1 frames carry no trace ID and decode with TraceID == 0; version 2
+// frames append the 8-byte trace ID to the fixed header. Encode picks the
+// layout from the message's TraceID, so a zero value round-trips through the
+// old, universally understood format.
 
 // Encoding and decoding errors.
 var (
@@ -113,16 +130,23 @@ func Encode(m *Message) ([]byte, error) {
 	if len(m.TxnID) > maxStringLen {
 		return nil, fmt.Errorf("%w: txn id %d bytes", ErrFrameTooLarge, len(m.TxnID))
 	}
-	total := headerSize + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload)
+	version, fixed := byte(codecVersion), headerSize
+	if m.TraceID != 0 {
+		version, fixed = codecVersionTraced, headerSizeTraced
+	}
+	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload)
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
 	buf := make([]byte, 0, total)
-	buf = append(buf, magic0, magic1, codecVersion, byte(m.Type))
+	buf = append(buf, magic0, magic1, version, byte(m.Type))
 	buf = binary.BigEndian.AppendUint64(buf, m.ID)
 	buf = append(buf, byte(m.Class))
 	buf = binary.BigEndian.AppendUint16(buf, m.TxnStep)
 	buf = append(buf, byte(m.Fidelity), byte(m.Status), m.Flags)
+	if m.TraceID != 0 {
+		buf = binary.BigEndian.AppendUint64(buf, m.TraceID)
+	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Service)))
 	buf = append(buf, m.Service...)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.TxnID)))
@@ -141,7 +165,7 @@ func Decode(buf []byte) (*Message, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if buf[2] != codecVersion {
+	if buf[2] != codecVersion && buf[2] != codecVersionTraced {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
 	m := &Message{
@@ -157,6 +181,13 @@ func Decode(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[3])
 	}
 	rest := buf[headerSize:]
+	if buf[2] == codecVersionTraced {
+		if len(buf) < headerSizeTraced {
+			return nil, fmt.Errorf("%w: truncated trace id", ErrBadFrame)
+		}
+		m.TraceID = binary.BigEndian.Uint64(buf[headerSize:headerSizeTraced])
+		rest = buf[headerSizeTraced:]
+	}
 
 	service, rest, err := readString(rest)
 	if err != nil {

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"servicebroker/internal/qos"
+)
+
+// encodeV1 builds an old-layout (pre-TraceID, version 1) frame by hand, the
+// way a pre-upgrade peer would.
+func encodeV1(m *Message) []byte {
+	buf := []byte{magic0, magic1, codecVersion, byte(m.Type)}
+	buf = binary.BigEndian.AppendUint64(buf, m.ID)
+	buf = append(buf, byte(m.Class))
+	buf = binary.BigEndian.AppendUint16(buf, m.TxnStep)
+	buf = append(buf, byte(m.Fidelity), byte(m.Status), m.Flags)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Service)))
+	buf = append(buf, m.Service...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.TxnID)))
+	buf = append(buf, m.TxnID...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	return append(buf, m.Payload...)
+}
+
+func TestDecodeOldLayoutFrames(t *testing.T) {
+	m := &Message{
+		Type:    TypeRequest,
+		ID:      77,
+		Service: "db",
+		Class:   qos.Class1,
+		TxnID:   "t-1",
+		TxnStep: 2,
+		Flags:   FlagNoCache,
+		Payload: []byte("SELECT 1"),
+	}
+	frame := encodeV1(m)
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatalf("old layout did not decode: %v", err)
+	}
+	if got.TraceID != 0 {
+		t.Fatalf("old layout decoded TraceID = %d, want 0", got.TraceID)
+	}
+	if got.ID != m.ID || got.Service != m.Service || got.TxnID != m.TxnID ||
+		!bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("old layout mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestZeroTraceIDEncodesOldLayout(t *testing.T) {
+	m := &Message{Type: TypeRequest, ID: 5, Service: "db", Payload: []byte("q")}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersion {
+		t.Fatalf("zero TraceID emitted version %d, want %d (old layout)", frame[2], codecVersion)
+	}
+	if !bytes.Equal(frame, encodeV1(m)) {
+		t.Fatal("zero-TraceID frame differs from the hand-built old layout")
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:    TypeRequest,
+		ID:      9,
+		Service: "dir",
+		Class:   qos.Class2,
+		TraceID: 0xdeadbeefcafef00d,
+		Payload: []byte("SEARCH dc=example sub"),
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTraced {
+		t.Fatalf("traced frame version = %d, want %d", frame[2], codecVersionTraced)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != m.TraceID {
+		t.Fatalf("TraceID = %#x, want %#x", got.TraceID, m.TraceID)
+	}
+	if got.Service != m.Service || got.Class != m.Class || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("traced round trip mismatch: %+v", got)
+	}
+}
+
+// TestDecodeTruncatedFrames is the fuzz-style table: both layouts, cut at
+// every byte boundary, must error (never panic, never succeed).
+func TestDecodeTruncatedFrames(t *testing.T) {
+	traced := &Message{Type: TypeRequest, ID: 3, Service: "mail", TxnID: "tx",
+		TraceID: 42, Payload: []byte("LIST a@x.com")}
+	untraced := &Message{Type: TypeResponse, ID: 4, Service: "db", Payload: []byte("ok")}
+
+	tracedFrame, err := Encode(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	untracedFrame, err := Encode(untraced)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"v2-traced", tracedFrame},
+		{"v1-untraced", untracedFrame},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for cut := 0; cut < len(c.frame); cut++ {
+				if _, err := Decode(c.frame[:cut]); !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFrame",
+						cut, len(c.frame), err)
+				}
+			}
+			// Extra trailing bytes are also malformed (payload length must
+			// consume the rest exactly).
+			if _, err := Decode(append(append([]byte(nil), c.frame...), 0)); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("trailing byte: err = %v, want ErrBadFrame", err)
+			}
+		})
+	}
+
+	// A version-2 header cut exactly at the old header size lacks its trace
+	// ID — the specific boundary the traced layout adds.
+	if _, err := Decode(tracedFrame[:headerSize]); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("v2 frame without trace id: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Property: any TraceID (zero or not) round-trips exactly.
+func TestTraceIDRoundTripProperty(t *testing.T) {
+	f := func(traceID, id uint64, service string, payload []byte) bool {
+		if len(service) > 64 || len(payload) > 4096 {
+			return true
+		}
+		m := &Message{Type: TypeRequest, ID: id, Service: service,
+			TraceID: traceID, Payload: payload}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.TraceID == traceID && got.Service == service &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
