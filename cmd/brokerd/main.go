@@ -5,16 +5,23 @@
 //
 //	name:kind:backendAddr
 //
-// where kind is db, dir, mail, web, or cgi. Example:
+// where kind is db, dir, mail, web, or cgi, and backendAddr may list
+// several replica addresses separated by "|" (the broker then balances
+// across them with the least-outstanding policy). Example:
 //
 //	brokerd -listen 127.0.0.1:6000 \
-//	        -service db:db:127.0.0.1:7001 \
+//	        -service db:db:127.0.0.1:7001|127.0.0.1:7011 \
 //	        -service dir:dir:127.0.0.1:7002 \
 //	        -threshold 20 -classes 3 -workers 20 -cache 1024
 //
 // With -report-to the broker pushes load reports to a centralized front
 // end's listener thread. With -admin the process serves the obs admin
-// endpoints (/metrics, /tracez, /loadz, /healthz, pprof) over HTTP.
+// endpoints (/metrics, /tracez, /loadz, /breakerz, /healthz, pprof) over
+// HTTP. The -retries, -retry-base, -breaker-failures, -breaker-cooldown,
+// and -serve-stale flags configure the fault-tolerance layer (see
+// DESIGN.md §8): transient backend errors are retried with capped backoff,
+// replicas trip per-replica circuit breakers, and -serve-stale answers
+// from expired cache entries at low fidelity when the backend is down.
 package main
 
 import (
@@ -30,8 +37,10 @@ import (
 	"servicebroker/internal/backend"
 	"servicebroker/internal/broker"
 	"servicebroker/internal/frontend"
+	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
+	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 )
 
@@ -45,33 +54,52 @@ func (s *serviceFlags) Set(v string) error {
 	return nil
 }
 
+// config carries every run parameter; zero fields mean the feature is off.
+type config struct {
+	services        serviceFlags
+	listen          string
+	threshold       int
+	classes         int
+	workers         int
+	cacheSize       int
+	cacheTTL        time.Duration
+	reportTo        string
+	reportEvery     time.Duration
+	admin           string
+	retries         int
+	retryBase       time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+	serveStale      bool
+}
+
 func main() {
-	var services serviceFlags
-	var (
-		listen    = flag.String("listen", "127.0.0.1:0", "UDP gateway listen address")
-		threshold = flag.Int("threshold", 20, "outstanding-request threshold per broker")
-		classes   = flag.Int("classes", 3, "number of QoS classes")
-		workers   = flag.Int("workers", 20, "persistent backend sessions per broker")
-		cacheSize = flag.Int("cache", 0, "result cache entries (0 disables caching)")
-		cacheTTL  = flag.Duration("cache-ttl", 30*time.Second, "result cache TTL")
-		reportTo  = flag.String("report-to", "", "push load reports to this UDP listener address")
-		reportEvy = flag.Duration("report-every", time.Second, "load report interval")
-		admin     = flag.String("admin", "", "admin HTTP address for /metrics, /tracez, /loadz (empty disables)")
-	)
-	flag.Var(&services, "service", "broker spec name:kind:backendAddr (repeatable)")
+	var cfg config
+	flag.StringVar(&cfg.listen, "listen", "127.0.0.1:0", "UDP gateway listen address")
+	flag.IntVar(&cfg.threshold, "threshold", 20, "outstanding-request threshold per broker")
+	flag.IntVar(&cfg.classes, "classes", 3, "number of QoS classes")
+	flag.IntVar(&cfg.workers, "workers", 20, "persistent backend sessions per broker")
+	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 disables caching)")
+	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 30*time.Second, "result cache TTL")
+	flag.StringVar(&cfg.reportTo, "report-to", "", "push load reports to this UDP listener address")
+	flag.DurationVar(&cfg.reportEvery, "report-every", time.Second, "load report interval")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address for /metrics, /tracez, /loadz, /breakerz (empty disables)")
+	flag.IntVar(&cfg.retries, "retries", 2, "retries after a failed backend access (0 disables retrying)")
+	flag.DurationVar(&cfg.retryBase, "retry-base", 10*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
+	flag.IntVar(&cfg.breakerFailures, "breaker-failures", 5, "consecutive failures that open a replica's circuit breaker")
+	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", time.Second, "how long an open breaker waits before half-open probes")
+	flag.BoolVar(&cfg.serveStale, "serve-stale", false, "serve expired cache entries at low fidelity when the backend is unreachable")
+	flag.Var(&cfg.services, "service", "broker spec name:kind:addr[|addr...] (repeatable)")
 	flag.Parse()
 
-	if err := run(services, *listen, *threshold, *classes, *workers,
-		*cacheSize, *cacheTTL, *reportTo, *reportEvy, *admin); err != nil {
+	if err := run(cfg); err != nil {
 		slog.Error("brokerd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(services serviceFlags, listen string, threshold, classes, workers,
-	cacheSize int, cacheTTL time.Duration, reportTo string, reportEvery time.Duration,
-	admin string) error {
-	if len(services) == 0 {
+func run(cfg config) error {
+	if len(cfg.services) == 0 {
 		return fmt.Errorf("at least one -service is required")
 	}
 
@@ -82,7 +110,7 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		adminSrv *obs.Server
 		tracer   *trace.Recorder
 	)
-	if admin != "" {
+	if cfg.admin != "" {
 		adminSrv = obs.New()
 		traceReg := metrics.NewRegistry()
 		tracer = trace.NewRecorder(trace.WithMetrics(traceReg))
@@ -90,7 +118,7 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		adminSrv.MountRegistry("", traceReg)
 	}
 
-	brokers := make(map[string]*broker.Broker, len(services))
+	brokers := make(map[string]*broker.Broker, len(cfg.services))
 	var reporters []*frontend.Reporter
 	defer func() {
 		for _, r := range reporters {
@@ -101,25 +129,38 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		}
 	}()
 
-	for _, spec := range services {
-		name, kind, addr, err := parseSpec(spec)
-		if err != nil {
-			return err
-		}
-		connector, err := makeConnector(name, kind, addr)
+	for _, spec := range cfg.services {
+		name, kind, addrs, err := parseSpec(spec)
 		if err != nil {
 			return err
 		}
 		opts := []broker.Option{
-			broker.WithThreshold(threshold, classes),
-			broker.WithWorkers(workers),
+			broker.WithThreshold(cfg.threshold, cfg.classes),
+			broker.WithWorkers(cfg.workers),
 		}
-		if cacheSize > 0 {
-			opts = append(opts, broker.WithCache(cacheSize, cacheTTL))
+		var connector backend.Connector
+		if len(addrs) == 1 {
+			if connector, err = makeConnector(name, kind, addrs[0]); err != nil {
+				return err
+			}
+		} else {
+			// Replicated backend: one connector per address behind the
+			// least-outstanding balancer (the broker takes a nil connector).
+			connectors := make([]backend.Connector, len(addrs))
+			for i, addr := range addrs {
+				if connectors[i], err = makeConnector(name, kind, addr); err != nil {
+					return err
+				}
+			}
+			opts = append(opts, broker.WithReplicas(&loadbalance.LeastOutstanding{}, cfg.workers, connectors...))
+		}
+		if cfg.cacheSize > 0 {
+			opts = append(opts, broker.WithCache(cfg.cacheSize, cfg.cacheTTL))
 		}
 		if tracer != nil {
 			opts = append(opts, broker.WithTracer(tracer))
 		}
+		opts = append(opts, broker.WithResilience(resilienceConfig(cfg)))
 		b, err := broker.New(connector, opts...)
 		if err != nil {
 			return fmt.Errorf("broker %s: %w", name, err)
@@ -127,9 +168,10 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		brokers[name] = b
 		if adminSrv != nil {
 			adminSrv.MountRegistry("broker."+name+".", b.Metrics())
+			adminSrv.AddBreakerSource(name, b.BreakerSnapshots)
 		}
-		if reportTo != "" {
-			r, err := frontend.NewReporter(b, reportTo, reportEvery)
+		if cfg.reportTo != "" {
+			r, err := frontend.NewReporter(b, cfg.reportTo, cfg.reportEvery)
 			if err != nil {
 				return fmt.Errorf("reporter %s: %w", name, err)
 			}
@@ -137,7 +179,7 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 		}
 	}
 
-	gw, err := broker.NewGateway(listen, brokers)
+	gw, err := broker.NewGateway(cfg.listen, brokers)
 	if err != nil {
 		return err
 	}
@@ -151,7 +193,7 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 			}
 			return reports
 		})
-		if err := adminSrv.Start(admin); err != nil {
+		if err := adminSrv.Start(cfg.admin); err != nil {
 			return err
 		}
 		defer adminSrv.Close()
@@ -164,13 +206,38 @@ func run(services serviceFlags, listen string, threshold, classes, workers,
 	return nil
 }
 
-// parseSpec splits "name:kind:addr".
-func parseSpec(spec string) (name, kind, addr string, err error) {
+// resilienceConfig maps the fault-tolerance flags onto a resilience.Config.
+// -retries counts retries after the first attempt, so MaxAttempts is one
+// more; -retries 0 pins MaxAttempts to 1 (a zero value would select the
+// package default of 3 attempts).
+func resilienceConfig(cfg config) resilience.Config {
+	return resilience.Config{
+		Retry: resilience.RetryConfig{
+			MaxAttempts: cfg.retries + 1,
+			BaseDelay:   cfg.retryBase,
+		},
+		Breaker: resilience.BreakerConfig{
+			FailureThreshold: cfg.breakerFailures,
+			Cooldown:         cfg.breakerCooldown,
+		},
+		ServeStale: cfg.serveStale,
+	}
+}
+
+// parseSpec splits "name:kind:addr[|addr...]" — "|" separates replica
+// addresses, since the addresses themselves contain ":".
+func parseSpec(spec string) (name, kind string, addrs []string, err error) {
 	parts := strings.SplitN(spec, ":", 3)
 	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
-		return "", "", "", fmt.Errorf("bad -service %q, want name:kind:backendAddr", spec)
+		return "", "", nil, fmt.Errorf("bad -service %q, want name:kind:backendAddr", spec)
 	}
-	return parts[0], parts[1], parts[2], nil
+	for _, addr := range strings.Split(parts[2], "|") {
+		if addr == "" {
+			return "", "", nil, fmt.Errorf("bad -service %q: empty replica address", spec)
+		}
+		addrs = append(addrs, addr)
+	}
+	return parts[0], parts[1], addrs, nil
 }
 
 // makeConnector builds the backend connector for one broker.

@@ -5,16 +5,35 @@ import (
 )
 
 func TestParseSpec(t *testing.T) {
-	name, kind, addr, err := parseSpec("db:db:127.0.0.1:7001")
+	name, kind, addrs, err := parseSpec("db:db:127.0.0.1:7001")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "db" || kind != "db" || addr != "127.0.0.1:7001" {
-		t.Fatalf("parsed = %q %q %q", name, kind, addr)
+	if name != "db" || kind != "db" || len(addrs) != 1 || addrs[0] != "127.0.0.1:7001" {
+		t.Fatalf("parsed = %q %q %q", name, kind, addrs)
 	}
-	for _, bad := range []string{"", "db", "db:db", ":db:addr", "db::addr", "db:db:"} {
+	for _, bad := range []string{"", "db", "db:db", ":db:addr", "db::addr", "db:db:", "db:db:a||b"} {
 		if _, _, _, err := parseSpec(bad); err == nil {
 			t.Errorf("parseSpec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseSpecReplicas(t *testing.T) {
+	name, kind, addrs, err := parseSpec("db:db:127.0.0.1:7001|127.0.0.1:7011|127.0.0.1:7021")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "db" || kind != "db" {
+		t.Fatalf("parsed = %q %q", name, kind)
+	}
+	want := []string{"127.0.0.1:7001", "127.0.0.1:7011", "127.0.0.1:7021"}
+	if len(addrs) != len(want) {
+		t.Fatalf("addrs = %q, want %q", addrs, want)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("addrs = %q, want %q", addrs, want)
 		}
 	}
 }
@@ -37,8 +56,22 @@ func TestMakeConnector(t *testing.T) {
 }
 
 func TestRunRequiresService(t *testing.T) {
-	if err := run(nil, "127.0.0.1:0", 20, 3, 4, 0, 0, "", 0, ""); err == nil {
+	if err := run(config{listen: "127.0.0.1:0", threshold: 20, classes: 3, workers: 4}); err == nil {
 		t.Fatal("run without services succeeded")
+	}
+}
+
+func TestResilienceConfigMapsFlags(t *testing.T) {
+	rc := resilienceConfig(config{retries: 0, breakerFailures: 3})
+	if rc.Retry.MaxAttempts != 1 {
+		t.Fatalf("-retries 0: MaxAttempts = %d, want 1", rc.Retry.MaxAttempts)
+	}
+	if rc.Breaker.FailureThreshold != 3 {
+		t.Fatalf("FailureThreshold = %d, want 3", rc.Breaker.FailureThreshold)
+	}
+	rc = resilienceConfig(config{retries: 2, serveStale: true})
+	if rc.Retry.MaxAttempts != 3 || !rc.ServeStale {
+		t.Fatalf("-retries 2 -serve-stale: got %+v", rc)
 	}
 }
 

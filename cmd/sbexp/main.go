@@ -206,6 +206,15 @@ func runAblations(ctx context.Context, quick bool) error {
 	fmt.Printf("  centralized aborts under overload: %d; listener updates processed: %d\n\n",
 		mc.CentralizedAborts, mc.ListenerUpdates)
 
+	fmt.Println("Ablation — failover: one of three replicas killed mid-run")
+	fo, err := experiments.RunFailoverAblation(ctx, requests)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  baseline (no resilience): %d ok, %d errors\n", fo.BaselineOK, fo.BaselineErrors)
+	fmt.Printf("  resilient (retry+breaker): %d ok, %d errors (breaker opens: %d)\n\n",
+		fo.ResilientOK, fo.ResilientErrors, fo.BreakerOpens)
+
 	fmt.Println("Ablation — transaction-step priority escalation under overload")
 	tx, err := experiments.RunTxnAblation(ctx, 30)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/ldapdir"
 	"servicebroker/internal/mailsvc"
+	"servicebroker/internal/resilience"
 	"servicebroker/internal/sqldb"
 )
 
@@ -143,7 +144,7 @@ func (s *dirSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 	case "SEARCH":
 		fields := strings.SplitN(rest, " ", 3)
 		if len(fields) < 2 {
-			return nil, fmt.Errorf("backend: SEARCH needs base and scope")
+			return nil, resilience.Permanent(fmt.Errorf("backend: SEARCH needs base and scope"))
 		}
 		scope, err := ldapdir.ParseScope(fields[1])
 		if err != nil {
@@ -175,7 +176,7 @@ func (s *dirSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 			for _, pair := range strings.Split(attrText, "|") {
 				name, val, ok := strings.Cut(pair, "=")
 				if !ok {
-					return nil, fmt.Errorf("backend: bad attribute %q", pair)
+					return nil, resilience.Permanent(fmt.Errorf("backend: bad attribute %q", pair))
 				}
 				if val == "" {
 					attrs[name] = nil
@@ -200,7 +201,7 @@ func (s *dirSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 		}
 		return []byte("ok"), nil
 	default:
-		return nil, fmt.Errorf("backend: unknown dir command %q", cmd)
+		return nil, resilience.Permanent(fmt.Errorf("backend: unknown dir command %q", cmd))
 	}
 }
 
@@ -247,7 +248,7 @@ func (s *mailSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 		from, rest, _ := strings.Cut(rest, " ")
 		toList, body, _ := strings.Cut(rest, " ")
 		if from == "" || toList == "" {
-			return nil, fmt.Errorf("backend: SEND <from> <to,...> <body>")
+			return nil, resilience.Permanent(fmt.Errorf("backend: SEND <from> <to,...> <body>"))
 		}
 		if err := s.cli.Send(from, strings.Split(toList, ","), body); err != nil {
 			return nil, err
@@ -267,7 +268,7 @@ func (s *mailSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 		user, seqText, _ := strings.Cut(rest, " ")
 		seq, err := strconv.Atoi(strings.TrimSpace(seqText))
 		if err != nil {
-			return nil, fmt.Errorf("backend: RETR needs a sequence number: %w", err)
+			return nil, resilience.Permanent(fmt.Errorf("backend: RETR needs a sequence number: %w", err))
 		}
 		body, err := s.cli.Retr(user, seq)
 		if err != nil {
@@ -275,7 +276,7 @@ func (s *mailSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 		}
 		return []byte(body), nil
 	default:
-		return nil, fmt.Errorf("backend: unknown mail command %q", cmd)
+		return nil, resilience.Permanent(fmt.Errorf("backend: unknown mail command %q", cmd))
 	}
 }
 
@@ -333,7 +334,7 @@ func (s *webSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 	}
 	uris := splitLines(string(payload))
 	if len(uris) == 0 {
-		return nil, fmt.Errorf("backend: empty web payload")
+		return nil, resilience.Permanent(fmt.Errorf("backend: empty web payload"))
 	}
 	if len(uris) == 1 {
 		path, rawQuery, _ := strings.Cut(uris[0], "?")
@@ -342,7 +343,13 @@ func (s *webSession) Do(ctx context.Context, payload []byte) ([]byte, error) {
 			return nil, err
 		}
 		if resp.Status != 200 {
-			return nil, fmt.Errorf("backend: web status %d: %s", resp.Status, resp.Body)
+			err := fmt.Errorf("backend: web status %d: %s", resp.Status, resp.Body)
+			if resp.Status < 500 {
+				// Client errors are the payload's fault; retrying the
+				// identical request cannot succeed.
+				err = resilience.Permanent(err)
+			}
+			return nil, err
 		}
 		return resp.Body, nil
 	}

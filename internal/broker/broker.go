@@ -29,6 +29,7 @@ import (
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/txn"
 )
@@ -123,6 +124,11 @@ type Broker struct {
 
 	hotFrac   float64
 	hotNotify func(LoadReport)
+
+	// fault tolerance (WithResilience)
+	resCfg     *resilience.Config
+	retryer    *resilience.Retryer
+	serveStale bool
 
 	queue   *qos.Queue[*job]
 	workers int
@@ -329,6 +335,21 @@ func WithReplicas(policy loadbalance.Policy, poolCapacity int, connectors ...bac
 	})
 }
 
+// WithResilience wraps the backend access path in the fault-tolerance layer:
+// session Do/Connect failures are retried under cfg.Retry's capped backoff
+// within the request's deadline budget; with WithReplicas, every replica
+// gets a circuit breaker (cfg.Breaker) so the load balancer fails over away
+// from unhealthy replicas and probes them back in; and with cfg.ServeStale
+// plus WithCache, a request whose retries and replicas are exhausted is
+// answered from stale cache state at qos.FidelityLow — the paper's immediate
+// low-fidelity message — instead of an error.
+func WithResilience(cfg resilience.Config) Option {
+	return optionFunc(func(b *Broker) error {
+		b.resCfg = &cfg
+		return nil
+	})
+}
+
 // WithPrefetch registers a periodic prefetcher: every interval, while the
 // broker is below lowWater outstanding requests, each payload produced by
 // source is fetched from the backend and cached (requires WithCache).
@@ -377,7 +398,7 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 
 	switch {
 	case b.replicas != nil:
-		b.name = "replicated"
+		b.name = b.replicas.Name()
 		if connector != nil {
 			return nil, errors.New("broker: pass nil connector with WithReplicas")
 		}
@@ -392,6 +413,22 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 		b.do = pool.Do
 	default:
 		return nil, errors.New("broker: nil connector")
+	}
+
+	if b.resCfg != nil {
+		b.retryer = resilience.NewRetryer(b.resCfg.Retry)
+		b.serveStale = b.resCfg.ServeStale
+		if b.replicas != nil {
+			// Breaker state is mirrored into the registry so /metrics
+			// shows it: gauge value 0 = closed, 1 = half-open, 2 = open.
+			b.replicas.EnableBreakers(b.resCfg.Breaker,
+				func(replica int, _ string, _, to resilience.State) {
+					b.reg.Gauge(fmt.Sprintf("breaker_state_replica_%d", replica)).Set(int64(to))
+					if to == resilience.StateOpen {
+						b.reg.Counter("breaker_opens_total").Inc()
+					}
+				})
+		}
 	}
 
 	if b.clusteringCfg != nil {
@@ -436,6 +473,16 @@ func (b *Broker) Metrics() *metrics.Registry { return b.reg }
 
 // Tracker returns the transaction tracker (nil unless WithTransactions).
 func (b *Broker) Tracker() *txn.Tracker { return b.tracker }
+
+// BreakerSnapshots returns the per-replica circuit-breaker states, or nil
+// unless both WithReplicas and WithResilience are configured. The obs admin
+// server's /breakerz page renders these.
+func (b *Broker) BreakerSnapshots() []resilience.Snapshot {
+	if b.replicas == nil {
+		return nil
+	}
+	return b.replicas.BreakerSnapshots()
+}
 
 // CacheStats returns result-cache statistics (zero Stats when caching is
 // disabled).
@@ -590,6 +637,19 @@ func (b *Broker) worker() {
 		b.reg.Histogram("queue_wait").Observe(wait)
 		b.reg.Histogram(fmt.Sprintf("queue_wait_class_%d", j.class)).Observe(wait)
 		b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
+		// A request whose context died during the queue wait must not
+		// consume backend capacity: its caller is gone.
+		if err := j.ctx.Err(); err != nil {
+			b.reg.Counter("expired_in_queue").Inc()
+			b.finishJob()
+			resp := &Response{Status: StatusError, Err: err}
+			b.observeCompletion(j, resp)
+			j.tr.SetStatus("error")
+			j.tr.SetNote("expired in queue")
+			j.tr.Finish()
+			j.resp <- resp
+			continue
+		}
 		resp := b.execute(j)
 		b.finishJob()
 		b.observeCompletion(j, resp)
@@ -607,25 +667,60 @@ func (b *Broker) worker() {
 }
 
 // execute performs the backend access for one job (through the clustering
-// batcher when enabled).
+// batcher when enabled), retrying under the resilience policy and degrading
+// to a stale cached result when the backend stays unreachable.
 func (b *Broker) execute(j *job) *Response {
+	attemptOnce := func(ctx context.Context) ([]byte, error) {
+		var (
+			body []byte
+			err  error
+		)
+		if b.batcher != nil {
+			// The cluster span covers both waiting for batch companions
+			// and the combined backend access — the paper's "clustering
+			// delay".
+			span := j.tr.StartSpan(trace.StageCluster)
+			body, err = b.batcher.Submit(ctx, j.req.Payload)
+			b.reg.Histogram("cluster_time").Observe(span.EndNote("batched access"))
+		} else {
+			span := j.tr.StartSpan(trace.StageBackend)
+			body, err = b.do(ctx, j.req.Payload)
+			b.reg.Histogram("backend_rtt").Observe(span.End())
+		}
+		return body, err
+	}
+
 	var (
 		body []byte
 		err  error
 	)
-	if b.batcher != nil {
-		// The cluster span covers both waiting for batch companions and the
-		// combined backend access — the paper's "clustering delay".
-		span := j.tr.StartSpan(trace.StageCluster)
-		body, err = b.batcher.Submit(j.ctx, j.req.Payload)
-		b.reg.Histogram("cluster_time").Observe(span.EndNote("batched access"))
+	if b.retryer != nil {
+		var attempts int
+		body, attempts, err = b.retryer.Do(j.ctx, attemptOnce,
+			func(attempt int, waited time.Duration, cause error) {
+				now := time.Now()
+				j.tr.Span(trace.StageRetry, now.Add(-waited), now,
+					fmt.Sprintf("attempt %d after: %v", attempt, cause))
+			})
+		if attempts > 1 {
+			b.reg.Counter("retries_total").Add(int64(attempts - 1))
+		}
 	} else {
-		span := j.tr.StartSpan(trace.StageBackend)
-		body, err = b.do(j.ctx, j.req.Payload)
-		b.reg.Histogram("backend_rtt").Observe(span.End())
+		body, err = attemptOnce(j.ctx)
 	}
+
 	if err != nil {
 		b.reg.Counter("backend_errors").Inc()
+		b.reg.Counter(fmt.Sprintf("errors_class_%d", j.class)).Inc()
+		// Degradation ladder's last usable rung: answer with the best
+		// data the broker still holds, at low fidelity, before erroring.
+		if b.serveStale && b.results != nil && !j.req.NoCache {
+			if stale, ok := b.results.GetStale(cacheKey(j.req.Payload)); ok {
+				b.reg.Counter("degraded_total").Inc()
+				j.tr.SetNote("stale cache after backend failure: " + err.Error())
+				return &Response{Status: StatusOK, Fidelity: qos.FidelityLow, Payload: stale}
+			}
+		}
 		return &Response{Status: StatusError, Err: err}
 	}
 	if b.results != nil && !j.req.NoCache {

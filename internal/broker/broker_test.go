@@ -422,7 +422,9 @@ func TestReplicatedBroker(t *testing.T) {
 			t.Fatalf("resp = %+v", resp)
 		}
 	}
-	if b.Name() != "replicated" {
+	// The broker takes the replicated service's name so traces and load
+	// reports stay attributable.
+	if b.Name() != "r0" {
 		t.Fatalf("name = %q", b.Name())
 	}
 }

@@ -5,7 +5,9 @@
 // (the paper's movie-schedule example) can be served without touching the
 // backend. The cache bounds memory by entry count and by an optional byte
 // budget, evicting least-recently-used entries first; entries also carry a
-// time-to-live after which they are treated as absent.
+// time-to-live after which normal Get lookups treat them as absent, while
+// GetStale can still read them — the degraded-mode path that lets a broker
+// answer with the best data it has when the backend is unreachable.
 package cache
 
 import (
@@ -20,6 +22,8 @@ type Stats struct {
 	Misses    int64
 	Evictions int64
 	Expired   int64
+	// StaleHits counts GetStale reads served from expired entries.
+	StaleHits int64
 	Entries   int
 	Bytes     int64
 }
@@ -46,7 +50,7 @@ type Cache struct {
 	items map[string]*list.Element
 	bytes int64
 
-	hits, misses, evictions, expired int64
+	hits, misses, evictions, expired, staleHits int64
 }
 
 type entry struct {
@@ -100,7 +104,9 @@ func New(maxEntries int, opts ...Option) *Cache {
 }
 
 // Get returns the cached value for key. The returned slice is shared with
-// the cache and must not be modified by the caller.
+// the cache and must not be modified by the caller. Expired entries report
+// a miss but are retained (bounded by the LRU limits) so GetStale can still
+// serve them when the backend is unavailable.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -111,10 +117,33 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	e := el.Value.(*entry)
 	if c.isExpired(e) {
-		c.removeElement(el)
 		c.expired++
 		c.misses++
 		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return e.value, true
+}
+
+// GetStale returns the value for key regardless of TTL expiry — the
+// degraded-mode read the broker uses to serve an immediate low-fidelity
+// response when retries and replicas are exhausted. A fresh entry counts as
+// a hit and is promoted like Get; an expired one counts toward StaleHits
+// and keeps its LRU position. The returned slice is shared with the cache
+// and must not be modified.
+func (c *Cache) GetStale(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if c.isExpired(e) {
+		c.staleHits++
+		return e.value, true
 	}
 	c.ll.MoveToFront(el)
 	c.hits++
@@ -187,6 +216,7 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Expired:   c.expired,
+		StaleHits: c.staleHits,
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,
 	}

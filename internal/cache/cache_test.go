@@ -94,8 +94,40 @@ func TestTTLExpiry(t *testing.T) {
 	if st.Expired != 1 {
 		t.Fatalf("expired = %d, want 1", st.Expired)
 	}
-	if st.Entries != 0 {
-		t.Fatalf("entries = %d, want 0 (expired entry removed)", st.Entries)
+	if st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (expired entry retained for stale reads)", st.Entries)
+	}
+}
+
+func TestGetStale(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	c := New(4, WithClock(clock), WithDefaultTTL(10*time.Second))
+	c.Put("k", []byte("v"))
+
+	// Fresh entry: GetStale behaves like Get.
+	if v, ok := c.GetStale("k"); !ok || string(v) != "v" {
+		t.Fatalf("GetStale(fresh) = %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.StaleHits != 0 {
+		t.Fatalf("fresh stale read: stats = %+v", st)
+	}
+
+	// Expired entry: Get misses but GetStale still serves it.
+	now = now.Add(11 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("Get served an expired entry")
+	}
+	if v, ok := c.GetStale("k"); !ok || string(v) != "v" {
+		t.Fatalf("GetStale(expired) = %q, %v", v, ok)
+	}
+	if st := c.Stats(); st.StaleHits != 1 {
+		t.Fatalf("stale read: stats = %+v", st)
+	}
+
+	// Absent key: a plain miss.
+	if _, ok := c.GetStale("missing"); ok {
+		t.Fatal("GetStale invented a value")
 	}
 }
 

@@ -6,7 +6,10 @@
 //
 // Policies pick a replica index given the per-replica outstanding counts; a
 // ReplicaSet maintains those counts and composes a policy with a set of
-// backend connectors.
+// backend connectors. With EnableBreakers the set becomes health-aware:
+// replicas whose circuit breaker is open are ejected from the candidate set
+// until their cooldown elapses, at which point half-open probes decide
+// whether they are re-admitted — automatic failover to healthy replicas.
 package loadbalance
 
 import (
@@ -17,6 +20,7 @@ import (
 	"sync"
 
 	"servicebroker/internal/backend"
+	"servicebroker/internal/resilience"
 )
 
 // Policy selects a replica given per-replica outstanding request counts.
@@ -118,10 +122,12 @@ func (w *Weighted) Name() string { return "weighted" }
 type ReplicaSet struct {
 	policy Policy
 	pools  []*backend.Pool
+	names  []string
 
 	mu          sync.Mutex
 	outstanding []int
 	served      []int
+	breakers    []*resilience.Breaker // nil until EnableBreakers
 	closed      bool
 }
 
@@ -145,29 +151,80 @@ func NewReplicaSet(policy Policy, poolCapacity int, connectors ...backend.Connec
 			return nil, fmt.Errorf("loadbalance: pool: %w", err)
 		}
 		rs.pools = append(rs.pools, pool)
+		rs.names = append(rs.names, c.Name())
 	}
 	return rs, nil
+}
+
+// EnableBreakers equips every replica with a circuit breaker so Do ejects
+// unhealthy replicas from the candidate set and probes them back in. notify,
+// when non-nil, observes every breaker transition (replica index, name, and
+// states); it may fire while the set's internal lock is held and must not
+// call back into the ReplicaSet. EnableBreakers must be called before the
+// first Do; repeated calls are no-ops.
+func (rs *ReplicaSet) EnableBreakers(cfg resilience.BreakerConfig,
+	notify func(replica int, name string, from, to resilience.State)) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.breakers != nil {
+		return
+	}
+	rs.breakers = make([]*resilience.Breaker, len(rs.pools))
+	for i := range rs.pools {
+		replica, name := i, rs.names[i]
+		c := cfg
+		if notify != nil {
+			c.OnTransition = func(from, to resilience.State) { notify(replica, name, from, to) }
+		}
+		rs.breakers[i] = resilience.NewBreaker(fmt.Sprintf("%s#%d", name, replica), c)
+	}
+}
+
+// Name returns the replicated service's name (the first connector's name —
+// replicas of one service share it).
+func (rs *ReplicaSet) Name() string { return rs.names[0] }
+
+// BreakerSnapshots returns the per-replica breaker states, or nil when
+// EnableBreakers was never called.
+func (rs *ReplicaSet) BreakerSnapshots() []resilience.Snapshot {
+	rs.mu.Lock()
+	breakers := rs.breakers
+	rs.mu.Unlock()
+	if breakers == nil {
+		return nil
+	}
+	out := make([]resilience.Snapshot, len(breakers))
+	for i, b := range breakers {
+		out[i] = b.Snapshot()
+	}
+	return out
 }
 
 // ErrClosed is returned by Do after Close.
 var ErrClosed = errors.New("loadbalance: replica set closed")
 
-// Do routes one request to a replica chosen by the policy.
+// ErrNoHealthyReplica is returned by Do when every replica's breaker rejects
+// traffic — the caller should degrade (serve stale data) or retry after the
+// breaker cooldown. It classifies as retryable.
+var ErrNoHealthyReplica = errors.New("loadbalance: no healthy replica (all breakers open)")
+
+// Do routes one request to a replica chosen by the policy. With breakers
+// enabled, only replicas whose breaker admits traffic are candidates, and
+// the outcome of the access is reported back to the chosen breaker.
 func (rs *ReplicaSet) Do(ctx context.Context, payload []byte) ([]byte, error) {
 	rs.mu.Lock()
 	if rs.closed {
 		rs.mu.Unlock()
 		return nil, ErrClosed
 	}
-	snapshot := make([]int, len(rs.outstanding))
-	copy(snapshot, rs.outstanding)
-	idx := rs.policy.Pick(snapshot)
-	if idx < 0 || idx >= len(rs.pools) {
+	idx, err := rs.pickLocked()
+	if err != nil {
 		rs.mu.Unlock()
-		return nil, fmt.Errorf("loadbalance: policy %s picked invalid replica %d", rs.policy.Name(), idx)
+		return nil, err
 	}
 	rs.outstanding[idx]++
 	rs.served[idx]++
+	breaker := rs.breakerLocked(idx)
 	rs.mu.Unlock()
 
 	defer func() {
@@ -175,7 +232,56 @@ func (rs *ReplicaSet) Do(ctx context.Context, payload []byte) ([]byte, error) {
 		rs.outstanding[idx]--
 		rs.mu.Unlock()
 	}()
-	return rs.pools[idx].Do(ctx, payload)
+	out, doErr := rs.pools[idx].Do(ctx, payload)
+	if breaker != nil {
+		breaker.Done(doErr)
+	}
+	return out, doErr
+}
+
+// pickLocked chooses a replica index, restricting the policy's candidates to
+// replicas whose breaker admits traffic. Caller holds rs.mu.
+func (rs *ReplicaSet) pickLocked() (int, error) {
+	if rs.breakers == nil {
+		idx := rs.policy.Pick(append([]int(nil), rs.outstanding...))
+		if idx < 0 || idx >= len(rs.pools) {
+			return 0, fmt.Errorf("loadbalance: policy %s picked invalid replica %d", rs.policy.Name(), idx)
+		}
+		return idx, nil
+	}
+	candidates := make([]int, 0, len(rs.pools))
+	for i, b := range rs.breakers {
+		if b.Candidate() {
+			candidates = append(candidates, i)
+		}
+	}
+	// The policy picks within the healthy subset; a candidate that loses
+	// the Acquire race (e.g. another goroutine took the half-open probe
+	// slot) is removed and the pick repeated.
+	for len(candidates) > 0 {
+		sub := make([]int, len(candidates))
+		for k, i := range candidates {
+			sub[k] = rs.outstanding[i]
+		}
+		k := rs.policy.Pick(sub)
+		if k < 0 || k >= len(sub) {
+			return 0, fmt.Errorf("loadbalance: policy %s picked invalid replica %d", rs.policy.Name(), k)
+		}
+		if idx := candidates[k]; rs.breakers[idx].Acquire() {
+			return idx, nil
+		}
+		candidates = append(candidates[:k], candidates[k+1:]...)
+	}
+	return 0, ErrNoHealthyReplica
+}
+
+// breakerLocked returns replica idx's breaker (nil when breakers are
+// disabled). Caller holds rs.mu.
+func (rs *ReplicaSet) breakerLocked(idx int) *resilience.Breaker {
+	if rs.breakers == nil {
+		return nil
+	}
+	return rs.breakers[idx]
 }
 
 // Served returns how many requests each replica has been assigned.

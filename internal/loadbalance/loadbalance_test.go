@@ -2,13 +2,25 @@ package loadbalance
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"servicebroker/internal/backend"
+	"servicebroker/internal/resilience"
 )
+
+// echoConn is an instant in-process connector for breaker tests.
+func echoConn(name string) backend.Connector {
+	return &backend.FuncConnector{
+		ServiceName: name,
+		DoFn: func(_ context.Context, payload []byte) ([]byte, error) {
+			return append([]byte("done:"), payload...), nil
+		},
+	}
+}
 
 func TestRoundRobinCycles(t *testing.T) {
 	rr := &RoundRobin{}
@@ -198,5 +210,121 @@ func TestReplicaSetRejectsInvalidPick(t *testing.T) {
 	defer rs.Close()
 	if _, err := rs.Do(context.Background(), nil); err == nil {
 		t.Fatal("invalid pick not rejected")
+	}
+}
+
+func TestReplicaSetBreakerEjectsDeadReplica(t *testing.T) {
+	dead := &backend.FaultConnector{Inner: echoConn("dead")}
+	dead.SetDown(true)
+	alive := echoConn("alive")
+	rs, err := NewReplicaSet(LeastOutstanding{}, 2, dead, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.EnableBreakers(resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour}, nil)
+
+	// LeastOutstanding ties break to replica 0 (dead); after 3 failures
+	// the breaker opens and every access lands on the healthy replica.
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Do(context.Background(), []byte("q")); err != nil {
+			errs++
+		}
+	}
+	if errs != 3 {
+		t.Fatalf("errors = %d, want exactly the 3 that tripped the breaker", errs)
+	}
+	snaps := rs.BreakerSnapshots()
+	if snaps[0].State != resilience.StateOpen || snaps[1].State != resilience.StateClosed {
+		t.Fatalf("breaker states = %v/%v, want open/closed", snaps[0].State, snaps[1].State)
+	}
+	if served := rs.Served(); served[1] != 7 {
+		t.Fatalf("healthy replica served %d, want 7", served[1])
+	}
+}
+
+func TestReplicaSetHalfOpenReadmitsRecoveredReplica(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	var mu sync.Mutex
+	now := func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+	advance := func(d time.Duration) { mu.Lock(); clock = clock.Add(d); mu.Unlock() }
+
+	flaky := &backend.FaultConnector{Inner: echoConn("flaky")}
+	flaky.SetDown(true)
+	rs, err := NewReplicaSet(LeastOutstanding{}, 2, flaky, echoConn("steady"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	var transitions []resilience.State
+	rs.EnableBreakers(resilience.BreakerConfig{
+		FailureThreshold: 1, Cooldown: time.Second, SuccessThreshold: 1, Clock: now,
+	}, func(replica int, name string, from, to resilience.State) {
+		if replica == 0 {
+			transitions = append(transitions, to)
+		}
+	})
+
+	rs.Do(context.Background(), []byte("q")) // trips replica 0's breaker
+	if snaps := rs.BreakerSnapshots(); snaps[0].State != resilience.StateOpen {
+		t.Fatalf("state = %v, want open", snaps[0].State)
+	}
+
+	// Recover the replica and let the cooldown elapse: the next access
+	// probes it half-open and the success closes the breaker.
+	flaky.SetDown(false)
+	advance(time.Second)
+	if _, err := rs.Do(context.Background(), []byte("q")); err != nil {
+		t.Fatalf("probe access failed: %v", err)
+	}
+	if snaps := rs.BreakerSnapshots(); snaps[0].State != resilience.StateClosed {
+		t.Fatalf("state = %v after successful probe, want closed", snaps[0].State)
+	}
+	if served := rs.Served(); served[0] != 2 {
+		t.Fatalf("recovered replica served %d, want 2 (including the probe)", served[0])
+	}
+	want := []resilience.State{resilience.StateOpen, resilience.StateHalfOpen, resilience.StateClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+}
+
+func TestReplicaSetAllBreakersOpen(t *testing.T) {
+	a := &backend.FaultConnector{Inner: echoConn("a")}
+	b := &backend.FaultConnector{Inner: echoConn("b")}
+	a.SetDown(true)
+	b.SetDown(true)
+	rs, err := NewReplicaSet(LeastOutstanding{}, 1, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	rs.EnableBreakers(resilience.BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour}, nil)
+
+	for i := 0; i < 2; i++ { // trip both breakers
+		rs.Do(context.Background(), []byte("q"))
+	}
+	if _, err := rs.Do(context.Background(), []byte("q")); !errors.Is(err, ErrNoHealthyReplica) {
+		t.Fatalf("Do with all breakers open = %v, want ErrNoHealthyReplica", err)
+	}
+}
+
+func TestReplicaSetWithoutBreakersKeepsRoutingToDeadReplica(t *testing.T) {
+	dead := &backend.FaultConnector{Inner: echoConn("dead")}
+	dead.SetDown(true)
+	rs, err := NewReplicaSet(LeastOutstanding{}, 1, dead, echoConn("alive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Do(context.Background(), []byte("q")); err != nil {
+			errs++
+		}
+	}
+	if errs != 10 {
+		t.Fatalf("errors = %d, want 10 (no health awareness without breakers)", errs)
 	}
 }

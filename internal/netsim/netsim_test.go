@@ -117,6 +117,43 @@ func TestDropProbability(t *testing.T) {
 	}
 }
 
+func TestDropSequenceDeterministicWithSeed(t *testing.T) {
+	// Two identically seeded pipes must drop exactly the same writes, so
+	// loss experiments are reproducible run to run.
+	run := func() []bool {
+		client, server := Pipe(Profile{DropProb: 0.5, Seed: 7})
+		defer client.Close()
+		defer server.Close()
+		go func() {
+			buf := make([]byte, 16)
+			for {
+				if _, err := server.Read(buf); err != nil {
+					return
+				}
+			}
+		}()
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			_, err := client.Write([]byte("x"))
+			outcomes[i] = errors.Is(err, ErrSimulatedDrop)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	var drops int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("write %d diverged between identically seeded runs", i)
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("drops = %d of %d, want a mixed sequence", drops, len(a))
+	}
+}
+
 func TestNoDropWithZeroProbability(t *testing.T) {
 	client, stop := echoPair(t, Profile{DropProb: 0})
 	defer stop()

@@ -8,6 +8,8 @@
 //	/tracez   recent completed traces with per-stage latency breakdowns,
 //	          filterable by service and QoS class
 //	/loadz    live broker.LoadReport lines from registered load sources
+//	/breakerz per-replica circuit-breaker states from registered breaker
+//	          sources (state, consecutive failures, totals, last transition)
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
 // The server is stdlib-only and safe to mount in front of live registries:
@@ -28,6 +30,7 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/metrics"
+	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 )
 
@@ -36,15 +39,20 @@ import (
 // them); the centralized front end can register its listener's view.
 type LoadSource func() []broker.LoadReport
 
+// BreakerSource supplies per-replica circuit-breaker snapshots for /breakerz.
+// A brokerd process registers one source per broker with breakers enabled.
+type BreakerSource func() []resilience.Snapshot
+
 // Server is the admin endpoint. The zero value is not usable; call New.
 // Mount* and Add* calls are safe at any time, including while serving.
 type Server struct {
 	mux *http.ServeMux
 
-	mu      sync.Mutex
-	mounts  []mount
-	rec     *trace.Recorder
-	sources []LoadSource
+	mu       sync.Mutex
+	mounts   []mount
+	rec      *trace.Recorder
+	sources  []LoadSource
+	breakers []namedBreakerSource
 
 	srv *http.Server
 	ln  net.Listener
@@ -55,6 +63,11 @@ type mount struct {
 	reg    *metrics.Registry
 }
 
+type namedBreakerSource struct {
+	service string
+	src     BreakerSource
+}
+
 // New returns an admin server with all endpoints registered.
 func New() *Server {
 	s := &Server{mux: http.NewServeMux()}
@@ -62,6 +75,7 @@ func New() *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/loadz", s.handleLoadz)
+	s.mux.HandleFunc("/breakerz", s.handleBreakerz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -97,6 +111,17 @@ func (s *Server) AddLoadSource(src LoadSource) {
 	}
 	s.mu.Lock()
 	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// AddBreakerSource registers a /breakerz supplier for one service. Sources
+// returning nil (breakers disabled) render as a "no breakers" line.
+func (s *Server) AddBreakerSource(service string, src BreakerSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.breakers = append(s.breakers, namedBreakerSource{service: service, src: src})
 	s.mu.Unlock()
 }
 
@@ -275,6 +300,36 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "  stage=%s dur=%s", sp.Stage, trace.FormatDuration(sp.Duration()))
 			if sp.Note != "" {
 				fmt.Fprintf(w, " note=%q", sp.Note)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// --- /breakerz ------------------------------------------------------------
+
+func (s *Server) handleBreakerz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	breakers := append([]namedBreakerSource(nil), s.breakers...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(breakers) == 0 {
+		fmt.Fprintln(w, "breakerz: no breaker sources configured")
+		return
+	}
+	sort.SliceStable(breakers, func(i, j int) bool { return breakers[i].service < breakers[j].service })
+	for _, nb := range breakers {
+		snaps := nb.src()
+		if snaps == nil {
+			fmt.Fprintf(w, "service=%s breakers disabled\n", nb.service)
+			continue
+		}
+		for _, sn := range snaps {
+			fmt.Fprintf(w, "service=%s replica=%s state=%s consecutive_failures=%d successes=%d failures=%d opens=%d",
+				nb.service, sn.Name, sn.State, sn.ConsecutiveFailures, sn.Successes, sn.Failures, sn.Opens)
+			if !sn.LastTransition.IsZero() {
+				fmt.Fprintf(w, " last_transition=%s", sn.LastTransition.Format(time.RFC3339Nano))
 			}
 			fmt.Fprintln(w)
 		}

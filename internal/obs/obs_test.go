@@ -10,6 +10,7 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/metrics"
+	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 )
 
@@ -167,6 +168,33 @@ func TestLoadzEndpoint(t *testing.T) {
 	want := "service=db outstanding=5 threshold=10 queue=2 hot=true\nservice=mail outstanding=1 threshold=8 queue=0 hot=false\n"
 	if body != want {
 		t.Errorf("loadz = %q, want %q", body, want)
+	}
+}
+
+func TestBreakerzEndpoint(t *testing.T) {
+	s := New()
+	body := get(t, s.Handler(), "/breakerz")
+	if !strings.Contains(body, "no breaker sources") {
+		t.Errorf("want placeholder, got:\n%s", body)
+	}
+
+	s.AddBreakerSource("db", func() []resilience.Snapshot {
+		return []resilience.Snapshot{
+			{Name: "db#0", State: resilience.StateClosed, Successes: 12},
+			{Name: "db#1", State: resilience.StateOpen, ConsecutiveFailures: 3, Failures: 3, Opens: 1,
+				LastTransition: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)},
+		}
+	})
+	s.AddBreakerSource("mail", func() []resilience.Snapshot { return nil })
+	body = get(t, s.Handler(), "/breakerz")
+	for _, want := range []string{
+		"service=db replica=db#0 state=closed consecutive_failures=0 successes=12 failures=0 opens=0\n",
+		"service=db replica=db#1 state=open consecutive_failures=3 successes=0 failures=3 opens=1 last_transition=2026-08-05T12:00:00Z\n",
+		"service=mail breakers disabled\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("breakerz missing %q, got:\n%s", want, body)
+		}
 	}
 }
 

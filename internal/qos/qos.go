@@ -110,6 +110,11 @@ const (
 	// FidelityBusy is the immediate "system is busy" indication sent when a
 	// request is dropped at the broker.
 	FidelityBusy
+	// FidelityLow is the paper's "low-fidelity message" served when the
+	// backend is unreachable: after retries and replica failover are
+	// exhausted, the broker answers immediately from stale cache state
+	// instead of erroring or hanging.
+	FidelityLow
 )
 
 // String names the fidelity level.
@@ -123,6 +128,8 @@ func (f Fidelity) String() string {
 		return "degraded"
 	case FidelityBusy:
 		return "busy"
+	case FidelityLow:
+		return "low"
 	default:
 		return fmt.Sprintf("fidelity(%d)", int(f))
 	}

@@ -9,6 +9,7 @@
 //	cache    the result-cache lookup (hit or miss)
 //	cluster  waiting for / executing a clustered (batched) backend access
 //	backend  one direct backend request/response exchange
+//	retry    a backoff wait between failed backend attempts
 //
 // Completed traces land in a bounded Ring so an admin endpoint (/tracez,
 // package obs) can show the recent request history with per-stage latency
@@ -86,6 +87,9 @@ const (
 	StageCache   Stage = "cache"
 	StageCluster Stage = "cluster"
 	StageBackend Stage = "backend"
+	// StageRetry covers one backoff wait between failed backend attempts;
+	// its note carries the upcoming attempt number and the causing error.
+	StageRetry Stage = "retry"
 )
 
 // Span is one timed stage within a trace.

@@ -1,0 +1,91 @@
+package servicebroker
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/loadbalance"
+	"servicebroker/internal/netsim"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/resilience"
+)
+
+// TestResilientBrokerOverWANSurvivesReplicaFailure drives the full
+// fault-tolerance path end to end: a replicated web backend reached across a
+// simulated WAN, with one replica failing its first accesses. The broker's
+// retries must hop off the failing replica (tripping its breaker) so every
+// request succeeds, and after the breaker cooldown the recovered replica is
+// probed back into rotation.
+func TestResilientBrokerOverWANSurvivesReplicaFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+
+	newWeb := func() *httpserver.Server {
+		srv, err := httpserver.NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srv.Handle("/feed", func(req *httpserver.Request) *httpserver.Response {
+			return httpserver.Text("today's headlines")
+		})
+		return srv
+	}
+	web0, web1 := newWeb(), newWeb()
+
+	// Both replicas sit behind the paper's loosely coupled link profile;
+	// replica 0 additionally fails its first three accesses.
+	wan := netsim.Dialer{Profile: netsim.WAN}
+	faulty := &backend.FaultConnector{
+		Inner:     &backend.WebConnector{Addr: web0.Addr().String(), ServiceName: "news", Dial: wan.Dial},
+		FailFirst: 3,
+	}
+	healthy := &backend.WebConnector{Addr: web1.Addr().String(), ServiceName: "news", Dial: wan.Dial}
+
+	b, err := broker.New(nil,
+		broker.WithReplicas(loadbalance.LeastOutstanding{}, 1, faulty, healthy),
+		broker.WithResilience(resilience.Config{
+			Retry:   resilience.RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	for i := 0; i < 4; i++ {
+		resp := b.Handle(context.Background(), &broker.Request{Payload: []byte("/feed"), Class: qos.Class1, NoCache: true})
+		if resp.Status != broker.StatusOK || string(resp.Payload) != "today's headlines" {
+			t.Fatalf("request %d = %+v (%q), want OK via failover", i, resp, resp.Payload)
+		}
+	}
+	if snaps := b.BreakerSnapshots(); snaps[0].Opens != 1 {
+		t.Fatalf("replica 0 breaker opens = %d, want 1 (snapshots: %+v)", snaps[0].Opens, snaps)
+	}
+	if got := b.Metrics().Counter("retries_total").Value(); got < 3 {
+		t.Fatalf("retries_total = %d, want ≥ 3", got)
+	}
+
+	// FailFirst is exhausted, so after the cooldown a half-open probe must
+	// re-admit replica 0.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := b.Handle(context.Background(), &broker.Request{Payload: []byte("/feed"), Class: qos.Class1, NoCache: true})
+		if resp.Status != broker.StatusOK {
+			t.Fatalf("post-recovery request = %+v", resp)
+		}
+		if s := b.BreakerSnapshots()[0]; s.State == resilience.StateClosed && s.Successes > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica 0 not re-admitted: %+v", b.BreakerSnapshots()[0])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
