@@ -25,6 +25,7 @@ import (
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
 	"servicebroker/internal/sqldb"
+	"servicebroker/internal/tsdb"
 )
 
 func main() {
@@ -103,6 +104,11 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 	if admin != "" {
 		adminSrv := obs.New()
 		adminSrv.MountRegistry("backend."+kind+".", reg)
+		store := tsdb.New(0)
+		store.Mount("backend."+kind+".", reg)
+		adminSrv.SetTSDB(store)
+		store.Start(time.Second)
+		defer store.Close()
 		if err := adminSrv.Start(admin); err != nil {
 			return err
 		}

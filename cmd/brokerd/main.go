@@ -42,7 +42,12 @@ import (
 	"servicebroker/internal/obs"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
+	"servicebroker/internal/tsdb"
 )
+
+// exportBuffer bounds the recently finished traces held for span export to
+// the front end.
+const exportBuffer = 1024
 
 // serviceFlags collects repeated -service flags.
 type serviceFlags []string
@@ -71,6 +76,11 @@ type config struct {
 	breakerFailures int
 	breakerCooldown time.Duration
 	serveStale      bool
+	traceSample     float64
+	traceSlow       time.Duration
+	traceSeed       uint64
+	sampleEvery     time.Duration
+	seriesPoints    int
 }
 
 func main() {
@@ -89,6 +99,11 @@ func main() {
 	flag.IntVar(&cfg.breakerFailures, "breaker-failures", 5, "consecutive failures that open a replica's circuit breaker")
 	flag.DurationVar(&cfg.breakerCooldown, "breaker-cooldown", time.Second, "how long an open breaker waits before half-open probes")
 	flag.BoolVar(&cfg.serveStale, "serve-stale", false, "serve expired cache entries at low fidelity when the backend is unreachable")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 1, "fraction of healthy traces retained in the ring (errors, drops, and slow traces always kept)")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 0, "latency above which a healthy trace is always retained (0 disables)")
+	flag.Uint64Var(&cfg.traceSeed, "trace-seed", 1, "deterministic tail-sampling seed (share across processes for consistent decisions)")
+	flag.DurationVar(&cfg.sampleEvery, "sample-every", time.Second, "time-series sampling interval for /seriesz and /graphz")
+	flag.IntVar(&cfg.seriesPoints, "series-points", 0, "points retained per time series (0 selects the default)")
 	flag.Var(&cfg.services, "service", "broker spec name:kind:addr[|addr...] (repeatable)")
 	flag.Parse()
 
@@ -105,17 +120,28 @@ func run(cfg config) error {
 
 	// One trace recorder is shared by every hosted broker so /tracez shows
 	// the whole process; its registry's names are already fully qualified
-	// ("trace.<service>.<stage>").
-	var (
-		adminSrv *obs.Server
-		tracer   *trace.Recorder
+	// ("trace.<service>.<stage>"). The recorder always exists — the gateway
+	// needs its export buffer to ship spans back to the front end even when
+	// the admin plane is off — and tail sampling gates only ring retention.
+	var adminSrv *obs.Server
+	var store *tsdb.Store
+	traceReg := metrics.NewRegistry()
+	tracer := trace.NewRecorder(
+		trace.WithMetrics(traceReg),
+		trace.WithExport(exportBuffer),
+		trace.WithSampler(&trace.Sampler{
+			SlowThreshold: cfg.traceSlow,
+			Fraction:      cfg.traceSample,
+			Seed:          cfg.traceSeed,
+		}),
 	)
 	if cfg.admin != "" {
 		adminSrv = obs.New()
-		traceReg := metrics.NewRegistry()
-		tracer = trace.NewRecorder(trace.WithMetrics(traceReg))
 		adminSrv.SetRecorder(tracer)
 		adminSrv.MountRegistry("", traceReg)
+		store = tsdb.New(cfg.seriesPoints)
+		store.Mount("", traceReg)
+		adminSrv.SetTSDB(store)
 	}
 
 	brokers := make(map[string]*broker.Broker, len(cfg.services))
@@ -170,6 +196,22 @@ func run(cfg config) error {
 			adminSrv.MountRegistry("broker."+name+".", b.Metrics())
 			adminSrv.AddBreakerSource(name, b.BreakerSnapshots)
 		}
+		if store != nil {
+			store.Mount("broker."+name+".", b.Metrics())
+			reg := b.Metrics()
+			for class := 1; class <= cfg.classes; class++ {
+				probeName := fmt.Sprintf("broker.%s.drop_ratio_class_%d", name, class)
+				dropped := reg.Counter(fmt.Sprintf("dropped_class_%d", class))
+				requests := reg.Counter(fmt.Sprintf("requests_class_%d", class))
+				store.AddProbe(probeName, func() (float64, bool) {
+					total := requests.Value()
+					if total == 0 {
+						return 0, false
+					}
+					return float64(dropped.Value()) / float64(total), true
+				})
+			}
+		}
 		if cfg.reportTo != "" {
 			r, err := frontend.NewReporter(b, cfg.reportTo, cfg.reportEvery)
 			if err != nil {
@@ -198,6 +240,10 @@ func run(cfg config) error {
 		}
 		defer adminSrv.Close()
 		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
+	}
+	if store != nil {
+		store.Start(cfg.sampleEvery)
+		defer store.Close()
 	}
 
 	slog.Info("gateway up", "addr", gw.Addr().String(), "services", gw.Services())

@@ -25,12 +25,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"servicebroker/internal/frontend"
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
 	"servicebroker/internal/trace"
+	"servicebroker/internal/tsdb"
 )
 
 type routeFlags []string
@@ -45,23 +47,28 @@ func (r *routeFlags) Set(v string) error {
 func main() {
 	var routes routeFlags
 	var (
-		model      = flag.String("model", "distributed", "deployment model: distributed or centralized")
-		addr       = flag.String("addr", "127.0.0.1:0", "HTTP listen address")
-		gateway    = flag.String("gateway", "", "broker gateway UDP address (required)")
-		listenAddr = flag.String("load-listen", "127.0.0.1:0", "centralized: UDP address for broker load reports")
-		maxClients = flag.Int("maxclients", 0, "cap simultaneous request processing (0 = unlimited)")
-		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /tracez (empty disables)")
+		model       = flag.String("model", "distributed", "deployment model: distributed or centralized")
+		addr        = flag.String("addr", "127.0.0.1:0", "HTTP listen address")
+		gateway     = flag.String("gateway", "", "broker gateway UDP address (required)")
+		listenAddr  = flag.String("load-listen", "127.0.0.1:0", "centralized: UDP address for broker load reports")
+		maxClients  = flag.Int("maxclients", 0, "cap simultaneous request processing (0 = unlimited)")
+		admin       = flag.String("admin", "", "admin HTTP address for /metrics, /tracez (empty disables)")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of healthy traces retained in the ring (errors, drops, and slow traces always kept)")
+		traceSlow   = flag.Duration("trace-slow", 0, "latency above which a healthy trace is always retained (0 disables)")
+		traceSeed   = flag.Uint64("trace-seed", 1, "deterministic tail-sampling seed (share across processes for consistent decisions)")
+		sampleEvery = flag.Duration("sample-every", time.Second, "time-series sampling interval for /seriesz and /graphz")
 	)
 	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
 	flag.Parse()
 
-	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin); err != nil {
+	sampler := &trace.Sampler{SlowThreshold: *traceSlow, Fraction: *traceSample, Seed: *traceSeed}
+	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery); err != nil {
 		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string) error {
+func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery time.Duration) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -92,16 +99,22 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		}
 		adminSrv := obs.New()
 		traceReg := metrics.NewRegistry()
-		rec := trace.NewRecorder(trace.WithMetrics(traceReg))
+		rec := trace.NewRecorder(trace.WithMetrics(traceReg), trace.WithSampler(sampler))
 		enableTracing(rec)
 		adminSrv.SetRecorder(rec)
 		adminSrv.MountRegistry("", traceReg)
 		adminSrv.MountRegistry("frontend.", reg)
+		store := tsdb.New(0)
+		store.Mount("", traceReg)
+		store.Mount("frontend.", reg)
+		adminSrv.SetTSDB(store)
+		store.Start(sampleEvery)
 		if err := adminSrv.Start(admin); err != nil {
+			store.Close()
 			return nil, err
 		}
 		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
-		return func() { adminSrv.Close() }, nil
+		return func() { adminSrv.Close(); store.Close() }, nil
 	}
 
 	switch model {

@@ -7,19 +7,28 @@
 //	loadgen -mode ab -url http://127.0.0.1:8080/db?q=SELECT+1 -n 200 -c 40
 //	loadgen -mode webstone -url http://127.0.0.1:8080/db?q=x \
 //	        -clients 30 -classes 3 -duration 30s
+//
+// With -admin the driver serves the obs admin endpoints too, registering
+// client-observed latency and error metrics ("client.latency",
+// "client.latency_class_N", "client.errors", per-fidelity counters) so the
+// driver's view of a run and the broker's view can be compared on one scrape.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"servicebroker/internal/httpserver"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/tsdb"
 	"servicebroker/internal/workload"
 )
 
@@ -33,10 +42,11 @@ func main() {
 		classes  = flag.Int("classes", 3, "webstone: QoS classes")
 		duration = flag.Duration("duration", 30*time.Second, "webstone: run duration")
 		think    = flag.Duration("think", time.Second, "webstone: per-client think time")
+		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /seriesz, /graphz (empty disables)")
 	)
 	flag.Parse()
 
-	if err := run(*mode, *url, *n, *c, *clients, *classes, *duration, *think); err != nil {
+	if err := run(*mode, *url, *n, *c, *clients, *classes, *duration, *think, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -65,13 +75,32 @@ func parseURL(raw string) (addr, path string, query map[string]string, err error
 	return addr, path, query, nil
 }
 
-func run(mode, url string, n, c, clients, classes int, duration, think time.Duration) error {
+func run(mode, url string, n, c, clients, classes int, duration, think time.Duration, admin string) error {
 	if url == "" {
 		return fmt.Errorf("-url is required")
 	}
 	addr, path, query, err := parseURL(url)
 	if err != nil {
 		return err
+	}
+
+	// Client-observed metrics: what the driver sees end to end (HTTP +
+	// wire + broker + backend), mountable on -admin next to the server-side
+	// registries for a same-scrape comparison.
+	reg := metrics.NewRegistry()
+	if admin != "" {
+		adminSrv := obs.New()
+		adminSrv.MountRegistry("client.", reg)
+		store := tsdb.New(0)
+		store.Mount("client.", reg)
+		adminSrv.SetTSDB(store)
+		store.Start(time.Second)
+		defer store.Close()
+		if err := adminSrv.Start(admin); err != nil {
+			return err
+		}
+		defer adminSrv.Close()
+		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
 	}
 
 	// target issues one HTTP request with the given class, classifying the
@@ -92,6 +121,19 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 			}
 			return cli
 		}
+		observe := func(start time.Time, fid qos.Fidelity, err error) {
+			elapsed := time.Since(start)
+			reg.Counter("requests").Inc()
+			reg.Histogram("latency").Observe(elapsed)
+			if class >= 1 {
+				reg.Histogram(fmt.Sprintf("latency_class_%d", class)).Observe(elapsed)
+			}
+			if err != nil {
+				reg.Counter("errors").Inc()
+				return
+			}
+			reg.Counter("fidelity_" + fid.String()).Inc()
+		}
 		return func(ctx context.Context, client, seq int) (qos.Fidelity, error) {
 			if err := ctx.Err(); err != nil {
 				return 0, err
@@ -104,23 +146,28 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 			if class >= 1 {
 				q["qos"] = fmt.Sprint(int(class))
 			}
+			start := time.Now()
 			resp, err := cli.Get(path, q)
 			if err != nil {
+				observe(start, 0, err)
 				return 0, err
 			}
 			if resp.Status != 200 {
-				return 0, fmt.Errorf("status %d: %s", resp.Status, resp.Body)
+				err := fmt.Errorf("status %d: %s", resp.Status, resp.Body)
+				observe(start, 0, err)
+				return 0, err
 			}
+			fid := qos.FidelityFull
 			switch resp.Header["x-fidelity"] {
 			case "cached":
-				return qos.FidelityCached, nil
+				fid = qos.FidelityCached
 			case "degraded":
-				return qos.FidelityDegraded, nil
+				fid = qos.FidelityDegraded
 			case "busy":
-				return qos.FidelityBusy, nil
-			default:
-				return qos.FidelityFull, nil
+				fid = qos.FidelityBusy
 			}
+			observe(start, fid, nil)
+			return fid, nil
 		}
 	}
 

@@ -45,10 +45,10 @@ func TestParseURLRejectsNonHTTP(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("ab", "", 1, 1, 1, 1, 1, 0); err == nil {
+	if err := run("ab", "", 1, 1, 1, 1, 1, 0, ""); err == nil {
 		t.Fatal("missing url accepted")
 	}
-	if err := run("warp", "http://h:1/x", 1, 1, 1, 1, 1, 0); err == nil {
+	if err := run("warp", "http://h:1/x", 1, 1, 1, 1, 1, 0, ""); err == nil {
 		t.Fatal("unknown mode accepted")
 	}
 }

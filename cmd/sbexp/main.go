@@ -10,12 +10,14 @@
 //	sbexp -exp fig9|fig10|table1        # service differentiation
 //	sbexp -exp table2|table3|table4     # per-broker drop ratios
 //	sbexp -exp ablations                # design-choice ablations
+//	sbexp -exp obs                      # tracing-overhead benchmark
 //	sbexp -scale 20ms                   # wall time per paper second
 //	sbexp -quick                        # smaller sweeps for a fast pass
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig7, fig9, fig10, table1, table2, table3, table4, ablations")
+		exp    = flag.String("exp", "all", "experiment: all, fig7, fig9, fig10, table1, table2, table3, table4, ablations, obs")
 		scale  = flag.Duration("scale", 20*time.Millisecond, "wall-clock length of one paper second")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		csvDir = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
@@ -142,12 +144,47 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "obs" {
+		if err := runTraceOverhead(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	switch exp {
-	case "all", "fig7", "fig9", "fig10", "table1", "table2", "table3", "table4", "ablations":
+	case "all", "fig7", "fig9", "fig10", "table1", "table2", "table3", "table4", "ablations", "obs":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runTraceOverhead benchmarks the observability layer's cost on the Figure 9
+// access path (tracing off vs on vs on+sampling) and writes the result to
+// BENCH_trace_overhead.json in the working directory.
+func runTraceOverhead(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultTraceOverheadConfig(quick)
+	fmt.Printf("running tracing-overhead benchmark (records=%d, %d requests/mode, concurrency=%d)...\n",
+		cfg.Records, cfg.Requests, cfg.Concurrency)
+	res, err := experiments.RunTraceOverhead(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.TraceOverheadMode{res.Off, res.Traced, res.Sampled} {
+		fmt.Printf("  %-8s mean=%9.0fµs p95=%9.0fµs overhead=%+5.2f%% spans merged=%d\n",
+			m.Name, m.MeanMicros, m.P95Micros, m.OverheadPct, m.SpansMerged)
+	}
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_trace_overhead.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
 }
 
 func runAblations(ctx context.Context, quick bool) error {

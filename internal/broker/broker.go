@@ -86,6 +86,10 @@ type Response struct {
 	Status   Status
 	Fidelity qos.Fidelity
 	Payload  []byte
+	// RemoteSpans carries trace spans recorded by a remote broker and shipped
+	// back on the wire (gateway Client only). The caller merges them into its
+	// own trace so /tracez shows the cross-process tree.
+	RemoteSpans []trace.Span
 	// Err carries the failure for StatusError responses.
 	Err error
 }
@@ -471,6 +475,10 @@ func (b *Broker) Name() string { return b.name }
 // maintained.
 func (b *Broker) Metrics() *metrics.Registry { return b.reg }
 
+// Tracer returns the broker's trace recorder (nil unless WithTracer). The
+// gateway uses it to collect finished traces for span export.
+func (b *Broker) Tracer() *trace.Recorder { return b.tracer }
+
 // Tracker returns the transaction tracker (nil unless WithTransactions).
 func (b *Broker) Tracker() *txn.Tracker { return b.tracker }
 
@@ -634,8 +642,8 @@ func (b *Broker) worker() {
 		popped := time.Now()
 		wait := popped.Sub(j.started)
 		j.tr.Span(trace.StageQueue, j.started, popped, "")
-		b.reg.Histogram("queue_wait").Observe(wait)
-		b.reg.Histogram(fmt.Sprintf("queue_wait_class_%d", j.class)).Observe(wait)
+		b.reg.Histogram("queue_wait").ObserveTrace(wait, uint64(j.tr.ID()))
+		b.reg.Histogram(fmt.Sprintf("queue_wait_class_%d", j.class)).ObserveTrace(wait, uint64(j.tr.ID()))
 		b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
 		// A request whose context died during the queue wait must not
 		// consume backend capacity: its caller is gone.
@@ -681,11 +689,11 @@ func (b *Broker) execute(j *job) *Response {
 			// delay".
 			span := j.tr.StartSpan(trace.StageCluster)
 			body, err = b.batcher.Submit(ctx, j.req.Payload)
-			b.reg.Histogram("cluster_time").Observe(span.EndNote("batched access"))
+			b.reg.Histogram("cluster_time").ObserveTrace(span.EndNote("batched access"), uint64(j.tr.ID()))
 		} else {
 			span := j.tr.StartSpan(trace.StageBackend)
 			body, err = b.do(ctx, j.req.Payload)
-			b.reg.Histogram("backend_rtt").Observe(span.End())
+			b.reg.Histogram("backend_rtt").ObserveTrace(span.End(), uint64(j.tr.ID()))
 		}
 		return body, err
 	}
@@ -744,8 +752,8 @@ func (b *Broker) finishJob() {
 
 func (b *Broker) observeCompletion(j *job, resp *Response) {
 	elapsed := time.Since(j.started)
-	b.reg.Histogram("processing_time").Observe(elapsed)
-	b.reg.Histogram(fmt.Sprintf("processing_time_class_%d", j.class)).Observe(elapsed)
+	b.reg.Histogram("processing_time").ObserveTrace(elapsed, uint64(j.tr.ID()))
+	b.reg.Histogram(fmt.Sprintf("processing_time_class_%d", j.class)).ObserveTrace(elapsed, uint64(j.tr.ID()))
 	if resp.Status == StatusOK {
 		b.reg.Counter("completed").Inc()
 		b.reg.Counter(fmt.Sprintf("completed_class_%d", j.class)).Inc()

@@ -96,6 +96,41 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 			out.Payload = []byte(resp.Err.Error())
 		}
 	}
+	// Span export (Dapper-style collection, piggybacked on the response):
+	// when the caller asked via FlagSpanExport, attach the broker-recorded
+	// spans for this trace so the front end can merge the cross-process tree.
+	// Best-effort — a trace still in flight (context cancellation) or aged
+	// out of the export buffer simply ships no spans.
+	if m.TraceID != 0 && m.Flags&wire.FlagSpanExport != 0 {
+		if t, ok := b.Tracer().TakeExport(trace.ID(m.TraceID)); ok {
+			out.Spans = exportSpans(t.Spans)
+		}
+	}
+	return out
+}
+
+// exportSpans converts recorded spans to their wire form, truncating to the
+// codec's bounds so span volume can never fail a response.
+func exportSpans(spans []trace.Span) []wire.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	if len(spans) > wire.MaxSpans {
+		spans = spans[:wire.MaxSpans]
+	}
+	out := make([]wire.Span, 0, len(spans))
+	for _, sp := range spans {
+		note := sp.Note
+		if len(note) > 256 {
+			note = note[:256]
+		}
+		out = append(out, wire.Span{
+			Stage: string(sp.Stage),
+			Note:  note,
+			Start: sp.Start.UnixNano(),
+			End:   sp.End.UnixNano(),
+		})
+	}
 	return out
 }
 
@@ -135,11 +170,16 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 	if req.NoCache {
 		m.Flags |= wire.FlagNoCache
 	}
+	if req.TraceID != 0 {
+		// Ask the broker to ship its spans home on the response. Servers
+		// that predate span export ignore the bit.
+		m.Flags |= wire.FlagSpanExport
+	}
 	out, err := c.wc.Call(ctx, m)
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{Fidelity: out.Fidelity, Payload: out.Payload}
+	resp := &Response{Fidelity: out.Fidelity, Payload: out.Payload, RemoteSpans: importSpans(out.Spans)}
 	switch out.Status {
 	case wire.StatusOK:
 		resp.Status = StatusOK
@@ -150,6 +190,24 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		resp.Err = fmt.Errorf("broker: %s", out.Payload)
 	}
 	return resp, nil
+}
+
+// importSpans converts wire spans back to trace spans for merging into the
+// caller's trace.
+func importSpans(spans []wire.Span) []trace.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]trace.Span, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, trace.Span{
+			Stage: trace.Stage(sp.Stage),
+			Note:  sp.Note,
+			Start: time.Unix(0, sp.Start),
+			End:   time.Unix(0, sp.End),
+		})
+	}
+	return out
 }
 
 // Multi fans one request per service out in parallel and collects the

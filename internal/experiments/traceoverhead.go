@@ -1,0 +1,229 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/sqldb"
+	"servicebroker/internal/trace"
+	"servicebroker/internal/workload"
+)
+
+// TraceOverheadConfig parameterizes the tracing-overhead benchmark: the
+// Figure 9 access path (wire client → UDP gateway → broker → SQL backend)
+// driven at fixed concurrency with tracing off, on, and on with tail
+// sampling, so the span-export and recording cost can be stated as a
+// percentage of the untraced mean.
+type TraceOverheadConfig struct {
+	// Records is the fixture size; the scan query below visits every row,
+	// so this sets how much backend work each request carries.
+	Records int
+	// Requests per mode (after warmup).
+	Requests int
+	// Concurrency is the closed-loop client count.
+	Concurrency int
+	// SampleFraction is the healthy-trace keep fraction for the sampled
+	// mode (errors and slow traces are always kept).
+	SampleFraction float64
+	// Warmup requests run before each measured mode and are discarded.
+	Warmup int
+}
+
+// DefaultTraceOverheadConfig returns the benchmark defaults; quick shrinks
+// the fixture and request budget for a fast pass.
+func DefaultTraceOverheadConfig(quick bool) TraceOverheadConfig {
+	cfg := TraceOverheadConfig{
+		Records:        8000,
+		Requests:       400,
+		Concurrency:    4,
+		SampleFraction: 0.1,
+		Warmup:         32,
+	}
+	if quick {
+		cfg.Records = 2000
+		cfg.Requests = 120
+		cfg.Warmup = 12
+	}
+	return cfg
+}
+
+// TraceOverheadMode is one measured configuration.
+type TraceOverheadMode struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	MeanMicros  float64 `json:"mean_us"`
+	P95Micros   float64 `json:"p95_us"`
+	OverheadPct float64 `json:"overhead_pct"` // vs the tracing-off mean
+	SpansMerged int64   `json:"spans_merged"` // remote spans the client folded in
+	RingHeld    int     `json:"ring_held"`    // traces retained broker-side
+}
+
+// TraceOverheadResult is the full benchmark output, serialized to
+// BENCH_trace_overhead.json by sbexp.
+type TraceOverheadResult struct {
+	Records        int               `json:"records"`
+	Concurrency    int               `json:"concurrency"`
+	SampleFraction float64           `json:"sample_fraction"`
+	Off            TraceOverheadMode `json:"off"`
+	Traced         TraceOverheadMode `json:"traced"`
+	Sampled        TraceOverheadMode `json:"sampled"`
+}
+
+// RunTraceOverhead measures end-to-end request latency through the deployed
+// broker path in three modes:
+//
+//   - off: no broker tracer, untraced wire frames (v1 layout)
+//   - traced: broker tracer with span export, client assigns trace IDs,
+//     merges the returned spans, and retains every trace
+//   - sampled: as traced, but both sides tail-sample healthy traces at
+//     SampleFraction
+//
+// The backend query scans the whole fixture table so backend work dominates
+// and the tracing delta is visible as a small relative overhead.
+func RunTraceOverhead(ctx context.Context, cfg TraceOverheadConfig) (*TraceOverheadResult, error) {
+	if cfg.Records < 1 || cfg.Requests < 1 || cfg.Concurrency < 1 {
+		return nil, fmt.Errorf("experiments: bad trace overhead parameters %+v", cfg)
+	}
+
+	// One shared backend server; each mode gets its own broker + gateway so
+	// caches, counters, and recorders never bleed across modes.
+	engine := sqldb.NewEngine()
+	if err := sqldb.LoadRecords(engine, cfg.Records); err != nil {
+		return nil, err
+	}
+	db, err := sqldb.NewServer(engine, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	query := []byte("SELECT id, name, score FROM records WHERE score BETWEEN 100 AND 140 AND name LIKE 'record-%'")
+
+	runMode := func(name string, brokerRec, clientRec *trace.Recorder) (*TraceOverheadMode, error) {
+		opts := []broker.Option{
+			broker.WithThreshold(64, 3),
+			broker.WithWorkers(cfg.Concurrency),
+		}
+		if brokerRec != nil {
+			opts = append(opts, broker.WithTracer(brokerRec))
+		}
+		b, err := broker.New(&backend.SQLConnector{Addr: db.Addr().String()}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		defer b.Close()
+		gw, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+		if err != nil {
+			return nil, err
+		}
+		defer gw.Close()
+		cli, err := broker.DialGateway(gw.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		defer cli.Close()
+
+		var spansMerged atomic.Int64
+		do := func(ctx context.Context) error {
+			req := &broker.Request{Payload: query, Class: qos.Class1, NoCache: true}
+			var act *trace.Active
+			if clientRec != nil {
+				act = clientRec.Start(trace.NewID(), "db", int(qos.Class1))
+				req.TraceID = act.ID()
+			}
+			var timer trace.SpanTimer
+			if act != nil {
+				timer = act.StartSpan(trace.StageWire)
+			}
+			resp, err := cli.Do(ctx, "db", req)
+			if act != nil {
+				timer.End()
+				if resp != nil {
+					for _, sp := range resp.RemoteSpans {
+						act.Span(sp.Stage, sp.Start, sp.End, sp.Note)
+					}
+					spansMerged.Add(int64(len(resp.RemoteSpans)))
+				}
+				act.Finish()
+			}
+			if err != nil {
+				return err
+			}
+			if resp.Status != broker.StatusOK {
+				return fmt.Errorf("status %v: %v", resp.Status, resp.Err)
+			}
+			return nil
+		}
+
+		for i := 0; i < cfg.Warmup; i++ {
+			if err := do(ctx); err != nil {
+				return nil, fmt.Errorf("%s warmup: %w", name, err)
+			}
+		}
+		res, err := workload.ClosedLoop{Concurrency: cfg.Concurrency, Requests: cfg.Requests}.Run(ctx,
+			func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+				if err := do(ctx); err != nil {
+					return 0, err
+				}
+				return qos.FidelityFull, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		mode := &TraceOverheadMode{
+			Name:        name,
+			Requests:    cfg.Requests,
+			MeanMicros:  float64(res.Latency.Mean()) / float64(time.Microsecond),
+			P95Micros:   float64(res.Latency.Quantile(0.95)) / float64(time.Microsecond),
+			SpansMerged: spansMerged.Load(),
+		}
+		if clientRec != nil {
+			mode.RingHeld = clientRec.Len()
+		}
+		return mode, nil
+	}
+
+	recorders := func(fraction float64) (brokerRec, clientRec *trace.Recorder) {
+		sampler := &trace.Sampler{Fraction: fraction, Seed: 20030519}
+		brokerRec = trace.NewRecorder(trace.WithExport(cfg.Requests+cfg.Warmup), trace.WithSampler(sampler))
+		clientRec = trace.NewRecorder(trace.WithSampler(sampler))
+		return brokerRec, clientRec
+	}
+
+	off, err := runMode("off", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	bRec, cRec := recorders(1)
+	traced, err := runMode("traced", bRec, cRec)
+	if err != nil {
+		return nil, err
+	}
+	bRec, cRec = recorders(cfg.SampleFraction)
+	sampled, err := runMode("sampled", bRec, cRec)
+	if err != nil {
+		return nil, err
+	}
+
+	overhead := func(m *TraceOverheadMode) {
+		if off.MeanMicros > 0 {
+			m.OverheadPct = (m.MeanMicros - off.MeanMicros) / off.MeanMicros * 100
+		}
+	}
+	overhead(traced)
+	overhead(sampled)
+
+	return &TraceOverheadResult{
+		Records:        cfg.Records,
+		Concurrency:    cfg.Concurrency,
+		SampleFraction: cfg.SampleFraction,
+		Off:            *off,
+		Traced:         *traced,
+		Sampled:        *sampled,
+	}, nil
+}

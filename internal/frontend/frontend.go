@@ -118,6 +118,14 @@ func tracedCall(rec *trace.Recorder, cli *broker.Client, service string, req *br
 	span := tr.StartSpan(trace.StageWire)
 	resp, err := cli.Do(context.Background(), service, req)
 	span.End()
+	if resp != nil {
+		// Merge the broker-side spans shipped back on the response so the
+		// front end's /tracez shows the whole cross-process tree (wire →
+		// queue → cache/cluster/backend → retry).
+		for _, sp := range resp.RemoteSpans {
+			tr.Span(sp.Stage, sp.Start, sp.End, sp.Note)
+		}
+	}
 	switch {
 	case err != nil:
 		tr.SetStatus("error")

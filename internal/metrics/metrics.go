@@ -70,6 +70,15 @@ const reservoirSize = 16384
 // [2^i, 2^(i+1)) microseconds, i in [0, bucketCount).
 const bucketCount = 40
 
+// Exemplar pairs a bucket's most recent observation with the trace that
+// produced it, so a latency bucket on /metrics links to a concrete /tracez
+// record (OpenMetrics exemplar semantics). A zero TraceID means the bucket
+// has no exemplar.
+type Exemplar struct {
+	TraceID uint64
+	Value   time.Duration
+}
+
 // Histogram records duration observations. It keeps log-scaled bucket counts
 // (always exact for counts) plus a reservoir of raw samples for precise
 // quantiles. The zero value is ready to use.
@@ -80,6 +89,9 @@ type Histogram struct {
 	min     time.Duration
 	max     time.Duration
 	buckets [bucketCount]int64
+	// exemplars holds, per bucket, the most recent traced observation that
+	// landed there (zero TraceID when the bucket has only untraced samples).
+	exemplars [bucketCount]Exemplar
 	// reservoir holds up to reservoirSize raw samples; once full it degrades
 	// to uniform reservoir sampling using a deterministic LCG so experiment
 	// runs are reproducible.
@@ -88,7 +100,14 @@ type Histogram struct {
 }
 
 // Observe records one duration. Negative durations are clamped to zero.
-func (h *Histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) { h.observe(d, 0) }
+
+// ObserveTrace records one duration attributed to a trace; the trace ID
+// becomes the observation's bucket exemplar. A zero traceID behaves like
+// Observe.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID uint64) { h.observe(d, traceID) }
+
+func (h *Histogram) observe(d time.Duration, traceID uint64) {
 	if d < 0 {
 		d = 0
 	}
@@ -102,7 +121,11 @@ func (h *Histogram) Observe(d time.Duration) {
 	}
 	h.count++
 	h.sum += d
-	h.buckets[bucketFor(d)]++
+	b := bucketFor(d)
+	h.buckets[b]++
+	if traceID != 0 {
+		h.exemplars[b] = Exemplar{TraceID: traceID, Value: d}
+	}
 	if len(h.reservoir) < reservoirSize {
 		h.reservoir = append(h.reservoir, d)
 		return
@@ -199,6 +222,9 @@ type Snapshot struct {
 	P95     time.Duration
 	P99     time.Duration
 	Buckets []int64
+	// Exemplars[i] is bucket i's most recent traced observation; a zero
+	// TraceID means none.
+	Exemplars []Exemplar
 }
 
 // Snapshot returns the current summary statistics. The whole snapshot is
@@ -209,13 +235,15 @@ func (h *Histogram) Snapshot() Snapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	s := Snapshot{
-		Count:   h.count,
-		Sum:     h.sum,
-		Min:     h.min,
-		Max:     h.max,
-		Buckets: make([]int64, bucketCount),
+		Count:     h.count,
+		Sum:       h.sum,
+		Min:       h.min,
+		Max:       h.max,
+		Buckets:   make([]int64, bucketCount),
+		Exemplars: make([]Exemplar, bucketCount),
 	}
 	copy(s.Buckets, h.buckets[:])
+	copy(s.Exemplars, h.exemplars[:])
 	if h.count > 0 {
 		s.Mean = h.sum / time.Duration(h.count)
 	}
@@ -251,6 +279,7 @@ func (h *Histogram) Reset() {
 	h.min = 0
 	h.max = 0
 	h.buckets = [bucketCount]int64{}
+	h.exemplars = [bucketCount]Exemplar{}
 	h.reservoir = h.reservoir[:0]
 	h.rng = 0
 }

@@ -18,10 +18,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"regexp"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -32,6 +36,7 @@ import (
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
+	"servicebroker/internal/tsdb"
 )
 
 // LoadSource supplies live broker load summaries for /loadz. A brokerd
@@ -46,13 +51,15 @@ type BreakerSource func() []resilience.Snapshot
 // Server is the admin endpoint. The zero value is not usable; call New.
 // Mount* and Add* calls are safe at any time, including while serving.
 type Server struct {
-	mux *http.ServeMux
+	mux   *http.ServeMux
+	start time.Time
 
 	mu       sync.Mutex
 	mounts   []mount
 	rec      *trace.Recorder
 	sources  []LoadSource
 	breakers []namedBreakerSource
+	store    *tsdb.Store
 
 	srv *http.Server
 	ln  net.Listener
@@ -70,12 +77,15 @@ type namedBreakerSource struct {
 
 // New returns an admin server with all endpoints registered.
 func New() *Server {
-	s := &Server{mux: http.NewServeMux()}
+	s := &Server{mux: http.NewServeMux(), start: time.Now()}
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/buildz", s.handleBuildz)
 	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/loadz", s.handleLoadz)
 	s.mux.HandleFunc("/breakerz", s.handleBreakerz)
+	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
+	s.mux.HandleFunc("/graphz", s.handleGraphz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -101,6 +111,13 @@ func (s *Server) MountRegistry(prefix string, reg *metrics.Registry) {
 func (s *Server) SetRecorder(rec *trace.Recorder) {
 	s.mu.Lock()
 	s.rec = rec
+	s.mu.Unlock()
+}
+
+// SetTSDB wires the time-series store backing /seriesz and /graphz.
+func (s *Server) SetTSDB(store *tsdb.Store) {
+	s.mu.Lock()
+	s.store = store
 	s.mu.Unlock()
 }
 
@@ -171,6 +188,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// --- /buildz ----------------------------------------------------------------
+
+func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	version, goVersion := "(devel)", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		if bi.GoVersion != "" {
+			goVersion = bi.GoVersion
+		}
+	}
+	fmt.Fprintf(w, "version=%s\n", version)
+	fmt.Fprintf(w, "go=%s\n", goVersion)
+	fmt.Fprintf(w, "start=%s\n", s.start.Format(time.RFC3339))
+	fmt.Fprintf(w, "uptime=%s\n", time.Since(s.start).Round(time.Millisecond))
+	fmt.Fprintf(w, "goroutines=%d\n", runtime.NumGoroutine())
+	fmt.Fprintf(w, "gomaxprocs=%d\n", runtime.GOMAXPROCS(0))
+}
+
 // --- /metrics -------------------------------------------------------------
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -227,7 +265,15 @@ func WriteProm(b *strings.Builder, prefix string, v metrics.View) {
 				continue
 			}
 			le := strconv.FormatFloat(metrics.BucketUpperBound(i).Seconds(), 'g', -1, 64)
-			fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", pn, le, cum)
+			fmt.Fprintf(b, "%s_bucket{le=%q} %d", pn, le, cum)
+			// OpenMetrics exemplar: the bucket's most recent traced
+			// observation, linking the latency band to a /tracez entry.
+			if i < len(snap.Exemplars) && snap.Exemplars[i].TraceID != 0 {
+				ex := snap.Exemplars[i]
+				fmt.Fprintf(b, " # {trace_id=\"%016x\"} %s", ex.TraceID,
+					strconv.FormatFloat(ex.Value.Seconds(), 'g', -1, 64))
+			}
+			b.WriteByte('\n')
 		}
 		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, snap.Count)
 		fmt.Fprintf(b, "%s_sum %s\n", pn, strconv.FormatFloat(snap.Sum.Seconds(), 'g', -1, 64))
@@ -304,6 +350,84 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintln(w)
 		}
 	}
+	// Footer: retention accounting, so a truncated or sampled window is
+	// never mistaken for the complete history.
+	sampled, discarded := rec.SampleCounts()
+	fmt.Fprintf(w, "ring: held=%d evicted=%d sampled=%d discarded=%d\n",
+		rec.Len(), rec.Evicted(), sampled, discarded)
+}
+
+// --- /seriesz and /graphz ---------------------------------------------------
+
+func (s *Server) handleSeriesz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		http.Error(w, "seriesz: no time-series store configured", http.StatusNotFound)
+		return
+	}
+	series := store.Snapshot(r.URL.Query().Get("match"))
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(struct {
+		Series []tsdb.Series `json:"series"`
+	}{Series: series})
+}
+
+// graphzMaxCharts caps one /graphz page; narrow with ?match= to see more.
+const graphzMaxCharts = 24
+
+// classSuffix strips the per-class infix so class variants of one metric
+// group onto the same chart.
+var classSuffix = regexp.MustCompile(`_class_\d+`)
+
+func (s *Server) handleGraphz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		http.Error(w, "graphz: no time-series store configured", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	width, height := 640, 220
+	if v, err := strconv.Atoi(q.Get("w")); err == nil && v > 0 {
+		width = v
+	}
+	if v, err := strconv.Atoi(q.Get("h")); err == nil && v > 0 {
+		height = v
+	}
+	series := store.Snapshot(q.Get("match"))
+
+	// Group per-class variants of one metric onto a single multi-line chart:
+	// "broker.db.queue_wait_class_2.mean" charts with its base series under
+	// the group title "broker.db.queue_wait.mean".
+	groups := make(map[string][]tsdb.Series)
+	var order []string
+	for _, sr := range series {
+		key := classSuffix.ReplaceAllString(sr.Name, "")
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], sr)
+	}
+	sort.Strings(order)
+	if len(order) > graphzMaxCharts {
+		order = order[:graphzMaxCharts]
+	}
+
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<!DOCTYPE html>\n<html><head><title>graphz</title></head>\n")
+	fmt.Fprintf(w, "<body style=\"background:#f9f9f7;margin:16px;font-family:system-ui,-apple-system,'Segoe UI',sans-serif\">\n")
+	if len(order) == 0 {
+		fmt.Fprintf(w, "<p style=\"color:#52514e\">no series yet — is the sampler running?</p>\n")
+	}
+	for _, key := range order {
+		fmt.Fprintf(w, "<div style=\"margin-bottom:12px\">%s</div>\n", tsdb.ChartSVG(key, groups[key], width, height))
+	}
+	fmt.Fprintf(w, "</body></html>\n")
 }
 
 // --- /breakerz ------------------------------------------------------------

@@ -15,9 +15,10 @@ const DefaultRingCapacity = 2048
 // allocation happens under the lock after warmup because the backing slice
 // is pre-sized.
 type Ring struct {
-	mu    sync.Mutex
-	slots []Trace
-	next  uint64 // total Puts; next%cap is the slot to write
+	mu      sync.Mutex
+	slots   []Trace
+	next    uint64 // total Puts; next%cap is the slot to write
+	evicted uint64 // Puts that overwrote a retained trace
 }
 
 // NewRing returns a ring holding up to capacity traces (capacity < 1 is
@@ -29,16 +30,30 @@ func NewRing(capacity int) *Ring {
 	return &Ring{slots: make([]Trace, 0, capacity)}
 }
 
-// Put appends one completed trace, evicting the oldest when full.
-func (r *Ring) Put(t Trace) {
+// Put appends one completed trace, evicting the oldest when full. It reports
+// whether an older trace was overwritten, so the owner can account for the
+// truncated window (a /tracez snapshot with evictions is not a complete
+// history).
+func (r *Ring) Put(t Trace) bool {
 	r.mu.Lock()
+	evicted := false
 	if len(r.slots) < cap(r.slots) {
 		r.slots = append(r.slots, t)
 	} else {
 		r.slots[r.next%uint64(cap(r.slots))] = t
+		r.evicted++
+		evicted = true
 	}
 	r.next++
 	r.mu.Unlock()
+	return evicted
+}
+
+// Evicted reports how many traces have been overwritten since creation.
+func (r *Ring) Evicted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
 }
 
 // Len reports how many traces the ring holds.

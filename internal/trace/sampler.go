@@ -1,0 +1,44 @@
+package trace
+
+import "time"
+
+// Sampler is a tail-sampling policy: the keep/discard decision is made after
+// the trace completes, when its disposition and duration are known (Dapper's
+// tail sampling, applied at the collection point). Interesting traces —
+// errors, drops, and slow requests — are always retained; healthy traces are
+// retained at a deterministic fraction, so the bounded ring stays useful
+// under saturation-scale load instead of filling with thousands of identical
+// healthy records between two incidents.
+//
+// The healthy-trace decision hashes the trace ID with the seed, so it is
+// reproducible across runs and consistent across processes sharing a seed:
+// either every component keeps a given trace or none does.
+type Sampler struct {
+	// SlowThreshold always retains traces at least this slow; 0 disables the
+	// latency criterion.
+	SlowThreshold time.Duration
+	// Fraction of healthy (status ok, not slow) traces to keep, in [0, 1].
+	Fraction float64
+	// Seed perturbs the deterministic healthy-trace hash.
+	Seed uint64
+}
+
+// Keep reports whether the completed trace should be retained.
+func (s *Sampler) Keep(t Trace) bool {
+	if s == nil {
+		return true
+	}
+	if t.Status != "ok" {
+		return true
+	}
+	if s.SlowThreshold > 0 && t.Duration() >= s.SlowThreshold {
+		return true
+	}
+	if s.Fraction >= 1 {
+		return true
+	}
+	if s.Fraction <= 0 {
+		return false
+	}
+	return float64(mix64(uint64(t.ID)^s.Seed))/(1<<64) < s.Fraction
+}

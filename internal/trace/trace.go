@@ -49,16 +49,22 @@ var idState = func() *atomic.Uint64 {
 // unlikely to collide across processes.
 func NewID() ID {
 	for {
-		x := idState.Add(0x9e3779b97f4a7c15)
-		x ^= x >> 30
-		x *= 0xbf58476d1ce4e5b9
-		x ^= x >> 27
-		x *= 0x94d049bb133111eb
-		x ^= x >> 31
+		x := mix64(idState.Add(0x9e3779b97f4a7c15))
 		if x != 0 {
 			return ID(x)
 		}
 	}
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit hash
+// used for ID generation and the sampler's deterministic keep decision.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // String renders the ID as 16 lowercase hex digits (zero-padded).
@@ -137,8 +143,20 @@ type Active struct {
 // process (all brokers behind a gateway, plus the front end). The zero value
 // is not usable; call NewRecorder.
 type Recorder struct {
-	ring *Ring
-	reg  *metrics.Registry
+	ring    *Ring
+	reg     *metrics.Registry
+	sampler *Sampler
+
+	sampled   atomic.Uint64
+	discarded atomic.Uint64
+
+	// Export buffer: recently finished traces held for a remote collector
+	// (the wire gateway ships them back to the front end). Bounded FIFO so
+	// traces nobody collects cannot grow memory.
+	expMu    sync.Mutex
+	exports  map[ID]Trace
+	expOrder []ID
+	expCap   int
 }
 
 // RecorderOption configures a Recorder.
@@ -152,9 +170,26 @@ func WithCapacity(n int) RecorderOption {
 // WithMetrics aggregates per-stage durations into reg under names
 // "trace.<service>.<stage>" (histogram), "trace.<service>.<stage>.class_<c>"
 // (histogram), and "trace.<service>.finished" / ".finished_<status>"
-// (counters).
+// (counters). Stage histograms carry the finishing trace's ID as a bucket
+// exemplar, and the sampling/eviction accounting pair
+// ("trace_sampled_total", "trace_discarded_total", "trace_ring_evicted_total")
+// is maintained here too.
 func WithMetrics(reg *metrics.Registry) RecorderOption {
 	return func(r *Recorder) { r.reg = reg }
+}
+
+// WithSampler applies tail sampling to ring retention. Metric aggregation
+// and the export buffer still see every finished trace — sampling only
+// decides what the bounded ring keeps.
+func WithSampler(s *Sampler) RecorderOption {
+	return func(r *Recorder) { r.sampler = s }
+}
+
+// WithExport keeps up to capacity recently finished traces in a take-once
+// buffer so a transport (the wire gateway) can ship them to the process that
+// started the trace. Capacity ≤ 0 disables exporting.
+func WithExport(capacity int) RecorderOption {
+	return func(r *Recorder) { r.expCap = capacity }
 }
 
 // NewRecorder returns a ready Recorder.
@@ -162,6 +197,9 @@ func NewRecorder(opts ...RecorderOption) *Recorder {
 	r := &Recorder{ring: NewRing(DefaultRingCapacity)}
 	for _, o := range opts {
 		o(r)
+	}
+	if r.expCap > 0 {
+		r.exports = make(map[ID]Trace, r.expCap)
 	}
 	return r
 }
@@ -188,6 +226,86 @@ func (r *Recorder) Snapshot(f Filter) []Trace { return r.ring.Snapshot(f) }
 
 // Len reports how many completed traces the ring currently holds.
 func (r *Recorder) Len() int { return r.ring.Len() }
+
+// Evicted reports how many retained traces the ring has overwritten.
+func (r *Recorder) Evicted() uint64 { return r.ring.Evicted() }
+
+// SampleCounts reports how many finished traces the sampler kept vs
+// discarded; the two always sum to the total number of Finish calls.
+func (r *Recorder) SampleCounts() (sampled, discarded uint64) {
+	return r.sampled.Load(), r.discarded.Load()
+}
+
+// TakeExport removes and returns the completed trace with the given ID from
+// the export buffer. It reports false when the trace was never recorded,
+// already taken, or aged out of the bounded buffer.
+func (r *Recorder) TakeExport(id ID) (Trace, bool) {
+	if r == nil || id == 0 {
+		return Trace{}, false
+	}
+	r.expMu.Lock()
+	defer r.expMu.Unlock()
+	t, ok := r.exports[id]
+	if !ok {
+		return Trace{}, false
+	}
+	delete(r.exports, id)
+	for i, v := range r.expOrder {
+		if v == id {
+			r.expOrder = append(r.expOrder[:i], r.expOrder[i+1:]...)
+			break
+		}
+	}
+	return t, true
+}
+
+// record is the single sink for finished traces: it stashes the trace for a
+// remote collector, applies the tail-sampling decision to ring retention, and
+// aggregates stage durations into the registry. Metric aggregation sees every
+// trace — sampling only thins what /tracez retains.
+func (r *Recorder) record(t Trace) {
+	if r.expCap > 0 {
+		r.expMu.Lock()
+		if _, ok := r.exports[t.ID]; !ok {
+			for len(r.expOrder) >= r.expCap {
+				delete(r.exports, r.expOrder[0])
+				r.expOrder = r.expOrder[1:]
+			}
+			r.expOrder = append(r.expOrder, t.ID)
+		}
+		r.exports[t.ID] = t
+		r.expMu.Unlock()
+	}
+
+	kept := r.sampler.Keep(t)
+	evicted := false
+	if kept {
+		r.sampled.Add(1)
+		evicted = r.ring.Put(t)
+	} else {
+		r.discarded.Add(1)
+	}
+
+	if reg := r.reg; reg != nil {
+		if kept {
+			reg.Counter("trace_sampled_total").Inc()
+		} else {
+			reg.Counter("trace_discarded_total").Inc()
+		}
+		if evicted {
+			reg.Counter("trace_ring_evicted_total").Inc()
+		}
+		reg.Counter("trace." + t.Service + ".finished").Inc()
+		reg.Counter("trace." + t.Service + ".finished_" + t.Status).Inc()
+		for _, sp := range t.Spans {
+			d := sp.Duration()
+			reg.Histogram("trace."+t.Service+"."+string(sp.Stage)).ObserveTrace(d, uint64(t.ID))
+			if t.Class > 0 {
+				reg.Histogram(fmt.Sprintf("trace.%s.%s.class_%d", t.Service, sp.Stage, t.Class)).ObserveTrace(d, uint64(t.ID))
+			}
+		}
+	}
+}
 
 // ID returns the trace's identifier.
 func (a *Active) ID() ID {
@@ -283,18 +401,7 @@ func (a *Active) Finish() Trace {
 	t.Spans = append([]Span(nil), a.t.Spans...)
 	a.mu.Unlock()
 
-	a.rec.ring.Put(t)
-	if reg := a.rec.reg; reg != nil {
-		reg.Counter("trace." + t.Service + ".finished").Inc()
-		reg.Counter("trace." + t.Service + ".finished_" + t.Status).Inc()
-		for _, sp := range t.Spans {
-			d := sp.Duration()
-			reg.Histogram("trace." + t.Service + "." + string(sp.Stage)).Observe(d)
-			if t.Class > 0 {
-				reg.Histogram(fmt.Sprintf("trace.%s.%s.class_%d", t.Service, sp.Stage, t.Class)).Observe(d)
-			}
-		}
-	}
+	a.rec.record(t)
 	return t
 }
 

@@ -1,0 +1,200 @@
+package tsdb
+
+import (
+	"fmt"
+	"html"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Chart chrome colors (light surface) and the categorical series palette, in
+// fixed assignment order. The palette order is a colorblind-safety property
+// (adjacent pairs validated for CVD separation), so series take slots in
+// order and are never re-colored when a filter changes the set.
+const (
+	chartSurface = "#fcfcfb"
+	inkPrimary   = "#0b0b0b"
+	inkSecondary = "#52514e"
+	inkMuted     = "#898781"
+	gridline     = "#e1e0d9"
+	baseline     = "#c3c2b7"
+)
+
+var seriesPalette = [...]string{
+	"#2a78d6", // blue
+	"#eb6834", // orange
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#e87ba4", // magenta
+	"#008300", // green
+}
+
+// MaxChartSeries caps the series drawn on one chart; beyond the validated
+// palette the remainder is folded into a "+N more" legend note rather than
+// inventing new hues.
+const MaxChartSeries = len(seriesPalette)
+
+// ChartSVG renders one static SVG line chart of the given series (points in
+// Unix milliseconds, shared x-range). It is self-contained markup suitable
+// for direct serving or embedding: system sans text, <title> elements give
+// native hover tooltips. Series beyond MaxChartSeries are dropped with a
+// legend note.
+func ChartSVG(title string, series []Series, w, h int) string {
+	if w < 240 {
+		w = 640
+	}
+	if h < 120 {
+		h = 220
+	}
+	folded := 0
+	if len(series) > MaxChartSeries {
+		folded = len(series) - MaxChartSeries
+		series = series[:MaxChartSeries]
+	}
+
+	const (
+		padL = 64
+		padR = 12
+		padT = 28
+		padB = 34
+	)
+	plotW := float64(w - padL - padR)
+	plotH := float64(h - padT - padB)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, -apple-system, 'Segoe UI', sans-serif">`, w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`, w, h, chartSurface)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="600" fill="%s">%s</text>`, padL, inkPrimary, html.EscapeString(title))
+
+	// Data bounds.
+	var (
+		minX, maxX int64
+		maxY       float64
+		havePoints bool
+	)
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !havePoints {
+				minX, maxX = p.Unix, p.Unix
+				havePoints = true
+			}
+			if p.Unix < minX {
+				minX = p.Unix
+			}
+			if p.Unix > maxX {
+				maxX = p.Unix
+			}
+			if p.V > maxY {
+				maxY = p.V
+			}
+		}
+	}
+	if !havePoints {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="12" fill="%s">no data yet</text>`, padL, h/2, inkSecondary)
+		b.WriteString(`</svg>`)
+		return b.String()
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	maxY *= 1.08 // headroom so peaks don't touch the title
+	spanX := float64(maxX - minX)
+	if spanX <= 0 {
+		spanX = 1
+	}
+
+	xOf := func(unix int64) float64 { return float64(padL) + float64(unix-minX)/spanX*plotW }
+	yOf := func(v float64) float64 { return float64(padT) + plotH - v/maxY*plotH }
+
+	// Horizontal gridlines + y tick labels (value at each quarter).
+	for i := 0; i <= 4; i++ {
+		v := maxY * float64(i) / 4
+		y := yOf(v)
+		color := gridline
+		if i == 0 {
+			color = baseline
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`, padL, y, w-padR, y, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="10" fill="%s" text-anchor="end">%s</text>`, padL-6, y+3, inkMuted, formatValue(v))
+	}
+	// X range labels (wall-clock of first and last sample).
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s">%s</text>`, padL, h-padB+16, inkMuted, time.UnixMilli(minX).Format("15:04:05"))
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="%s" text-anchor="end">%s</text>`, w-padR, h-padB+16, inkMuted, time.UnixMilli(maxX).Format("15:04:05"))
+
+	// Series lines, palette slots in fixed order.
+	for i, s := range series {
+		color := seriesPalette[i]
+		var pts strings.Builder
+		last := 0.0
+		for j, p := range s.Points {
+			if j > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", xOf(p.Unix), yOf(p.V))
+			last = p.V
+		}
+		b.WriteString(`<g>`)
+		fmt.Fprintf(&b, `<title>%s — last %s (%d points)</title>`,
+			html.EscapeString(s.Name), formatValue(last), len(s.Points))
+		if len(s.Points) == 1 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="%s"/>`,
+				xOf(s.Points[0].Unix), yOf(s.Points[0].V), color)
+		} else {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round" stroke-linecap="round"/>`, pts.String(), color)
+		}
+		b.WriteString(`</g>`)
+	}
+
+	// Legend: required for ≥2 series; a single series is named by the title.
+	if len(series) > 1 || folded > 0 {
+		lx := float64(padL)
+		ly := float64(h - 8)
+		for i, s := range series {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" rx="2" fill="%s"/>`, lx, ly-8, seriesPalette[i])
+			label := legendLabel(s.Name)
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`, lx+12, ly, inkSecondary, html.EscapeString(label))
+			lx += 12 + float64(len(label))*6 + 14
+		}
+		if folded > 0 {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="%s">+%d more (see /seriesz)</text>`, lx, ly, inkMuted, folded)
+		}
+	}
+
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+// legendLabel shortens a fully qualified series name for the legend: the
+// chart title carries the shared prefix, so only the distinguishing suffix
+// (e.g. "class_1") is shown when present.
+func legendLabel(name string) string {
+	if i := strings.LastIndex(name, "_class_"); i >= 0 {
+		return "class " + name[i+len("_class_"):]
+	}
+	if i := strings.LastIndex(name, "."); i >= 0 && i+1 < len(name) {
+		return name[i+1:]
+	}
+	return name
+}
+
+// formatValue renders an axis/tooltip value compactly: 3 significant digits,
+// no scientific notation.
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case av == 0:
+		return "0"
+	case av < 0.001:
+		return strconv.FormatFloat(v*1e6, 'f', 1, 64) + "µ"
+	case av < 1:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	case av < 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+}

@@ -1,0 +1,182 @@
+package tsdb
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"servicebroker/internal/metrics"
+)
+
+func TestSampleNowDerivesSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("requests").Add(5)
+	reg.Gauge("outstanding").Set(3)
+	reg.Histogram("queue_wait").Observe(40 * time.Millisecond)
+
+	s := New(8)
+	s.Mount("broker.db.", reg)
+	s.SampleNow()
+	reg.Counter("requests").Add(2)
+	s.SampleNow()
+
+	series, ok := s.Get("broker.db.requests")
+	if !ok {
+		t.Fatalf("counter series missing; have %v", s.Names())
+	}
+	if len(series.Points) != 2 || series.Points[0].V != 5 || series.Points[1].V != 7 {
+		t.Fatalf("counter points = %+v", series.Points)
+	}
+	if g, ok := s.Get("broker.db.outstanding"); !ok || g.Points[0].V != 3 {
+		t.Fatalf("gauge series = %+v ok=%v", g, ok)
+	}
+	mean, ok := s.Get("broker.db.queue_wait.mean")
+	if !ok || mean.Points[0].V <= 0 {
+		t.Fatalf("histogram mean series = %+v ok=%v", mean, ok)
+	}
+	if c, ok := s.Get("broker.db.queue_wait.count"); !ok || c.Points[0].V != 1 {
+		t.Fatalf("histogram count series = %+v ok=%v", c, ok)
+	}
+	if _, ok := s.Get("broker.db.queue_wait.p95"); !ok {
+		t.Fatal("histogram p95 series missing")
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.Gauge("v")
+	s := New(3)
+	s.Mount("", reg)
+	for i := 1; i <= 5; i++ {
+		g.Set(int64(i))
+		s.SampleNow()
+	}
+	series, _ := s.Get("v")
+	if len(series.Points) != 3 {
+		t.Fatalf("ring holds %d points, want 3", len(series.Points))
+	}
+	for i, want := range []float64{3, 4, 5} {
+		if series.Points[i].V != want {
+			t.Fatalf("points = %+v, want oldest-first 3,4,5", series.Points)
+		}
+	}
+}
+
+func TestProbesAndSnapshotFilter(t *testing.T) {
+	s := New(4)
+	var ready bool
+	s.AddProbe("broker.db.drop_ratio_class_1", func() (float64, bool) { return 0.25, ready })
+	s.SampleNow() // skipped: ok=false
+	ready = true
+	s.SampleNow()
+
+	series, ok := s.Get("broker.db.drop_ratio_class_1")
+	if !ok || len(series.Points) != 1 || series.Points[0].V != 0.25 {
+		t.Fatalf("probe series = %+v ok=%v", series, ok)
+	}
+	if got := s.Snapshot("drop_ratio"); len(got) != 1 {
+		t.Fatalf("Snapshot(drop_ratio) = %d series", len(got))
+	}
+	if got := s.Snapshot("nonexistent"); len(got) != 0 {
+		t.Fatalf("Snapshot(nonexistent) = %d series", len(got))
+	}
+}
+
+func TestMaxSeriesCap(t *testing.T) {
+	s := New(2)
+	for i := 0; i < MaxSeries+10; i++ {
+		i := i
+		s.AddProbe(fmt.Sprintf("series_%d", i), func() (float64, bool) { return float64(i), true })
+	}
+	s.SampleNow()
+	if n := len(s.Names()); n != MaxSeries {
+		t.Fatalf("tracking %d series, want cap %d", n, MaxSeries)
+	}
+}
+
+func TestStartSamplesOnTicker(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("v").Set(1)
+	s := New(16)
+	s.Mount("", reg)
+	s.Start(time.Millisecond)
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if series, ok := s.Get("v"); ok && len(series.Points) >= 2 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("ticker never sampled the mounted registry")
+}
+
+// chartPoints builds a two-point series ending now.
+func chartPoints(name string, vals ...float64) Series {
+	base := time.Now().Add(-time.Minute).UnixMilli()
+	s := Series{Name: name}
+	for i, v := range vals {
+		s.Points = append(s.Points, Point{Unix: base + int64(i)*1000, V: v})
+	}
+	return s
+}
+
+func TestChartSVGWellFormed(t *testing.T) {
+	series := []Series{
+		chartPoints("broker.db.queue_wait.mean_class_1", 0.01, 0.02, 0.04),
+		chartPoints("broker.db.queue_wait.mean_class_2", 0.02, 0.05, 0.03),
+	}
+	svg := ChartSVG("broker.db.queue_wait.mean", series, 640, 220)
+
+	// Well-formed XML, one polyline per series, native tooltips present.
+	if err := xml.Unmarshal([]byte(svg), new(struct{})); err != nil {
+		t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+	}
+	if !strings.HasPrefix(svg, `<svg xmlns="http://www.w3.org/2000/svg"`) {
+		t.Fatalf("missing svg root: %.80s", svg)
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines, want 2", got)
+	}
+	if !strings.Contains(svg, "<title>") {
+		t.Error("no <title> hover tooltips")
+	}
+	// Fixed-order palette assignment and a legend for >= 2 series.
+	if !strings.Contains(svg, seriesPalette[0]) || !strings.Contains(svg, seriesPalette[1]) {
+		t.Error("first two palette slots not used")
+	}
+	if !strings.Contains(svg, "class 1") || !strings.Contains(svg, "class 2") {
+		t.Error("legend labels for per-class series missing")
+	}
+}
+
+func TestChartSVGEmptyAndFolded(t *testing.T) {
+	empty := ChartSVG("nothing", nil, 640, 220)
+	if !strings.Contains(empty, "no data yet") {
+		t.Error("empty chart lacks placeholder text")
+	}
+	if err := xml.Unmarshal([]byte(empty), new(struct{})); err != nil {
+		t.Fatalf("empty SVG not well-formed: %v", err)
+	}
+
+	var many []Series
+	for i := 0; i < MaxChartSeries+3; i++ {
+		many = append(many, chartPoints(fmt.Sprintf("m.series_%d", i), 1, 2))
+	}
+	folded := ChartSVG("m", many, 640, 220)
+	if got := strings.Count(folded, "<polyline"); got != MaxChartSeries {
+		t.Fatalf("%d polylines, want %d (rest folded)", got, MaxChartSeries)
+	}
+	if !strings.Contains(folded, "+3 more") {
+		t.Error("folded series note missing")
+	}
+}
+
+func TestChartSVGSinglePointUsesMarker(t *testing.T) {
+	svg := ChartSVG("one", []Series{chartPoints("m.v", 5)}, 640, 220)
+	if !strings.Contains(svg, "<circle") {
+		t.Error("single-point series should render a visible marker")
+	}
+}

@@ -79,12 +79,33 @@ type Message struct {
 	// previously captured frames remain fully interoperable. The field is a
 	// raw uint64 rather than trace.ID to keep the codec dependency-free.
 	TraceID uint64
+	// Spans carries the broker-side trace spans home on a response (responses
+	// only, version-3 frames). Empty for requests and for peers that did not
+	// set FlagSpanExport.
+	Spans []Span
 	// Payload is the service-specific query or result body.
 	Payload []byte
 }
 
+// Span is one broker-recorded trace stage shipped back on a response frame so
+// the caller's trace collector can merge it into the end-to-end tree. Times
+// are Unix nanoseconds; the mirror of trace.Span without the import cycle.
+type Span struct {
+	Stage string
+	Note  string
+	Start int64
+	End   int64
+}
+
 // FlagNoCache asks the broker to bypass its result cache for this request.
 const FlagNoCache uint8 = 1 << 0
+
+// FlagSpanExport asks the broker to attach its recorded trace spans to the
+// response (a version-3 frame). Clients set it only alongside a nonzero
+// TraceID; a server that predates span export simply ignores the bit, and a
+// server never sends a v3 frame to a client that did not ask for one — which
+// is how old and new peers keep interoperating.
+const FlagSpanExport uint8 = 1 << 1
 
 const (
 	magic0 = 'S'
@@ -94,6 +115,10 @@ const (
 	codecVersion = 1
 	// codecVersionTraced extends the fixed header with an 8-byte trace ID.
 	codecVersionTraced = 2
+	// codecVersionSpans appends a span block after the payload (and keeps the
+	// version-2 traced header). Only emitted when the message carries spans,
+	// which a server only does for clients that set FlagSpanExport.
+	codecVersionSpans = 3
 	// headerSize is the fixed-size version-1 prefix before variable-length
 	// fields.
 	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
@@ -103,18 +128,26 @@ const (
 	MaxFrame = 60 * 1024
 	// maxStringLen bounds each variable-length string field.
 	maxStringLen = 1024
+	// MaxSpans bounds the span block of a version-3 frame; gateways truncate
+	// rather than fail when a trace somehow exceeds it.
+	MaxSpans = 64
 )
 
 // Frame layout (all integers big-endian):
 //
 //	magic[2] version[1] type[1] id[8] class[1] txnStep[2] fidelity[1] status[1]
-//	flags[1] {traceID[8] when version == 2} serviceLen[2] service[...]
+//	flags[1] {traceID[8] when version >= 2} serviceLen[2] service[...]
 //	txnIDLen[2] txnID[...] payloadLen[4] payload[...]
+//	{spanCount[2] (stageLen[2] stage[...] noteLen[2] note[...]
+//	 start[8] end[8])* when version == 3}
 //
 // Version 1 frames carry no trace ID and decode with TraceID == 0; version 2
-// frames append the 8-byte trace ID to the fixed header. Encode picks the
-// layout from the message's TraceID, so a zero value round-trips through the
-// old, universally understood format.
+// frames append the 8-byte trace ID to the fixed header; version 3 frames
+// additionally append a span block after the payload. Encode picks the layout
+// from the message: no trace ID → v1, trace ID → v2, spans → v3. A message
+// without spans therefore round-trips byte-for-byte through the layouts old
+// peers understand, and v3 frames only ever reach peers that asked for spans
+// via FlagSpanExport.
 
 // Encoding and decoding errors.
 var (
@@ -130,11 +163,28 @@ func Encode(m *Message) ([]byte, error) {
 	if len(m.TxnID) > maxStringLen {
 		return nil, fmt.Errorf("%w: txn id %d bytes", ErrFrameTooLarge, len(m.TxnID))
 	}
+	if len(m.Spans) > MaxSpans {
+		return nil, fmt.Errorf("%w: %d spans", ErrFrameTooLarge, len(m.Spans))
+	}
 	version, fixed := byte(codecVersion), headerSize
 	if m.TraceID != 0 {
 		version, fixed = codecVersionTraced, headerSizeTraced
 	}
-	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload)
+	spanBytes := 0
+	if len(m.Spans) > 0 {
+		version, fixed = codecVersionSpans, headerSizeTraced
+		spanBytes = 2
+		for _, sp := range m.Spans {
+			if len(sp.Stage) > maxStringLen {
+				return nil, fmt.Errorf("%w: span stage %d bytes", ErrFrameTooLarge, len(sp.Stage))
+			}
+			if len(sp.Note) > maxStringLen {
+				return nil, fmt.Errorf("%w: span note %d bytes", ErrFrameTooLarge, len(sp.Note))
+			}
+			spanBytes += 2 + len(sp.Stage) + 2 + len(sp.Note) + 8 + 8
+		}
+	}
+	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
@@ -144,7 +194,7 @@ func Encode(m *Message) ([]byte, error) {
 	buf = append(buf, byte(m.Class))
 	buf = binary.BigEndian.AppendUint16(buf, m.TxnStep)
 	buf = append(buf, byte(m.Fidelity), byte(m.Status), m.Flags)
-	if m.TraceID != 0 {
+	if version >= codecVersionTraced {
 		buf = binary.BigEndian.AppendUint64(buf, m.TraceID)
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Service)))
@@ -153,6 +203,17 @@ func Encode(m *Message) ([]byte, error) {
 	buf = append(buf, m.TxnID...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
+	if version == codecVersionSpans {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Spans)))
+		for _, sp := range m.Spans {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(sp.Stage)))
+			buf = append(buf, sp.Stage...)
+			buf = binary.BigEndian.AppendUint16(buf, uint16(len(sp.Note)))
+			buf = append(buf, sp.Note...)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(sp.Start))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(sp.End))
+		}
+	}
 	return buf, nil
 }
 
@@ -165,7 +226,7 @@ func Decode(buf []byte) (*Message, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if buf[2] != codecVersion && buf[2] != codecVersionTraced {
+	if buf[2] != codecVersion && buf[2] != codecVersionTraced && buf[2] != codecVersionSpans {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
 	m := &Message{
@@ -181,7 +242,7 @@ func Decode(buf []byte) (*Message, error) {
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[3])
 	}
 	rest := buf[headerSize:]
-	if buf[2] == codecVersionTraced {
+	if buf[2] >= codecVersionTraced {
 		if len(buf) < headerSizeTraced {
 			return nil, fmt.Errorf("%w: truncated trace id", ErrBadFrame)
 		}
@@ -206,14 +267,67 @@ func Decode(buf []byte) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(rest)
 	rest = rest[4:]
-	if uint32(len(rest)) != n {
+	if buf[2] == codecVersionSpans {
+		if uint32(len(rest)) < n {
+			return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
+		}
+	} else if uint32(len(rest)) != n {
 		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
 	}
 	if n > 0 {
 		m.Payload = make([]byte, n)
 		copy(m.Payload, rest)
 	}
+	rest = rest[n:]
+
+	if buf[2] == codecVersionSpans {
+		spans, tail, err := readSpans(rest)
+		if err != nil {
+			return nil, err
+		}
+		if len(tail) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(tail))
+		}
+		m.Spans = spans
+	}
 	return m, nil
+}
+
+// readSpans decodes a version-3 span block.
+func readSpans(buf []byte) ([]Span, []byte, error) {
+	if len(buf) < 2 {
+		return nil, nil, fmt.Errorf("%w: truncated span count", ErrBadFrame)
+	}
+	count := int(binary.BigEndian.Uint16(buf))
+	buf = buf[2:]
+	if count > MaxSpans {
+		return nil, nil, fmt.Errorf("%w: span count %d", ErrBadFrame, count)
+	}
+	var spans []Span
+	if count > 0 {
+		spans = make([]Span, 0, count)
+	}
+	for i := 0; i < count; i++ {
+		stage, rest, err := readString(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		note, rest, err := readString(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) < 16 {
+			return nil, nil, fmt.Errorf("%w: truncated span times", ErrBadFrame)
+		}
+		spans = append(spans, Span{
+			Stage: stage,
+			Note:  note,
+			Start: int64(binary.BigEndian.Uint64(rest[:8])),
+			End:   int64(binary.BigEndian.Uint64(rest[8:16])),
+		})
+		buf = rest[16:]
+	}
+	return spans, buf, nil
 }
 
 // readString decodes a 2-byte length-prefixed string.

@@ -118,7 +118,18 @@ func (s *Server) handleFrame(ctx context.Context, frame []byte, from net.Addr) {
 	}
 	resp.Type = TypeResponse
 	resp.ID = req.ID
+	if req.Flags&FlagSpanExport == 0 {
+		// The client did not ask for spans (or predates them); never send a
+		// v3 frame it would reject.
+		resp.Spans = nil
+	}
 	out, err := Encode(resp)
+	if err != nil && len(resp.Spans) > 0 {
+		// Span export is best-effort: an oversized span block must not turn a
+		// good response into an error.
+		resp.Spans = nil
+		out, err = Encode(resp)
+	}
 	if err != nil {
 		resp = &Message{Type: TypeResponse, ID: req.ID, Status: StatusError, Payload: []byte(err.Error())}
 		out, _ = Encode(resp)

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"servicebroker/internal/qos"
+)
+
+// encodeV2 builds a traced (version 2, pre-span) frame by hand, the way a
+// pre-span-export peer would.
+func encodeV2(m *Message) []byte {
+	buf := []byte{magic0, magic1, codecVersionTraced, byte(m.Type)}
+	buf = binary.BigEndian.AppendUint64(buf, m.ID)
+	buf = append(buf, byte(m.Class))
+	buf = binary.BigEndian.AppendUint16(buf, m.TxnStep)
+	buf = append(buf, byte(m.Fidelity), byte(m.Status), m.Flags)
+	buf = binary.BigEndian.AppendUint64(buf, m.TraceID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Service)))
+	buf = append(buf, m.Service...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.TxnID)))
+	buf = append(buf, m.TxnID...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	return append(buf, m.Payload...)
+}
+
+func TestSpanlessTracedFrameMatchesV2Layout(t *testing.T) {
+	m := &Message{
+		Type:    TypeResponse,
+		ID:      12,
+		Service: "db",
+		Status:  StatusOK,
+		TraceID: 0xfeedface,
+		Payload: []byte("row"),
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTraced {
+		t.Fatalf("span-less traced frame version = %d, want %d", frame[2], codecVersionTraced)
+	}
+	if !bytes.Equal(frame, encodeV2(m)) {
+		t.Fatal("span-less traced frame differs from the hand-built v2 layout")
+	}
+}
+
+func TestSpanFrameRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:     TypeResponse,
+		ID:       31,
+		Service:  "db",
+		Class:    qos.Class1,
+		Fidelity: qos.FidelityFull,
+		Status:   StatusOK,
+		TraceID:  0xabad1dea,
+		Payload:  []byte("result set"),
+		Spans: []Span{
+			{Stage: "queue", Note: "", Start: 1_000_000, End: 1_500_000},
+			{Stage: "cache", Note: "miss", Start: 1_500_000, End: 1_510_000},
+			{Stage: "backend", Note: "", Start: 1_510_000, End: 9_000_000},
+		},
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionSpans {
+		t.Fatalf("span frame version = %d, want %d", frame[2], codecVersionSpans)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != m.TraceID || got.Service != m.Service || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("span frame round trip mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Spans, m.Spans) {
+		t.Fatalf("spans mismatch:\n got %+v\nwant %+v", got.Spans, m.Spans)
+	}
+}
+
+// A version-3 frame with an empty span block is still valid and decodes with
+// nil Spans.
+func TestSpanFrameZeroSpans(t *testing.T) {
+	m := &Message{Type: TypeResponse, ID: 1, Service: "db", TraceID: 7,
+		Spans: []Span{{Stage: "queue"}}}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the span count to zero and truncate the span bodies.
+	base := len(frame) - (2 + 2 + len("queue") + 2 + 0 + 16)
+	frame = frame[:base]
+	frame = append(frame, 0, 0)
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Spans) != 0 {
+		t.Fatalf("got %d spans, want 0", len(got.Spans))
+	}
+}
+
+func TestSpanFrameTruncation(t *testing.T) {
+	m := &Message{
+		Type:    TypeResponse,
+		ID:      3,
+		Service: "mail",
+		TraceID: 42,
+		Payload: []byte("LIST"),
+		Spans: []Span{
+			{Stage: "queue", Note: "w=2", Start: 10, End: 20},
+			{Stage: "backend", Start: 20, End: 400},
+		},
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFrame", cut, len(frame), err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestEncodeRejectsOversizedSpanBlock(t *testing.T) {
+	spans := make([]Span, MaxSpans+1)
+	for i := range spans {
+		spans[i] = Span{Stage: "backend"}
+	}
+	m := &Message{Type: TypeResponse, TraceID: 1, Spans: spans}
+	if _, err := Encode(m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// Property: spans of any content round-trip exactly alongside the payload.
+func TestSpanRoundTripProperty(t *testing.T) {
+	f := func(traceID uint64, stage, note string, start, end int64, payload []byte) bool {
+		if len(stage) > 256 || len(note) > 256 || len(payload) > 4096 {
+			return true
+		}
+		m := &Message{Type: TypeResponse, ID: 1, Service: "db",
+			TraceID: traceID, Payload: payload,
+			Spans: []Span{{Stage: stage, Note: note, Start: start, End: end}}}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.TraceID == traceID && bytes.Equal(got.Payload, payload) &&
+			len(got.Spans) == 1 && got.Spans[0] == m.Spans[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A server must never send a v3 frame to a client that did not set
+// FlagSpanExport, and must strip spans rather than fail when the block is
+// oversized.
+func TestServerSpanGating(t *testing.T) {
+	spans := []Span{{Stage: "queue", Start: 1, End: 2}}
+	srv, err := NewServer("127.0.0.1:0", func(_ context.Context, _ net.Addr, req *Message) *Message {
+		return &Message{Status: StatusOK, TraceID: req.TraceID, Spans: spans, Payload: []byte("ok")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Without the flag: spans stripped, old-style frame.
+	resp, err := cli.Call(context.Background(), &Message{Service: "db", TraceID: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Spans) != 0 {
+		t.Fatalf("un-flagged call received %d spans, want 0", len(resp.Spans))
+	}
+
+	// With the flag: spans delivered.
+	resp, err = cli.Call(context.Background(), &Message{Service: "db", TraceID: 9, Flags: FlagSpanExport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Spans, spans) {
+		t.Fatalf("flagged call spans = %+v, want %+v", resp.Spans, spans)
+	}
+}
+
+func TestServerDropsSpansWhenFrameTooLarge(t *testing.T) {
+	// A payload near MaxFrame leaves no room for a span block; the server
+	// must deliver the payload anyway.
+	payload := bytes.Repeat([]byte("x"), MaxFrame-128)
+	spans := make([]Span, MaxSpans)
+	for i := range spans {
+		spans[i] = Span{Stage: "backend", Note: "attempt"}
+	}
+	srv, err := NewServer("127.0.0.1:0", func(_ context.Context, _ net.Addr, req *Message) *Message {
+		return &Message{Status: StatusOK, TraceID: req.TraceID, Spans: spans, Payload: payload}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	resp, err := cli.Call(context.Background(), &Message{Service: "db", TraceID: 5, Flags: FlagSpanExport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status = %v, want ok (span overflow must not fail the response)", resp.Status)
+	}
+	if !bytes.Equal(resp.Payload, payload) {
+		t.Fatal("payload corrupted by span fallback")
+	}
+	if len(resp.Spans) != 0 {
+		t.Fatalf("oversized span block delivered %d spans, want 0", len(resp.Spans))
+	}
+}
