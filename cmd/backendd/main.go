@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -37,16 +38,17 @@ func main() {
 		delay      = flag.Duration("delay", time.Second, "cgi: bounded processing time")
 		maxClients = flag.Int("maxclients", 5, "cgi: max simultaneous requests")
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, pprof (empty disables)")
+		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "cgi: how long SIGTERM/SIGINT waits for in-flight requests to finish")
 	)
 	flag.Parse()
 
-	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients, *admin); err != nil {
+	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients, *admin, *drainTO); err != nil {
 		slog.Error("backendd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int, admin string) error {
+func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int, admin string, drainTimeout time.Duration) error {
 	reg := metrics.NewRegistry()
 	reg.Gauge("up").Set(1)
 	served := reg.Counter("cgi_requests")
@@ -95,7 +97,15 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 			time.Sleep(delay)
 			return httpserver.Text(fmt.Sprintf("processed %s after %v", req.Query["q"], delay))
 		})
-		boundAddr, shutdown = srv.Addr().String(), srv.Close
+		// Graceful stop: finish in-flight CGI work before closing.
+		boundAddr, shutdown = srv.Addr().String(), func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				slog.Warn("drain deadline passed with requests still in flight", "err", err)
+			}
+			return srv.Close()
+		}
 
 	default:
 		return fmt.Errorf("unknown kind %q", kind)

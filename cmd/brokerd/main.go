@@ -22,9 +22,17 @@
 // DESIGN.md §8): transient backend errors are retried with capped backoff,
 // replicas trip per-replica circuit breakers, and -serve-stale answers
 // from expired cache entries at low fidelity when the backend is down.
+//
+// The overload subsystem (DESIGN.md §9) is configured with -limit-min,
+// -limit-max, and -latency-target (AIMD admission limit replacing the
+// static -threshold when -limit-max > 0), -sojourn-budget (per-class queue
+// wait budgets with CoDel-style eviction), and -drain-timeout (how long
+// SIGTERM waits for accepted requests before forcing exit). The live limit
+// appears on the admin plane at /limitz.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -40,6 +48,7 @@ import (
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
+	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
@@ -81,6 +90,11 @@ type config struct {
 	traceSeed       uint64
 	sampleEvery     time.Duration
 	seriesPoints    int
+	limitMin        int
+	limitMax        int
+	latencyTarget   time.Duration
+	sojournBudget   time.Duration
+	drainTimeout    time.Duration
 }
 
 func main() {
@@ -104,6 +118,11 @@ func main() {
 	flag.Uint64Var(&cfg.traceSeed, "trace-seed", 1, "deterministic tail-sampling seed (share across processes for consistent decisions)")
 	flag.DurationVar(&cfg.sampleEvery, "sample-every", time.Second, "time-series sampling interval for /seriesz and /graphz")
 	flag.IntVar(&cfg.seriesPoints, "series-points", 0, "points retained per time series (0 selects the default)")
+	flag.IntVar(&cfg.limitMin, "limit-min", 1, "adaptive admission limit floor (with -limit-max)")
+	flag.IntVar(&cfg.limitMax, "limit-max", 0, "adaptive admission limit ceiling; 0 keeps the static -threshold")
+	flag.DurationVar(&cfg.latencyTarget, "latency-target", 0, "completion latency the adaptive limiter treats as congestion (0 reacts to failures only)")
+	flag.DurationVar(&cfg.sojournBudget, "sojourn-budget", 0, "class-1 queue-wait budget; queued requests over their class budget are shed early (0 disables)")
+	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
 	flag.Var(&cfg.services, "service", "broker spec name:kind:addr[|addr...] (repeatable)")
 	flag.Parse()
 
@@ -183,6 +202,16 @@ func run(cfg config) error {
 		if cfg.cacheSize > 0 {
 			opts = append(opts, broker.WithCache(cfg.cacheSize, cfg.cacheTTL))
 		}
+		if cfg.limitMax > 0 {
+			opts = append(opts, broker.WithAdaptiveLimit(overload.Config{
+				Min:           cfg.limitMin,
+				Max:           cfg.limitMax,
+				LatencyTarget: cfg.latencyTarget,
+			}))
+		}
+		if cfg.sojournBudget > 0 {
+			opts = append(opts, broker.WithSojournBudget(cfg.sojournBudget))
+		}
 		if tracer != nil {
 			opts = append(opts, broker.WithTracer(tracer))
 		}
@@ -195,6 +224,7 @@ func run(cfg config) error {
 		if adminSrv != nil {
 			adminSrv.MountRegistry("broker."+name+".", b.Metrics())
 			adminSrv.AddBreakerSource(name, b.BreakerSnapshots)
+			adminSrv.AddLimitSource(name, b.LimitSnapshot)
 		}
 		if store != nil {
 			store.Mount("broker."+name+".", b.Metrics())
@@ -247,10 +277,34 @@ func run(cfg config) error {
 	}
 
 	slog.Info("gateway up", "addr", gw.Addr().String(), "services", gw.Services())
+	if testHookGatewayUp != nil {
+		testHookGatewayUp(gw.Addr().String())
+	}
 	wait()
-	slog.Info("shutting down")
+
+	// Graceful drain: every broker stops admitting (new requests are shed
+	// with a retry-after hint) and runs its accepted work to completion, up
+	// to -drain-timeout. The deferred closes then run in reverse order —
+	// gateway first, which waits for in-flight wire handlers, so every
+	// accepted request's response reaches the client; the reporters push one
+	// final load report on the way out.
+	slog.Info("shutting down: draining", "timeout", cfg.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	for name, b := range brokers {
+		if err := b.Drain(drainCtx); err != nil {
+			slog.Warn("drain deadline passed with work still outstanding",
+				"service", name, "err", err)
+		}
+	}
+	slog.Info("drained")
 	return nil
 }
+
+// testHookGatewayUp, when non-nil, receives the gateway address once serving
+// begins. The SIGTERM acceptance test runs `run` in-process and needs the
+// ephemeral address before it can open fire.
+var testHookGatewayUp func(addr string)
 
 // resilienceConfig maps the fault-tolerance flags onto a resilience.Config.
 // -retries counts retries after the first attempt, so MaxAttempts is one

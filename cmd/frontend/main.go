@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -57,18 +58,19 @@ func main() {
 		traceSlow   = flag.Duration("trace-slow", 0, "latency above which a healthy trace is always retained (0 disables)")
 		traceSeed   = flag.Uint64("trace-seed", 1, "deterministic tail-sampling seed (share across processes for consistent decisions)")
 		sampleEvery = flag.Duration("sample-every", time.Second, "time-series sampling interval for /seriesz and /graphz")
+		drainTO     = flag.Duration("drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
 	)
 	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
 	flag.Parse()
 
 	sampler := &trace.Sampler{SlowThreshold: *traceSlow, Fraction: *traceSample, Seed: *traceSeed}
-	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery); err != nil {
+	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO); err != nil {
 		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery time.Duration) error {
+func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -133,7 +135,8 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		slog.Info("distributed model up", "http", d.Addr(), "gateway", gateway,
 			"status", "http://"+d.Addr()+"/broker-status")
 		wait()
-		slog.Info("shutting down")
+		slog.Info("shutting down: draining", "timeout", drainTimeout)
+		drain(d.Drain, drainTimeout)
 		return nil
 
 	case "centralized":
@@ -152,7 +155,8 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 			"status", "http://"+c.Addr()+"/broker-status",
 			"load_listener", c.ListenerAddr())
 		wait()
-		slog.Info("shutting down")
+		slog.Info("shutting down: draining", "timeout", drainTimeout)
+		drain(c.Drain, drainTimeout)
 		return nil
 
 	default:
@@ -164,4 +168,14 @@ func wait() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+}
+
+// drain runs a graceful-stop function with a deadline, logging (but not
+// failing on) an overrun — Close still runs afterwards.
+func drain(fn func(context.Context) error, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := fn(ctx); err != nil {
+		slog.Warn("drain deadline passed with requests still in flight", "err", err)
+	}
 }

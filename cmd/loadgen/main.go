@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -51,6 +52,9 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// maxBackoff caps how long a retry-after hint can stall one virtual client.
+const maxBackoff = 5 * time.Second
 
 // parseURL splits http://host:port/path?query into pieces.
 func parseURL(raw string) (addr, path string, query map[string]string, err error) {
@@ -167,6 +171,21 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 				fid = qos.FidelityBusy
 			}
 			observe(start, fid, nil)
+			// Honor the broker's backpressure hint: a shed response names how
+			// long this client should back off before its next request. The
+			// hint is capped so a hostile or buggy server cannot stall a run.
+			if ms, err := strconv.Atoi(resp.Header["x-retry-after-ms"]); err == nil && ms > 0 {
+				backoff := time.Duration(ms) * time.Millisecond
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				reg.Counter("backoffs").Inc()
+				reg.Histogram("backoff_wait").Observe(backoff)
+				select {
+				case <-ctx.Done():
+				case <-time.After(backoff):
+				}
+			}
 			return fid, nil
 		}
 	}

@@ -11,6 +11,7 @@
 //	sbexp -exp table2|table3|table4     # per-broker drop ratios
 //	sbexp -exp ablations                # design-choice ablations
 //	sbexp -exp obs                      # tracing-overhead benchmark
+//	sbexp -exp overload                 # static vs adaptive admission ablation
 //	sbexp -scale 20ms                   # wall time per paper second
 //	sbexp -quick                        # smaller sweeps for a fast pass
 package main
@@ -32,7 +33,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig7, fig9, fig10, table1, table2, table3, table4, ablations, obs")
+		exp    = flag.String("exp", "all", "experiment: all, fig7, fig9, fig10, table1, table2, table3, table4, ablations, obs, overload")
 		scale  = flag.Duration("scale", 20*time.Millisecond, "wall-clock length of one paper second")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		csvDir = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
@@ -151,12 +152,47 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "overload" {
+		if err := runOverload(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	switch exp {
-	case "all", "fig7", "fig9", "fig10", "table1", "table2", "table3", "table4", "ablations", "obs":
+	case "all", "fig7", "fig9", "fig10", "table1", "table2", "table3", "table4", "ablations", "obs", "overload":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runOverload runs the step-overload ablation (static threshold vs adaptive
+// admission) and writes BENCH_overload.json in the working directory.
+func runOverload(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultOverloadConfig(quick)
+	fmt.Printf("running overload ablation (backend slots=%d, flood clients=%d, threshold=%d, latency target=%s)...\n",
+		cfg.BackendSlots, cfg.FloodClients, cfg.Threshold, cfg.LatencyTarget)
+	res, err := experiments.RunOverloadAblation(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.OverloadMode{res.Static, res.Adaptive} {
+		fmt.Printf("  %-8s probe p95 unloaded=%7.0fµs overloaded=%7.0fµs (%.1fx) shed=%d evicted=%d limit=%d\n",
+			m.Name, m.UnloadedP95Micros, m.LoadedP95Micros, m.DegradationRatio,
+			m.ShedTotal, m.SojournEvictions, m.FinalLimit)
+	}
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_overload.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
 }
 
 // runTraceOverhead benchmarks the observability layer's cost on the Figure 9

@@ -28,6 +28,7 @@ import (
 	"servicebroker/internal/cluster"
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
+	"servicebroker/internal/overload"
 	"servicebroker/internal/qos"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
@@ -60,11 +61,16 @@ type Status int
 const (
 	// StatusOK means the response carries a usable result.
 	StatusOK Status = iota + 1
-	// StatusDropped means the QoS policy shed the request; the response is
-	// the adaptive low-fidelity message.
+	// StatusDropped means the QoS policy shed the request (contract
+	// exceeded): the client is out of spec, and retrying soon will not
+	// help. The response is the adaptive low-fidelity message.
 	StatusDropped
 	// StatusError means the backend or broker failed.
 	StatusError
+	// StatusShed means overload control shed the request (adaptive limit
+	// reached, sojourn budget expired, or the broker is draining): the
+	// condition is transient, and the response carries a retry-after hint.
+	StatusShed
 )
 
 // String names the status.
@@ -76,6 +82,8 @@ func (s Status) String() string {
 		return "dropped"
 	case StatusError:
 		return "error"
+	case StatusShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -90,6 +98,9 @@ type Response struct {
 	// back on the wire (gateway Client only). The caller merges them into its
 	// own trace so /tracez shows the cross-process tree.
 	RemoteSpans []trace.Span
+	// RetryAfter is the backpressure hint on StatusShed responses: how long
+	// the client should wait before retrying. Zero means no hint.
+	RetryAfter time.Duration
 	// Err carries the failure for StatusError responses.
 	Err error
 }
@@ -134,6 +145,11 @@ type Broker struct {
 	retryer    *resilience.Retryer
 	serveStale bool
 
+	// overload control (WithAdaptiveLimit / WithSojournBudget)
+	limitCfg    *overload.Config
+	limiter     *overload.Limiter
+	sojournBase time.Duration
+
 	queue   *qos.Queue[*job]
 	workers int
 
@@ -141,6 +157,7 @@ type Broker struct {
 	outstanding int
 	hot         bool
 	closed      bool
+	draining    bool
 
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -354,6 +371,32 @@ func WithResilience(cfg resilience.Config) Option {
 	})
 }
 
+// WithAdaptiveLimit replaces the static admission threshold with an AIMD
+// concurrency limiter (package overload): the effective threshold rises
+// additively while backend completions stay healthy and is cut
+// multiplicatively on latency-target breaches, backend failures, breaker
+// opens, and queue expiries. The limiter's current value is what Load
+// reports as Threshold, so centralized front-end admission adapts too.
+// Zero-valued cfg fields default sensibly: Initial and Max default to the
+// static threshold, so the limiter can only tighten the operator's guess.
+func WithAdaptiveLimit(cfg overload.Config) Option {
+	return optionFunc(func(b *Broker) error {
+		b.limitCfg = &cfg
+		return nil
+	})
+}
+
+// WithSojournBudget enables CoDel-style queue eviction: a queued request of
+// class c is shed once it has waited longer than base × (Classes-c+1), so
+// low-priority requests are answered early with the paper's low-fidelity
+// message instead of rotting in queue. base ≤ 0 disables eviction.
+func WithSojournBudget(base time.Duration) Option {
+	return optionFunc(func(b *Broker) error {
+		b.sojournBase = base
+		return nil
+	})
+}
+
 // WithPrefetch registers a periodic prefetcher: every interval, while the
 // broker is below lowWater outstanding requests, each payload produced by
 // source is fetched from the backend and cached (requires WithCache).
@@ -419,6 +462,25 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 		return nil, errors.New("broker: nil connector")
 	}
 
+	if b.limitCfg != nil {
+		cfg := *b.limitCfg
+		if cfg.Initial <= 0 {
+			cfg.Initial = b.policy.Threshold
+		}
+		if cfg.Max <= 0 {
+			cfg.Max = max(b.policy.Threshold, cfg.Initial)
+		}
+		limiter, err := overload.NewLimiter(cfg)
+		if err != nil {
+			b.releasePools()
+			return nil, err
+		}
+		b.limiter = limiter
+		gauge := b.reg.Gauge("limit_current")
+		gauge.Set(int64(limiter.Limit()))
+		limiter.OnChange(func(n int) { gauge.Set(int64(n)) })
+	}
+
 	if b.resCfg != nil {
 		b.retryer = resilience.NewRetryer(b.resCfg.Retry)
 		b.serveStale = b.resCfg.ServeStale
@@ -430,6 +492,11 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 					b.reg.Gauge(fmt.Sprintf("breaker_state_replica_%d", replica)).Set(int64(to))
 					if to == resilience.StateOpen {
 						b.reg.Counter("breaker_opens_total").Inc()
+						// An opening breaker means a replica is failing:
+						// that is a congestion signal for admission too.
+						if b.limiter != nil {
+							b.limiter.Overload()
+						}
 					}
 				})
 		}
@@ -448,9 +515,19 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 		b.batcher = batcher
 	}
 
-	// Queue capacity = threshold: admission control guarantees at most
-	// threshold outstanding, so the queue can never overflow.
-	b.queue = qos.NewQueue[*job](b.policy.Threshold)
+	// Queue capacity = the largest effective threshold: admission control
+	// guarantees at most that many outstanding, so the queue can never
+	// overflow.
+	capacity := b.policy.Threshold
+	if b.limiter != nil {
+		if s := b.limiter.Snapshot(); s.Max > capacity {
+			capacity = s.Max
+		}
+	}
+	b.queue = qos.NewQueue[*job](capacity)
+	if b.sojournBase > 0 {
+		b.queue.SetSojourn(b.sojournBudget, b.evictExpired)
+	}
 	for i := 0; i < b.workers; i++ {
 		b.wg.Add(1)
 		go b.worker()
@@ -501,17 +578,37 @@ func (b *Broker) CacheStats() cache.Stats {
 	return b.results.Stats()
 }
 
-// Load returns the broker's current load report.
+// Load returns the broker's current load report. With WithAdaptiveLimit the
+// Threshold field carries the limiter's current value, so centralized
+// admission at the front end tracks measured capacity, not the static flag.
 func (b *Broker) Load() LoadReport {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return LoadReport{
 		Service:     b.name,
 		Outstanding: b.outstanding,
-		Threshold:   b.policy.Threshold,
+		Threshold:   b.effectiveThreshold(),
 		QueueLen:    b.queue.Len(),
 		Hot:         b.hot,
 	}
+}
+
+// effectiveThreshold returns the admission threshold currently in force:
+// the adaptive limiter's value when configured, else the static policy's.
+func (b *Broker) effectiveThreshold() int {
+	if b.limiter != nil {
+		return b.limiter.Limit()
+	}
+	return b.policy.Threshold
+}
+
+// LimitSnapshot returns the adaptive limiter's state; ok is false when the
+// broker runs on a static threshold. The obs /limitz page renders these.
+func (b *Broker) LimitSnapshot() (overload.Snapshot, bool) {
+	if b.limiter == nil {
+		return overload.Snapshot{}, false
+	}
+	return b.limiter.Snapshot(), true
 }
 
 // ErrBrokerClosed is returned by Handle after Close.
@@ -569,7 +666,8 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		return b.drop(req, class, key, "contract exceeded", tr)
 	}
 
-	// Admission control: the binary forward/drop rule.
+	// Admission control: the binary forward/drop rule, evaluated at the
+	// effective (possibly adaptive) threshold.
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -577,9 +675,13 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		tr.Finish()
 		return &Response{Status: StatusError, Err: ErrBrokerClosed}
 	}
-	if !b.policy.Admit(class, b.outstanding) {
+	if b.draining {
 		b.mu.Unlock()
-		return b.drop(req, class, key, "threshold exceeded", tr)
+		return b.shed(req, class, key, "draining", tr)
+	}
+	if !b.policy.AdmitAt(class, b.outstanding, b.effectiveThreshold()) {
+		b.mu.Unlock()
+		return b.shed(req, class, key, "threshold exceeded", tr)
 	}
 	b.outstanding++
 	outstanding := b.outstanding
@@ -631,6 +733,80 @@ func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *tra
 	}
 }
 
+// shed produces the immediate low-fidelity response for a request refused
+// by overload control: like drop, but with StatusShed and a retry-after
+// hint so well-behaved clients back off instead of hammering an overloaded
+// broker.
+func (b *Broker) shed(req *Request, class qos.Class, key, reason string, tr *trace.Active) *Response {
+	b.reg.Counter("shed_total").Inc()
+	b.reg.Counter(fmt.Sprintf("shed_class_%d", class)).Inc()
+	tr.SetStatus("shed")
+	tr.SetNote(reason)
+	defer tr.Finish()
+	hint := b.retryAfterHint()
+	if b.results != nil && !req.NoCache {
+		if body, ok := b.results.Get(key); ok {
+			b.reg.Counter("degraded_replies").Inc()
+			return &Response{Status: StatusShed, Fidelity: qos.FidelityDegraded, Payload: body, RetryAfter: hint}
+		}
+	}
+	b.reg.Counter("busy_replies").Inc()
+	return &Response{
+		Status:     StatusShed,
+		Fidelity:   qos.FidelityBusy,
+		Payload:    []byte(BusyMessage + " (" + reason + ")"),
+		RetryAfter: hint,
+	}
+}
+
+// retryAfterHint scales a base backoff by queue pressure: the fuller the
+// queue relative to the effective threshold, the longer shed clients are
+// told to wait before retrying.
+func (b *Broker) retryAfterHint() time.Duration {
+	const (
+		base    = 100 * time.Millisecond
+		maxHint = 2 * time.Second
+	)
+	limit := b.effectiveThreshold()
+	if limit < 1 {
+		limit = 1
+	}
+	hint := base * time.Duration(1+b.queue.Len()/limit)
+	if hint > maxHint {
+		hint = maxHint
+	}
+	return hint
+}
+
+// sojournBudget is the per-class queue-wait budget: with k classes, class c
+// may wait base × (k-c+1), so the lowest class is shed first — the paper's
+// priority order applied to time in queue, not just admission.
+func (b *Broker) sojournBudget(c qos.Class) time.Duration {
+	k := int(c)
+	if k < 1 {
+		k = 1
+	}
+	if k > b.policy.Classes {
+		k = b.policy.Classes
+	}
+	return b.sojournBase * time.Duration(b.policy.Classes-k+1)
+}
+
+// evictExpired answers a job whose queue wait exceeded its class budget. It
+// runs outside the queue lock (from whichever Push/Pop noticed the expiry),
+// counts the eviction, feeds the limiter a congestion signal, and sheds the
+// request with a retry-after hint.
+func (b *Broker) evictExpired(j *job, _ qos.Class, wait time.Duration) {
+	b.reg.Counter("sojourn_evictions").Inc()
+	b.reg.Histogram("queue_sojourn").ObserveTrace(wait, uint64(j.tr.ID()))
+	if b.limiter != nil {
+		b.limiter.Overload()
+	}
+	j.tr.Span(trace.StageQueue, j.started, time.Now(), "sojourn evicted")
+	b.finishJob()
+	j.resp <- b.shed(j.req, j.class, cacheKey(j.req.Payload), "sojourn budget exceeded", j.tr)
+}
+
 // worker pops jobs in priority order and executes them on the backend.
 func (b *Broker) worker() {
 	defer b.wg.Done()
@@ -649,6 +825,11 @@ func (b *Broker) worker() {
 		// consume backend capacity: its caller is gone.
 		if err := j.ctx.Err(); err != nil {
 			b.reg.Counter("expired_in_queue").Inc()
+			// A deadline missed while queued is a congestion signal: the
+			// broker accepted more than it could serve in time.
+			if b.limiter != nil {
+				b.limiter.Overload()
+			}
 			b.finishJob()
 			resp := &Response{Status: StatusError, Err: err}
 			b.observeCompletion(j, resp)
@@ -659,6 +840,14 @@ func (b *Broker) worker() {
 			continue
 		}
 		resp := b.execute(j)
+		if b.limiter != nil {
+			// Backend access time (retries and clustering wait included) is
+			// the limiter's congestion signal; a stale-cache serve
+			// (FidelityLow) means the backend failed, so it counts against
+			// the limit even though the client got an answer.
+			healthy := resp.Status == StatusOK && resp.Fidelity == qos.FidelityFull
+			b.limiter.Observe(time.Since(popped), healthy)
+		}
 		b.finishJob()
 		b.observeCompletion(j, resp)
 		switch resp.Status {
@@ -666,6 +855,8 @@ func (b *Broker) worker() {
 			j.tr.SetStatus("ok")
 		case StatusDropped:
 			j.tr.SetStatus("dropped")
+		case StatusShed:
+			j.tr.SetStatus("shed")
 		default:
 			j.tr.SetStatus("error")
 		}
@@ -768,7 +959,8 @@ func (b *Broker) updateHotLocked() (bool, LoadReport) {
 	if frac <= 0 {
 		frac = 0.9
 	}
-	hot := float64(b.outstanding) >= frac*float64(b.policy.Threshold)
+	threshold := b.effectiveThreshold()
+	hot := float64(b.outstanding) >= frac*float64(threshold)
 	if hot == b.hot {
 		return false, LoadReport{}
 	}
@@ -776,9 +968,36 @@ func (b *Broker) updateHotLocked() (bool, LoadReport) {
 	return true, LoadReport{
 		Service:     b.name,
 		Outstanding: b.outstanding,
-		Threshold:   b.policy.Threshold,
+		Threshold:   threshold,
 		QueueLen:    b.queue.Len(),
 		Hot:         hot,
+	}
+}
+
+// Drain puts the broker into drain mode and waits for accepted work to
+// finish. New requests are shed immediately with a retry-after hint while
+// already-admitted requests run to completion; Drain returns nil once
+// outstanding work reaches zero, or ctx.Err() at the deadline with work
+// still in flight. Callers normally Close the broker afterwards — the
+// graceful-shutdown sequence is Drain then Close.
+func (b *Broker) Drain(ctx context.Context) error {
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		b.mu.Lock()
+		idle := b.outstanding == 0
+		b.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
 	}
 }
 

@@ -103,8 +103,11 @@ func TestThresholdDropsLowPriorityFirst(t *testing.T) {
 	// Class 3 (limit 2) must now be dropped immediately...
 	start := time.Now()
 	resp := b.Handle(context.Background(), &Request{Payload: []byte("low"), Class: qos.Class3})
-	if resp.Status != StatusDropped || resp.Fidelity != qos.FidelityBusy {
-		t.Fatalf("class-3 resp = %+v, want dropped/busy", resp)
+	if resp.Status != StatusShed || resp.Fidelity != qos.FidelityBusy {
+		t.Fatalf("class-3 resp = %+v, want shed/busy", resp)
+	}
+	if resp.RetryAfter <= 0 {
+		t.Fatalf("shed response carries no retry-after hint: %+v", resp)
 	}
 	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
 		t.Fatalf("drop took %v, want immediate", elapsed)
@@ -124,11 +127,11 @@ func TestThresholdDropsLowPriorityFirst(t *testing.T) {
 	}
 	wg.Wait()
 
-	if got := b.Metrics().Counter("dropped_class_3").Value(); got != 1 {
-		t.Fatalf("dropped_class_3 = %d, want 1", got)
+	if got := b.Metrics().Counter("shed_class_3").Value(); got != 1 {
+		t.Fatalf("shed_class_3 = %d, want 1", got)
 	}
-	if got := b.Metrics().Counter("dropped_class_1").Value(); got != 0 {
-		t.Fatalf("dropped_class_1 = %d, want 0", got)
+	if got := b.Metrics().Counter("shed_class_1").Value(); got != 0 {
+		t.Fatalf("shed_class_1 = %d, want 0", got)
 	}
 }
 
@@ -321,8 +324,8 @@ func TestTransactionEscalationBeatsBaseClass(t *testing.T) {
 	}()
 	time.Sleep(30 * time.Millisecond)
 
-	if resp := b.Handle(context.Background(), &Request{Payload: []byte("p"), Class: qos.Class3}); resp.Status != StatusDropped {
-		t.Fatalf("plain class-3 = %+v, want dropped", resp)
+	if resp := b.Handle(context.Background(), &Request{Payload: []byte("p"), Class: qos.Class3}); resp.Status != StatusShed {
+		t.Fatalf("plain class-3 = %+v, want shed", resp)
 	}
 	done := make(chan *Response, 1)
 	go func() {
@@ -523,7 +526,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestStatusString(t *testing.T) {
-	if StatusOK.String() != "ok" || StatusDropped.String() != "dropped" || StatusError.String() != "error" {
+	if StatusOK.String() != "ok" || StatusDropped.String() != "dropped" || StatusError.String() != "error" || StatusShed.String() != "shed" {
 		t.Fatal("status names wrong")
 	}
 	if Status(42).String() != "status(42)" {
@@ -547,7 +550,7 @@ func TestConcurrentMixedClasses(t *testing.T) {
 			switch resp.Status {
 			case StatusOK:
 				ok.Add(1)
-			case StatusDropped:
+			case StatusDropped, StatusShed:
 				dropped.Add(1)
 			default:
 				t.Errorf("unexpected resp %+v", resp)
@@ -594,8 +597,8 @@ func TestSharedTransactionTracker(t *testing.T) {
 		monitors.Handle(context.Background(), &Request{Payload: []byte("fill"), Class: qos.Class1})
 	}()
 	time.Sleep(30 * time.Millisecond)
-	if resp := monitors.Handle(context.Background(), &Request{Payload: []byte("p"), Class: qos.Class3}); resp.Status != StatusDropped {
-		t.Fatalf("flat class-3 = %+v, want dropped", resp)
+	if resp := monitors.Handle(context.Background(), &Request{Payload: []byte("p"), Class: qos.Class3}); resp.Status != StatusShed {
+		t.Fatalf("flat class-3 = %+v, want shed", resp)
 	}
 	done := make(chan *Response, 1)
 	go func() {
@@ -721,8 +724,8 @@ func TestWithClassShares(t *testing.T) {
 		}()
 		time.Sleep(30 * time.Millisecond) // outstanding = 1 ≥ 10×0.1
 
-		if resp := b.Handle(context.Background(), &Request{Payload: []byte("x"), Class: qos.Class3}); resp.Status != StatusDropped {
-			t.Errorf("class-3 resp = %+v, want dropped (share 0.1)", resp)
+		if resp := b.Handle(context.Background(), &Request{Payload: []byte("x"), Class: qos.Class3}); resp.Status != StatusShed {
+			t.Errorf("class-3 resp = %+v, want shed (share 0.1)", resp)
 		}
 		done := make(chan *Response, 1)
 		go func() {

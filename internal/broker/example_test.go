@@ -34,10 +34,10 @@ func ExampleNew() {
 	// Output: ok full done:do the work
 }
 
-// ExampleBroker_Handle_dropped shows the binary forward/drop rule: when a
-// class's share of the threshold is exhausted, the broker answers
-// immediately with a low-fidelity busy reply instead of queueing.
-func ExampleBroker_Handle_dropped() {
+// ExampleBroker_Handle_shed shows the binary forward/drop rule: when a
+// class's share of the threshold is exhausted, the broker sheds the request,
+// answering immediately with a low-fidelity busy reply instead of queueing.
+func ExampleBroker_Handle_shed() {
 	// A backend slow enough that one in-flight request saturates a
 	// threshold of 3 for class 3 (share 1/3 ⇒ limit 1).
 	conn := &backend.DelayConnector{ServiceName: "cgi", ProcessTime: 200 * time.Millisecond}
@@ -60,7 +60,7 @@ func ExampleBroker_Handle_dropped() {
 	resp := b.Handle(context.Background(), &broker.Request{Payload: []byte("low priority"), Class: qos.Class3})
 	fmt.Println(resp.Status, resp.Fidelity)
 	<-hold
-	// Output: dropped busy
+	// Output: shed busy
 }
 
 // ExampleGateway shows message-passing access over the UDP wire, the way

@@ -90,6 +90,11 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 		out.Status = wire.StatusOK
 	case StatusDropped:
 		out.Status = wire.StatusDropped
+	case StatusShed:
+		// The wire server downgrades shed → dropped (and strips the hint)
+		// for clients that did not set FlagBackpressure.
+		out.Status = wire.StatusShed
+		out.RetryAfterMs = retryAfterMs(resp.RetryAfter)
 	default:
 		out.Status = wire.StatusError
 		if resp.Err != nil {
@@ -107,6 +112,19 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 		}
 	}
 	return out
+}
+
+// retryAfterMs converts a retry-after hint to its wire form, rounding up so
+// a sub-millisecond hint is not lost to truncation.
+func retryAfterMs(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms > 1<<31 {
+		ms = 1 << 31
+	}
+	return uint32(ms)
 }
 
 // exportSpans converts recorded spans to their wire form, truncating to the
@@ -175,6 +193,9 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		// that predate span export ignore the bit.
 		m.Flags |= wire.FlagSpanExport
 	}
+	// Declare shed/retry-after support; servers that predate backpressure
+	// ignore the bit and we only ever see pre-v4 statuses from them.
+	m.Flags |= wire.FlagBackpressure
 	out, err := c.wc.Call(ctx, m)
 	if err != nil {
 		return nil, err
@@ -185,6 +206,9 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		resp.Status = StatusOK
 	case wire.StatusDropped:
 		resp.Status = StatusDropped
+	case wire.StatusShed:
+		resp.Status = StatusShed
+		resp.RetryAfter = time.Duration(out.RetryAfterMs) * time.Millisecond
 	default:
 		resp.Status = StatusError
 		resp.Err = fmt.Errorf("broker: %s", out.Payload)

@@ -134,8 +134,11 @@ func TestGatewayPropagatesDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Status != StatusDropped || resp.Fidelity != qos.FidelityBusy {
-		t.Fatalf("resp = %+v, want dropped/busy over the wire", resp)
+	if resp.Status != StatusShed || resp.Fidelity != qos.FidelityBusy {
+		t.Fatalf("resp = %+v, want shed/busy over the wire", resp)
+	}
+	if resp.RetryAfter <= 0 {
+		t.Fatalf("shed wire response lost its retry-after hint: %+v", resp)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,11 @@
+package broker
+
+import (
+	"testing"
+
+	"servicebroker/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — the package's
+// Close/drain contracts promise everything it starts is stopped.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

@@ -255,7 +255,7 @@ func RunTxnAblation(ctx context.Context, requests int) (*TxnAblationResult, erro
 				TxnStep: 3,
 				NoCache: true,
 			})
-			if resp.Status == broker.StatusDropped {
+			if resp.Status == broker.StatusDropped || resp.Status == broker.StatusShed {
 				lateDrops++
 			}
 		}

@@ -80,17 +80,22 @@ func txnOf(req *httpserver.Request) (string, int) {
 	return id, step
 }
 
-// respond converts a broker response to HTTP. Dropped requests answer 200
-// with the adaptive low-fidelity payload and an x-fidelity header, mirroring
-// the paper's immediate short-message acknowledgement. A nonzero trace ID is
+// respond converts a broker response to HTTP. Dropped and shed requests
+// answer 200 with the adaptive low-fidelity payload and an x-fidelity header,
+// mirroring the paper's immediate short-message acknowledgement; shed
+// responses additionally carry the broker's backpressure hint as
+// x-retry-after-ms so clients know when to come back. A nonzero trace ID is
 // surfaced as x-trace-id so clients can correlate with /tracez output.
 func respond(resp *broker.Response, traceID trace.ID) *httpserver.Response {
 	var out *httpserver.Response
 	switch resp.Status {
-	case broker.StatusOK, broker.StatusDropped:
+	case broker.StatusOK, broker.StatusDropped, broker.StatusShed:
 		out = httpserver.NewResponse(200, resp.Payload)
 		out.Header["x-fidelity"] = resp.Fidelity.String()
 		out.Header["x-broker-status"] = resp.Status.String()
+		if resp.Status == broker.StatusShed && resp.RetryAfter > 0 {
+			out.Header["x-retry-after-ms"] = strconv.FormatInt(int64(resp.RetryAfter/time.Millisecond), 10)
+		}
 	default:
 		msg := "backend error"
 		if resp.Err != nil {
@@ -133,6 +138,8 @@ func tracedCall(rec *trace.Recorder, cli *broker.Client, service string, req *br
 			"service", service, "trace", req.TraceID.String(), "err", err)
 	case resp.Status == broker.StatusDropped:
 		tr.SetStatus("dropped")
+	case resp.Status == broker.StatusShed:
+		tr.SetStatus("shed")
 	case resp.Status == broker.StatusError:
 		tr.SetStatus("error")
 	default:
@@ -202,11 +209,18 @@ func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Re
 		d.reg.Counter("errors").Inc()
 		return httpserver.Error(502, err.Error())
 	}
-	if resp.Status == broker.StatusDropped {
+	switch resp.Status {
+	case broker.StatusDropped:
 		d.reg.Counter("dropped").Inc()
+	case broker.StatusShed:
+		d.reg.Counter("shed").Inc()
 	}
 	return respond(resp, traceID)
 }
+
+// Drain gracefully stops the web server: no new connections, in-flight
+// requests run to completion (bounded by ctx). Call before Close.
+func (d *Distributed) Drain(ctx context.Context) error { return d.srv.Drain(ctx) }
 
 // Close stops the web server and the gateway client.
 func (d *Distributed) Close() error {
@@ -340,11 +354,18 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 		c.reg.Counter("errors").Inc()
 		return httpserver.Error(502, err.Error())
 	}
-	if resp.Status == broker.StatusDropped {
+	switch resp.Status {
+	case broker.StatusDropped:
 		c.reg.Counter("dropped").Inc()
+	case broker.StatusShed:
+		c.reg.Counter("shed").Inc()
 	}
 	return respond(resp, traceID)
 }
+
+// Drain gracefully stops the web server: no new connections, in-flight
+// requests run to completion (bounded by ctx). Call before Close.
+func (c *Centralized) Drain(ctx context.Context) error { return c.srv.Drain(ctx) }
 
 // Close stops the web server, gateway client, and listener.
 func (c *Centralized) Close() error {
@@ -387,6 +408,9 @@ func NewReporter(b *broker.Broker, listenAddr string, interval time.Duration) (*
 		for {
 			select {
 			case <-r.stop:
+				// Final report on the way out so a centralized front end
+				// sees the broker's drained state instead of a stale load.
+				sendReport(conn, b.Load())
 				return
 			case <-ticker.C:
 				sendReport(conn, b.Load())

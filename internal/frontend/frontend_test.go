@@ -3,6 +3,7 @@ package frontend
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -85,15 +86,18 @@ func TestDistributedRelaysDrops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.Header["x-broker-status"] != "dropped" || resp.Header["x-fidelity"] != "busy" {
+	if resp.Header["x-broker-status"] != "shed" || resp.Header["x-fidelity"] != "busy" {
 		t.Fatalf("headers = %v body = %q", resp.Header, resp.Body)
+	}
+	if ms, err := strconv.Atoi(resp.Header["x-retry-after-ms"]); err != nil || ms <= 0 {
+		t.Fatalf("x-retry-after-ms = %q, want positive integer", resp.Header["x-retry-after-ms"])
 	}
 	if !strings.Contains(string(resp.Body), "busy") {
 		t.Fatalf("body = %q", resp.Body)
 	}
 	wg.Wait()
-	if d.Metrics().Counter("dropped").Value() != 1 {
-		t.Fatal("drop not counted")
+	if d.Metrics().Counter("shed").Value() != 1 {
+		t.Fatal("shed not counted")
 	}
 }
 

@@ -1,0 +1,95 @@
+package frontend
+
+import (
+	"strings"
+	"testing"
+
+	"servicebroker/internal/broker"
+)
+
+// TestParseReportHardening exercises the reject paths individually: the
+// listener socket is unauthenticated, so every malformed shape must fail
+// parsing rather than land in the admission table.
+func TestParseReportHardening(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"empty", ""},
+		{"wrong verb", "SAVE db 3 20 1 hot"},
+		{"too few fields", "LOAD db 3 20 hot"},
+		{"too many fields", "LOAD db 3 20 1 hot extra"},
+		{"negative outstanding", "LOAD db -3 20 1 hot"},
+		{"signed threshold", "LOAD db 3 +20 1 hot"},
+		{"non-numeric queuelen", "LOAD db 3 20 z hot"},
+		{"overflow", "LOAD db 3 99999999999999999999 1 hot"},
+		{"counter above cap", "LOAD db 3 2000000000 1 hot"},
+		{"unknown state", "LOAD db 3 20 1 tepid"},
+		{"state case", "LOAD db 3 20 1 HOT"},
+		{"control bytes in name", "LOAD d\x01b 3 20 1 hot"},
+		{"oversized name", "LOAD " + strings.Repeat("x", 200) + " 3 20 1 hot"},
+		{"oversized line", "LOAD db 3 20 1 hot" + strings.Repeat(" ", 600)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if r, err := parseReport(tc.line); err == nil {
+				t.Fatalf("parseReport(%q) = %+v, want error", tc.line, r)
+			}
+		})
+	}
+
+	// Extra whitespace between fields is tolerated (strings.Fields), and the
+	// result is identical to the canonical spelling.
+	want := broker.LoadReport{Service: "db", Outstanding: 3, Threshold: 20, QueueLen: 1, Hot: true}
+	got, err := parseReport("  LOAD   db  3\t20 1   hot ")
+	if err != nil || got != want {
+		t.Fatalf("whitespace-tolerant parse = %+v, %v; want %+v", got, err, want)
+	}
+}
+
+// TestFormatReportRoundTrip pins formatReport as parseReport's inverse on
+// representative reports.
+func TestFormatReportRoundTrip(t *testing.T) {
+	for _, r := range []broker.LoadReport{
+		{Service: "db", Outstanding: 0, Threshold: 0, QueueLen: 0},
+		{Service: "cgi-bin", Outstanding: 7, Threshold: 20, QueueLen: 3, Hot: true},
+		{Service: "x", Outstanding: maxReportCounter, Threshold: maxReportCounter, QueueLen: maxReportCounter},
+	} {
+		got, err := parseReport(formatReport(r))
+		if err != nil || got != r {
+			t.Fatalf("round trip of %+v: got %+v, %v", r, got, err)
+		}
+	}
+}
+
+// FuzzParseReport drives the datagram parser with arbitrary bytes:
+// it must never panic, and any line it accepts must survive a
+// format → parse round trip unchanged (so the admission table only ever
+// holds values the reporter could have sent).
+func FuzzParseReport(f *testing.F) {
+	f.Add("LOAD db 3 20 1 hot")
+	f.Add("LOAD cgi 0 0 0 cool")
+	f.Add(formatReport(broker.LoadReport{Service: "mail", Outstanding: 19, Threshold: 20, QueueLen: 64, Hot: true}))
+	f.Add("LOAD db -3 20 1 hot")
+	f.Add("LOAD db 3 99999999999999999999 1 hot")
+	f.Add("NOISE not a report")
+	f.Add("")
+	f.Add("LOAD  db\t3 20 1  cool")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		r, err := parseReport(line)
+		if err != nil {
+			return
+		}
+		if r.Outstanding < 0 || r.Threshold < 0 || r.QueueLen < 0 {
+			t.Fatalf("accepted negative counters: %+v from %q", r, line)
+		}
+		again, err := parseReport(formatReport(r))
+		if err != nil {
+			t.Fatalf("formatReport(%+v) does not re-parse: %v", r, err)
+		}
+		if again != r {
+			t.Fatalf("round trip changed report: %+v -> %+v (input %q)", r, again, line)
+		}
+	})
+}

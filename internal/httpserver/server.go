@@ -2,6 +2,7 @@ package httpserver
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -130,6 +131,43 @@ func (s *Server) lookup(path string) Handler {
 	return best
 }
 
+// Drain gracefully shuts the server down: it stops accepting connections,
+// lets every session finish the request it is processing, and nudges idle
+// keep-alive connections awake with an expired read deadline so they close
+// instead of lingering. If ctx expires first, remaining connections are
+// force-closed; Drain then still waits for their session goroutines and
+// returns the context error.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
+}
+
 // Close stops the server and waits for in-flight sessions.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -184,6 +222,14 @@ func (s *Server) session(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			// Draining: the response for the last request has been flushed;
+			// do not start reading another.
+			return
+		}
 		if s.readTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}

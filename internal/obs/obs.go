@@ -10,6 +10,8 @@
 //	/loadz    live broker.LoadReport lines from registered load sources
 //	/breakerz per-replica circuit-breaker states from registered breaker
 //	          sources (state, consecutive failures, totals, last transition)
+//	/limitz   adaptive admission-limit snapshots from registered limit
+//	          sources (current limit, bounds, latency target, cut counts)
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
 // The server is stdlib-only and safe to mount in front of live registries:
@@ -34,6 +36,7 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/metrics"
+	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
@@ -48,6 +51,10 @@ type LoadSource func() []broker.LoadReport
 // A brokerd process registers one source per broker with breakers enabled.
 type BreakerSource func() []resilience.Snapshot
 
+// LimitSource supplies an adaptive-admission snapshot for /limitz. The bool
+// is false when the broker runs a static threshold (no limiter configured).
+type LimitSource func() (overload.Snapshot, bool)
+
 // Server is the admin endpoint. The zero value is not usable; call New.
 // Mount* and Add* calls are safe at any time, including while serving.
 type Server struct {
@@ -59,6 +66,7 @@ type Server struct {
 	rec      *trace.Recorder
 	sources  []LoadSource
 	breakers []namedBreakerSource
+	limits   []namedLimitSource
 	store    *tsdb.Store
 
 	srv *http.Server
@@ -75,6 +83,11 @@ type namedBreakerSource struct {
 	src     BreakerSource
 }
 
+type namedLimitSource struct {
+	service string
+	src     LimitSource
+}
+
 // New returns an admin server with all endpoints registered.
 func New() *Server {
 	s := &Server{mux: http.NewServeMux(), start: time.Now()}
@@ -84,6 +97,7 @@ func New() *Server {
 	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/loadz", s.handleLoadz)
 	s.mux.HandleFunc("/breakerz", s.handleBreakerz)
+	s.mux.HandleFunc("/limitz", s.handleLimitz)
 	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
 	s.mux.HandleFunc("/graphz", s.handleGraphz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -139,6 +153,17 @@ func (s *Server) AddBreakerSource(service string, src BreakerSource) {
 	}
 	s.mu.Lock()
 	s.breakers = append(s.breakers, namedBreakerSource{service: service, src: src})
+	s.mu.Unlock()
+}
+
+// AddLimitSource registers a /limitz supplier for one service. Sources whose
+// broker runs a static threshold render as a "static" line.
+func (s *Server) AddLimitSource(service string, src LimitSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.limits = append(s.limits, namedLimitSource{service: service, src: src})
 	s.mu.Unlock()
 }
 
@@ -457,6 +482,34 @@ func (s *Server) handleBreakerz(w http.ResponseWriter, _ *http.Request) {
 			}
 			fmt.Fprintln(w)
 		}
+	}
+}
+
+// --- /limitz --------------------------------------------------------------
+
+func (s *Server) handleLimitz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	limits := append([]namedLimitSource(nil), s.limits...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(limits) == 0 {
+		fmt.Fprintln(w, "limitz: no limit sources configured")
+		return
+	}
+	sort.SliceStable(limits, func(i, j int) bool { return limits[i].service < limits[j].service })
+	for _, nl := range limits {
+		sn, ok := nl.src()
+		if !ok {
+			fmt.Fprintf(w, "service=%s static threshold (adaptive limiting disabled)\n", nl.service)
+			continue
+		}
+		fmt.Fprintf(w, "service=%s limit=%d min=%d max=%d target=%s healthy=%d breaches=%d cuts=%d",
+			nl.service, sn.Limit, sn.Min, sn.Max, sn.Target, sn.Healthy, sn.Breaches, sn.Cuts)
+		if !sn.LastCut.IsZero() {
+			fmt.Fprintf(w, " last_cut=%s", sn.LastCut.Format(time.RFC3339Nano))
+		}
+		fmt.Fprintln(w)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/metrics"
+	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 )
@@ -225,5 +226,31 @@ func TestStartServesOverTCP(t *testing.T) {
 	b, _ := io.ReadAll(resp.Body)
 	if string(b) != "ok\n" {
 		t.Errorf("healthz over TCP = %q", b)
+	}
+}
+
+func TestLimitzEndpoint(t *testing.T) {
+	s := New()
+	body := get(t, s.Handler(), "/limitz")
+	if !strings.Contains(body, "no limit sources") {
+		t.Errorf("want placeholder, got:\n%s", body)
+	}
+
+	s.AddLimitSource("db", func() (overload.Snapshot, bool) {
+		return overload.Snapshot{
+			Limit: 12, Min: 2, Max: 64, Target: 8 * time.Millisecond,
+			Healthy: 40, Breaches: 5, Cuts: 2,
+			LastCut: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+		}, true
+	})
+	s.AddLimitSource("mail", func() (overload.Snapshot, bool) { return overload.Snapshot{}, false })
+	body = get(t, s.Handler(), "/limitz")
+	for _, want := range []string{
+		"service=db limit=12 min=2 max=64 target=8ms healthy=40 breaches=5 cuts=2 last_cut=2026-08-05T12:00:00Z\n",
+		"service=mail static threshold (adaptive limiting disabled)\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("limitz missing %q, got:\n%s", want, body)
+		}
 	}
 }

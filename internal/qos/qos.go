@@ -85,13 +85,26 @@ func (p *ThresholdPolicy) Share(c Class) float64 {
 
 // Limit returns the outstanding-request bound for class c.
 func (p *ThresholdPolicy) Limit(c Class) int {
-	return int(float64(p.Threshold) * p.Share(c))
+	return p.LimitAt(c, p.Threshold)
+}
+
+// LimitAt returns the outstanding-request bound for class c when the
+// effective threshold is `threshold` rather than the static Threshold —
+// brokers with an adaptive limiter substitute its current value so class
+// shares track the measured capacity.
+func (p *ThresholdPolicy) LimitAt(c Class, threshold int) int {
+	return int(float64(threshold) * p.Share(c))
 }
 
 // Admit reports whether a request of class c may be forwarded while
 // `outstanding` requests are already in flight to the backend.
 func (p *ThresholdPolicy) Admit(c Class, outstanding int) bool {
-	return outstanding < p.Limit(c)
+	return p.AdmitAt(c, outstanding, p.Threshold)
+}
+
+// AdmitAt is Admit evaluated at an effective threshold.
+func (p *ThresholdPolicy) AdmitAt(c Class, outstanding, threshold int) bool {
+	return outstanding < p.LimitAt(c, threshold)
 }
 
 // Fidelity grades the quality of a response, reproducing the paper's notion

@@ -3,6 +3,7 @@ package qos
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // ErrQueueClosed is returned by Push and Pop after Close.
@@ -11,20 +12,46 @@ var ErrQueueClosed = errors.New("qos: queue closed")
 // ErrQueueFull is returned by Push when the queue is at capacity.
 var ErrQueueFull = errors.New("qos: queue full")
 
+// entry pairs a queued item with its enqueue time so the queue can measure
+// sojourn (queue-wait) time.
+type entry[T any] struct {
+	item T
+	at   time.Time
+}
+
 // Queue is a bounded strict-priority queue: Pop always returns the oldest
 // item of the highest-priority (lowest-numbered) non-empty class. Brokers
 // use it to "reshuffle the queued requests and schedule according to their
 // priorities" (paper §III, QoS awareness).
 //
+// With SetSojourn the queue additionally evicts items whose queue wait
+// exceeds a per-class budget (CoDel-style): under overload a low-priority
+// request is handed to the eviction callback — answered early with the
+// paper's low-fidelity busy message — instead of rotting in queue until its
+// deadline has long passed.
+//
 // Queue is safe for concurrent producers and consumers. Use NewQueue.
 type Queue[T any] struct {
 	mu       sync.Mutex
 	nonEmpty *sync.Cond
-	classes  map[Class][]T
+	classes  map[Class][]entry[T]
 	order    []Class // sorted ascending, maintained on demand
 	size     int
 	capacity int
 	closed   bool
+
+	now    func() time.Time
+	budget func(Class) time.Duration
+	evict  func(item T, c Class, wait time.Duration)
+}
+
+// evicted is an expired item removed under the lock, delivered to the
+// eviction callback after the lock is released (the callback may re-enter
+// caller locks that are held around Push/Pop).
+type evicted[T any] struct {
+	item T
+	c    Class
+	wait time.Duration
 }
 
 // NewQueue creates a queue holding at most capacity items across all
@@ -34,34 +61,64 @@ func NewQueue[T any](capacity int) *Queue[T] {
 		panic("qos: queue capacity must be positive")
 	}
 	q := &Queue[T]{
-		classes:  make(map[Class][]T),
+		classes:  make(map[Class][]entry[T]),
 		capacity: capacity,
+		now:      time.Now,
 	}
 	q.nonEmpty = sync.NewCond(&q.mu)
 	return q
 }
 
+// SetClock overrides the queue's time source (deterministic tests).
+func (q *Queue[T]) SetClock(now func() time.Time) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.now = now
+}
+
+// SetSojourn enables sojourn-time eviction. budget returns the maximum
+// queue wait for a class (0 or negative disables eviction for that class);
+// evict receives each expired item with its measured wait. Eviction happens
+// on Push (to make room) and on Pop/TryPop (expired heads are skipped), and
+// evict is always invoked outside the queue lock, so it may call back into
+// the queue or take caller locks held around Push/Pop.
+func (q *Queue[T]) SetSojourn(budget func(Class) time.Duration, evict func(item T, c Class, wait time.Duration)) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.budget = budget
+	q.evict = evict
+}
+
 // Push enqueues item with the given class. It returns ErrQueueFull when the
 // queue is at capacity and ErrQueueClosed after Close. Invalid classes are
-// rejected.
+// rejected. When sojourn eviction is enabled, a full queue first sheds
+// expired items to make room.
 func (q *Queue[T]) Push(c Class, item T) error {
 	if !c.Valid() {
 		return errors.New("qos: invalid class")
 	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return ErrQueueClosed
 	}
+	var expired []evicted[T]
 	if q.size >= q.capacity {
+		expired = q.evictExpiredLocked()
+	}
+	if q.size >= q.capacity {
+		q.mu.Unlock()
+		q.runEvictions(expired)
 		return ErrQueueFull
 	}
 	if _, ok := q.classes[c]; !ok {
 		q.insertClass(c)
 	}
-	q.classes[c] = append(q.classes[c], item)
+	q.classes[c] = append(q.classes[c], entry[T]{item: item, at: q.now()})
 	q.size++
 	q.nonEmpty.Signal()
+	q.mu.Unlock()
+	q.runEvictions(expired)
 	return nil
 }
 
@@ -77,32 +134,94 @@ func (q *Queue[T]) insertClass(c Class) {
 }
 
 // Pop blocks until an item is available and returns the oldest item of the
-// highest-priority non-empty class. After Close it drains remaining items
-// and then returns ErrQueueClosed.
+// highest-priority non-empty class, skipping (and evicting) items whose
+// sojourn budget has expired. After Close it drains remaining items and
+// then returns ErrQueueClosed.
 func (q *Queue[T]) Pop() (T, Class, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for q.size == 0 && !q.closed {
-		q.nonEmpty.Wait()
+	for {
+		q.mu.Lock()
+		for q.size == 0 && !q.closed {
+			q.nonEmpty.Wait()
+		}
+		expired := q.evictExpiredLocked()
+		if q.size > 0 {
+			item, c, err := q.popLocked()
+			q.mu.Unlock()
+			q.runEvictions(expired)
+			return item, c, err
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		q.runEvictions(expired)
+		if closed {
+			var zero T
+			return zero, 0, ErrQueueClosed
+		}
+		// Every queued item had expired; wait for fresh work.
 	}
-	if q.size == 0 {
-		var zero T
-		return zero, 0, ErrQueueClosed
-	}
-	return q.popLocked()
 }
 
 // TryPop returns an item if one is immediately available; ok=false means the
-// queue was empty (or closed and drained).
+// queue was empty (or closed and drained, or held only expired items).
 func (q *Queue[T]) TryPop() (item T, c Class, ok bool) {
 	q.mu.Lock()
-	defer q.mu.Unlock()
+	expired := q.evictExpiredLocked()
 	if q.size == 0 {
+		q.mu.Unlock()
+		q.runEvictions(expired)
 		var zero T
 		return zero, 0, false
 	}
 	item, c, _ = q.popLocked()
+	q.mu.Unlock()
+	q.runEvictions(expired)
 	return item, c, true
+}
+
+// evictExpiredLocked removes every item whose queue wait exceeds its class
+// budget. Items within a class are FIFO, so expired items are always a
+// prefix of the class slice. Caller holds q.mu; returned items must be
+// passed to runEvictions after the lock is released.
+func (q *Queue[T]) evictExpiredLocked() []evicted[T] {
+	if q.budget == nil {
+		return nil
+	}
+	var out []evicted[T]
+	now := q.now()
+	for _, c := range q.order {
+		b := q.budget(c)
+		if b <= 0 {
+			continue
+		}
+		items := q.classes[c]
+		n := 0
+		for n < len(items) && now.Sub(items[n].at) > b {
+			out = append(out, evicted[T]{item: items[n].item, c: c, wait: now.Sub(items[n].at)})
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		copy(items, items[n:])
+		var zero entry[T]
+		for i := len(items) - n; i < len(items); i++ {
+			items[i] = zero
+		}
+		q.classes[c] = items[:len(items)-n]
+		q.size -= n
+	}
+	return out
+}
+
+// runEvictions invokes the eviction callback for each expired item. Caller
+// must NOT hold q.mu.
+func (q *Queue[T]) runEvictions(expired []evicted[T]) {
+	if len(expired) == 0 || q.evict == nil {
+		return
+	}
+	for _, e := range expired {
+		q.evict(e.item, e.c, e.wait)
+	}
 }
 
 // popLocked removes and returns the head item. Caller holds q.mu and has
@@ -113,11 +232,11 @@ func (q *Queue[T]) popLocked() (T, Class, error) {
 		if len(items) == 0 {
 			continue
 		}
-		item := items[0]
+		item := items[0].item
 		// Shift rather than re-slice so the backing array does not pin
 		// popped items.
 		copy(items, items[1:])
-		var zero T
+		var zero entry[T]
 		items[len(items)-1] = zero
 		q.classes[c] = items[:len(items)-1]
 		q.size--
@@ -151,7 +270,9 @@ func (q *Queue[T]) DropClass(c Class) []T {
 		return nil
 	}
 	out := make([]T, len(items))
-	copy(out, items)
+	for i, e := range items {
+		out[i] = e.item
+	}
 	q.classes[c] = nil
 	q.size -= len(out)
 	return out

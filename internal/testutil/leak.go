@@ -1,0 +1,98 @@
+// Package testutil holds shared test harness helpers. Its centerpiece is a
+// goroutine-leak checker: the framework's servers, brokers, reporters, and
+// clients all own background goroutines, and the drain/Close contracts this
+// repo makes (graceful drain answers every accepted request, Close waits for
+// in-flight work) are only honest if nothing is left running after a test
+// package finishes. Wire it into a package with
+//
+//	func TestMain(m *testing.M) { testutil.VerifyMain(m) }
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ignoredStacks matches goroutines that are not leaks: runtime-owned
+// machinery, the testing framework itself, and the runtime's network poller.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.(*F).",
+	"runtime.goexit",
+	"runtime.gc",
+	"runtime.MHeap_Scavenger",
+	"runtime.bgscavenge",
+	"runtime.bgsweep",
+	"runtime.forcegchelper",
+	"internal/poll.runtime_pollWait",
+	"signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"created by runtime.gc",
+	"created by testing.RunTests",
+	"testutil.leakedGoroutines", // the goroutine running this check
+}
+
+// leakedGoroutines returns the stacks of goroutines that look like leaks.
+func leakedGoroutines() []string {
+	buf := make([]byte, 2<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var leaks []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		ignored := false
+		for _, skip := range ignoredStacks {
+			if strings.Contains(g, skip) {
+				ignored = true
+				break
+			}
+		}
+		if !ignored {
+			leaks = append(leaks, g)
+		}
+	}
+	return leaks
+}
+
+// CheckLeaks fails if goroutines beyond the runtime/testing baseline are
+// still alive. Goroutines legitimately take a moment to unwind after Close
+// returns (a deferred conn.Close racing a reader, a worker draining its last
+// job), so the check polls with a deadline before declaring a leak.
+func CheckLeaks(deadline time.Duration) error {
+	var leaks []string
+	stop := time.Now().Add(deadline)
+	for {
+		leaks = leakedGoroutines()
+		if len(leaks) == 0 {
+			return nil
+		}
+		if time.Now().After(stop) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("testutil: %d leaked goroutine(s):\n\n%s",
+		len(leaks), strings.Join(leaks, "\n\n"))
+}
+
+// VerifyMain runs a package's tests and then fails the run if any test left
+// a goroutine behind. Use from TestMain; it calls os.Exit.
+func VerifyMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := CheckLeaks(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

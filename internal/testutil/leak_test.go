@@ -1,0 +1,42 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { VerifyMain(m) }
+
+func TestNoLeaksOnCleanState(t *testing.T) {
+	if err := CheckLeaks(time.Second); err != nil {
+		t.Fatalf("clean state reported leaks: %v", err)
+	}
+}
+
+func TestDetectsLeakedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	go func() { <-block }()
+	err := CheckLeaks(50 * time.Millisecond)
+	close(block) // unwind before the package-level check runs
+	if err == nil {
+		t.Fatal("blocked goroutine not reported")
+	}
+	if !strings.Contains(err.Error(), "TestDetectsLeakedGoroutine") {
+		t.Fatalf("report does not name the leaking site:\n%v", err)
+	}
+}
+
+func TestWaitsForSlowUnwind(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		close(done)
+	}()
+	// The goroutine is alive when the check starts but exits within the
+	// deadline; polling must see it disappear.
+	if err := CheckLeaks(2 * time.Second); err != nil {
+		t.Fatalf("transient goroutine reported as leak: %v", err)
+	}
+	<-done
+}

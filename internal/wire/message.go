@@ -36,6 +36,12 @@ const (
 	// StatusError marks a backend or broker failure; the payload carries
 	// the error text.
 	StatusError
+	// StatusShed marks a request shed by overload control (adaptive limit
+	// exceeded, sojourn budget expired, or broker draining) rather than by
+	// QoS policy: the condition is transient and the response usually
+	// carries a retry-after hint. Servers downgrade it to StatusDropped for
+	// clients that did not set FlagBackpressure, so old peers never see it.
+	StatusShed
 )
 
 // String names the status code.
@@ -47,6 +53,8 @@ func (s Status) String() string {
 		return "dropped"
 	case StatusError:
 		return "error"
+	case StatusShed:
+		return "shed"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -83,6 +91,13 @@ type Message struct {
 	// only, version-3 frames). Empty for requests and for peers that did not
 	// set FlagSpanExport.
 	Spans []Span
+	// RetryAfterMs is the broker's backpressure hint on shed responses: the
+	// client should wait this many milliseconds before retrying. Zero means
+	// no hint and encodes in the pre-existing frame layouts, so old peers
+	// and previously captured frames remain fully interoperable; nonzero
+	// selects a version-4 frame, which a server only sends to clients that
+	// set FlagBackpressure.
+	RetryAfterMs uint32
 	// Payload is the service-specific query or result body.
 	Payload []byte
 }
@@ -107,6 +122,13 @@ const FlagNoCache uint8 = 1 << 0
 // is how old and new peers keep interoperating.
 const FlagSpanExport uint8 = 1 << 1
 
+// FlagBackpressure declares that the client understands overload shedding:
+// the server may answer with StatusShed and attach a retry-after hint (a
+// version-4 frame). Servers strip both for clients without the flag —
+// StatusShed downgrades to StatusDropped and the hint is dropped — which is
+// how old and new peers keep interoperating.
+const FlagBackpressure uint8 = 1 << 2
+
 const (
 	magic0 = 'S'
 	magic1 = 'B'
@@ -119,6 +141,12 @@ const (
 	// version-2 traced header). Only emitted when the message carries spans,
 	// which a server only does for clients that set FlagSpanExport.
 	codecVersionSpans = 3
+	// codecVersionRetry appends a 4-byte retry-after trailer after the span
+	// block (which it always carries, possibly with count 0) and keeps the
+	// version-2 traced header. Only emitted when the message carries a
+	// nonzero RetryAfterMs, which a server only does for clients that set
+	// FlagBackpressure.
+	codecVersionRetry = 4
 	// headerSize is the fixed-size version-1 prefix before variable-length
 	// fields.
 	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
@@ -139,15 +167,18 @@ const (
 //	flags[1] {traceID[8] when version >= 2} serviceLen[2] service[...]
 //	txnIDLen[2] txnID[...] payloadLen[4] payload[...]
 //	{spanCount[2] (stageLen[2] stage[...] noteLen[2] note[...]
-//	 start[8] end[8])* when version == 3}
+//	 start[8] end[8])* when version >= 3}
+//	{retryAfterMs[4] when version == 4}
 //
 // Version 1 frames carry no trace ID and decode with TraceID == 0; version 2
 // frames append the 8-byte trace ID to the fixed header; version 3 frames
-// additionally append a span block after the payload. Encode picks the layout
-// from the message: no trace ID → v1, trace ID → v2, spans → v3. A message
-// without spans therefore round-trips byte-for-byte through the layouts old
-// peers understand, and v3 frames only ever reach peers that asked for spans
-// via FlagSpanExport.
+// additionally append a span block after the payload; version 4 frames
+// append a retry-after trailer after the span block (always present in v4,
+// count 0 when there are no spans). Encode picks the layout from the
+// message: no trace ID → v1, trace ID → v2, spans → v3, retry-after → v4. A
+// message without spans or a retry hint therefore round-trips byte-for-byte
+// through the layouts old peers understand, and v3/v4 frames only ever reach
+// peers that asked for them via FlagSpanExport/FlagBackpressure.
 
 // Encoding and decoding errors.
 var (
@@ -184,7 +215,15 @@ func Encode(m *Message) ([]byte, error) {
 			spanBytes += 2 + len(sp.Stage) + 2 + len(sp.Note) + 8 + 8
 		}
 	}
-	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes
+	tailBytes := 0
+	if m.RetryAfterMs != 0 {
+		version, fixed = codecVersionRetry, headerSizeTraced
+		if spanBytes == 0 {
+			spanBytes = 2 // v4 always carries the span block, count 0 here
+		}
+		tailBytes = 4
+	}
+	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes + tailBytes
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
@@ -203,7 +242,7 @@ func Encode(m *Message) ([]byte, error) {
 	buf = append(buf, m.TxnID...)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
-	if version == codecVersionSpans {
+	if version >= codecVersionSpans {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Spans)))
 		for _, sp := range m.Spans {
 			buf = binary.BigEndian.AppendUint16(buf, uint16(len(sp.Stage)))
@@ -213,6 +252,9 @@ func Encode(m *Message) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(sp.Start))
 			buf = binary.BigEndian.AppendUint64(buf, uint64(sp.End))
 		}
+	}
+	if version == codecVersionRetry {
+		buf = binary.BigEndian.AppendUint32(buf, m.RetryAfterMs)
 	}
 	return buf, nil
 }
@@ -226,7 +268,7 @@ func Decode(buf []byte) (*Message, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if buf[2] != codecVersion && buf[2] != codecVersionTraced && buf[2] != codecVersionSpans {
+	if buf[2] < codecVersion || buf[2] > codecVersionRetry {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
 	m := &Message{
@@ -267,7 +309,7 @@ func Decode(buf []byte) (*Message, error) {
 	}
 	n := binary.BigEndian.Uint32(rest)
 	rest = rest[4:]
-	if buf[2] == codecVersionSpans {
+	if buf[2] >= codecVersionSpans {
 		if uint32(len(rest)) < n {
 			return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
 		}
@@ -280,10 +322,17 @@ func Decode(buf []byte) (*Message, error) {
 	}
 	rest = rest[n:]
 
-	if buf[2] == codecVersionSpans {
+	if buf[2] >= codecVersionSpans {
 		spans, tail, err := readSpans(rest)
 		if err != nil {
 			return nil, err
+		}
+		if buf[2] == codecVersionRetry {
+			if len(tail) < 4 {
+				return nil, fmt.Errorf("%w: truncated retry-after trailer", ErrBadFrame)
+			}
+			m.RetryAfterMs = binary.BigEndian.Uint32(tail)
+			tail = tail[4:]
 		}
 		if len(tail) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(tail))

@@ -1,0 +1,244 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"servicebroker/internal/qos"
+)
+
+// A message without a retry hint must keep encoding in the pre-v4 layouts,
+// byte for byte, so peers that predate backpressure see unchanged frames.
+func TestRetrylessFramesMatchOldLayouts(t *testing.T) {
+	plain := &Message{Type: TypeResponse, ID: 5, Service: "db",
+		Status: StatusDropped, Payload: []byte("busy")}
+	frame, err := Encode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersion {
+		t.Fatalf("untraced retryless frame version = %d, want %d", frame[2], codecVersion)
+	}
+	if !bytes.Equal(frame, encodeV1(plain)) {
+		t.Fatal("untraced retryless frame differs from the hand-built v1 layout")
+	}
+
+	traced := &Message{Type: TypeResponse, ID: 6, Service: "db",
+		Status: StatusShed, TraceID: 0xdecaf, Payload: []byte("busy")}
+	frame, err = Encode(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTraced {
+		t.Fatalf("traced retryless frame version = %d, want %d", frame[2], codecVersionTraced)
+	}
+	if !bytes.Equal(frame, encodeV2(traced)) {
+		t.Fatal("traced retryless frame differs from the hand-built v2 layout")
+	}
+}
+
+// A v4 frame is exactly the corresponding v3 frame (span block included)
+// with the version byte bumped and a 4-byte trailer appended.
+func TestRetryFrameIsV3PlusTrailer(t *testing.T) {
+	m := &Message{
+		Type: TypeResponse, ID: 9, Service: "db", Status: StatusShed,
+		TraceID: 0xfeed, Payload: []byte("busy"),
+		Spans: []Span{{Stage: "queue", Note: "sojourn", Start: 5, End: 9}},
+	}
+	v3, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RetryAfterMs = 250
+	v4, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4[2] != codecVersionRetry {
+		t.Fatalf("retry frame version = %d, want %d", v4[2], codecVersionRetry)
+	}
+	want := append(append([]byte(nil), v3...), 0, 0, 0, 250)
+	want[2] = codecVersionRetry
+	if !bytes.Equal(v4, want) {
+		t.Fatal("v4 frame is not the v3 frame plus a retry trailer")
+	}
+}
+
+func TestRetryFrameRoundTrip(t *testing.T) {
+	for _, m := range []*Message{
+		// Retry hint with spans.
+		{Type: TypeResponse, ID: 1, Service: "db", Class: qos.Class3,
+			Fidelity: qos.FidelityLow, Status: StatusShed, TraceID: 77,
+			Payload:      []byte(BusyTestPayload),
+			Spans:        []Span{{Stage: "queue", Start: 1, End: 2}},
+			RetryAfterMs: 1500},
+		// Retry hint without spans (span block count 0) and without trace.
+		{Type: TypeResponse, ID: 2, Service: "mail", Status: StatusShed,
+			Payload: []byte("busy"), RetryAfterMs: 42},
+	} {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[2] != codecVersionRetry {
+			t.Fatalf("version = %d, want %d", frame[2], codecVersionRetry)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.RetryAfterMs != m.RetryAfterMs || got.Status != m.Status ||
+			got.TraceID != m.TraceID || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+		}
+		if !reflect.DeepEqual(got.Spans, m.Spans) && (len(got.Spans) != 0 || len(m.Spans) != 0) {
+			t.Fatalf("spans mismatch: got %+v want %+v", got.Spans, m.Spans)
+		}
+	}
+}
+
+// BusyTestPayload keeps the round-trip fixture human-readable.
+const BusyTestPayload = "server busy, retry shortly"
+
+func TestRetryFrameTruncation(t *testing.T) {
+	m := &Message{
+		Type: TypeResponse, ID: 3, Service: "dir", Status: StatusShed,
+		TraceID: 42, Payload: []byte("busy"),
+		Spans:        []Span{{Stage: "queue", Note: "w=2", Start: 10, End: 20}},
+		RetryAfterMs: 900,
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFrame", cut, len(frame), err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Property: any retry hint round-trips exactly, with or without spans, and
+// a zero hint re-encodes into a pre-v4 layout.
+func TestRetryRoundTripProperty(t *testing.T) {
+	f := func(retry uint32, traceID uint64, withSpan bool, payload []byte) bool {
+		if len(payload) > 4096 {
+			return true
+		}
+		m := &Message{Type: TypeResponse, ID: 1, Service: "db",
+			Status: StatusShed, TraceID: traceID, Payload: payload, RetryAfterMs: retry}
+		if withSpan {
+			m.Spans = []Span{{Stage: "queue", Start: 1, End: 2}}
+		}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		if retry == 0 && frame[2] == codecVersionRetry {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.RetryAfterMs == retry && got.TraceID == traceID &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A server must never send a v4 frame — or StatusShed, which old peers do
+// not know — to a client that did not set FlagBackpressure.
+func TestServerBackpressureGating(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(_ context.Context, _ net.Addr, req *Message) *Message {
+		return &Message{Status: StatusShed, Payload: []byte("busy"), RetryAfterMs: 700}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	// Without the flag: shed downgrades to dropped, hint stripped.
+	resp, err := cli.Call(context.Background(), &Message{Service: "db"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusDropped || resp.RetryAfterMs != 0 {
+		t.Fatalf("un-flagged call got status=%v retry=%d, want dropped/0", resp.Status, resp.RetryAfterMs)
+	}
+
+	// With the flag: shed status and hint delivered.
+	resp, err = cli.Call(context.Background(), &Message{Service: "db", Flags: FlagBackpressure})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusShed || resp.RetryAfterMs != 700 {
+		t.Fatalf("flagged call got status=%v retry=%d, want shed/700", resp.Status, resp.RetryAfterMs)
+	}
+	if !bytes.Equal(resp.Payload, []byte("busy")) {
+		t.Fatal("payload corrupted by backpressure path")
+	}
+}
+
+// FuzzDecode drives the codec with arbitrary frames: Decode must never
+// panic, and any frame it accepts must re-encode and re-decode to the same
+// message (payload, spans, trace, and retry hint included).
+func FuzzDecode(f *testing.F) {
+	seed := []*Message{
+		{Type: TypeRequest, ID: 1, Service: "db", Class: qos.Class1, Payload: []byte("SELECT 1")},
+		{Type: TypeResponse, ID: 2, Service: "db", Status: StatusOK, TraceID: 99, Payload: []byte("row")},
+		{Type: TypeResponse, ID: 3, Service: "dir", Status: StatusOK, TraceID: 7,
+			Spans: []Span{{Stage: "queue", Note: "w=1", Start: 1, End: 2}}},
+		{Type: TypeResponse, ID: 4, Service: "mail", Status: StatusShed,
+			TraceID: 8, Payload: []byte("busy"), RetryAfterMs: 350},
+		{Type: TypeResponse, ID: 5, Service: "cgi", Status: StatusShed, RetryAfterMs: 1},
+	}
+	for _, m := range seed {
+		frame, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{magic0, magic1, codecVersionRetry})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		m, err := Decode(frame)
+		if err != nil {
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			// Decoded messages always fit the bounds Encode enforces.
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if m.ID != m2.ID || m.Service != m2.Service || m.TxnID != m2.TxnID ||
+			m.Status != m2.Status || m.TraceID != m2.TraceID ||
+			m.RetryAfterMs != m2.RetryAfterMs ||
+			!bytes.Equal(m.Payload, m2.Payload) ||
+			!reflect.DeepEqual(m.Spans, m2.Spans) {
+			t.Fatalf("re-encode round trip mismatch:\n in  %+v\n out %+v", m, m2)
+		}
+	})
+}

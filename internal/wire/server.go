@@ -62,7 +62,9 @@ func NewServer(addr string, handler Handler) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close stops the server and waits for in-flight handlers to finish.
+// Close stops the server and waits for in-flight handlers to finish. The
+// socket stays open until they do: a handler that is mid-response gets to
+// send it, so requests accepted before Close are answered, not lost.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -72,9 +74,11 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	s.cancel()
-	err := s.conn.Close()
+	// Expire the read so the receive loop stops accepting without closing
+	// the socket out from under in-flight handlers' WriteTo calls.
+	_ = s.conn.SetReadDeadline(time.Now())
 	s.wg.Wait()
-	return err
+	return s.conn.Close()
 }
 
 // serve is the receive loop. Each request is handled on its own goroutine so
@@ -123,6 +127,14 @@ func (s *Server) handleFrame(ctx context.Context, frame []byte, from net.Addr) {
 		// v3 frame it would reject.
 		resp.Spans = nil
 	}
+	if req.Flags&FlagBackpressure == 0 {
+		// The client does not understand shedding (or predates it); never
+		// send a v4 frame or a status code it would misread.
+		resp.RetryAfterMs = 0
+		if resp.Status == StatusShed {
+			resp.Status = StatusDropped
+		}
+	}
 	out, err := Encode(resp)
 	if err != nil && len(resp.Spans) > 0 {
 		// Span export is best-effort: an oversized span block must not turn a
@@ -163,7 +175,8 @@ type Client struct {
 	retransmit time.Duration
 	attempts   int
 
-	wg sync.WaitGroup
+	wg    sync.WaitGroup // reader goroutine
+	calls sync.WaitGroup // in-flight Call invocations
 }
 
 // ClientOption configures a Client.
@@ -206,8 +219,10 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	return c, nil
 }
 
-// Close releases the socket and stops the reader goroutine. Outstanding
-// calls fail with a closed-connection error.
+// Close fails outstanding calls with ErrClientClosed, waits for them to
+// return, then releases the socket and stops the reader goroutine. Waiting
+// before closing the socket keeps teardown from racing active sends (a Call
+// mid-Write would otherwise see a closed-connection error instead).
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -220,6 +235,7 @@ func (c *Client) Close() error {
 		delete(c.pending, id)
 	}
 	c.mu.Unlock()
+	c.calls.Wait()
 	err := c.conn.Close()
 	c.wg.Wait()
 	return err
@@ -268,6 +284,8 @@ func (c *Client) Call(ctx context.Context, req *Message) (*Message, error) {
 		c.mu.Unlock()
 		return nil, ErrClientClosed
 	}
+	c.calls.Add(1) // under mu with closed checked, so Close cannot miss us
+	defer c.calls.Done()
 	c.nextID++
 	req.ID = c.nextID
 	ch := make(chan *Message, 1)

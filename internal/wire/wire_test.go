@@ -150,7 +150,8 @@ func TestStatusString(t *testing.T) {
 		s    Status
 		want string
 	}{
-		{StatusOK, "ok"}, {StatusDropped, "dropped"}, {StatusError, "error"}, {Status(9), "status(9)"},
+		{StatusOK, "ok"}, {StatusDropped, "dropped"}, {StatusError, "error"},
+		{StatusShed, "shed"}, {Status(9), "status(9)"},
 	}
 	for _, tt := range tests {
 		if got := tt.s.String(); got != tt.want {
