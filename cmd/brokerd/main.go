@@ -29,6 +29,14 @@
 // wait budgets with CoDel-style eviction), and -drain-timeout (how long
 // SIGTERM waits for accepted requests before forcing exit). The live limit
 // appears on the admin plane at /limitz.
+//
+// Request clustering (DESIGN.md §10) is enabled with -cluster N (degree of
+// clustering; the combiner follows the backend kind — repeated-query for
+// db/cgi, MGET for web) and -cluster-wait (gather window). Adding
+// -adaptive-degree M makes the degree self-tuning: a hill-climbing
+// controller walks [1, M] tracking the response-time minimum as backend
+// capacity shifts, with the live degree on /metrics and /graphz as
+// cluster_degree_current.
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 
 	"servicebroker/internal/backend"
 	"servicebroker/internal/broker"
+	"servicebroker/internal/cluster"
 	"servicebroker/internal/frontend"
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
@@ -77,6 +86,9 @@ type config struct {
 	workers         int
 	cacheSize       int
 	cacheTTL        time.Duration
+	clusterDegree   int
+	clusterWait     time.Duration
+	adaptiveDegree  int
 	reportTo        string
 	reportEvery     time.Duration
 	admin           string
@@ -105,6 +117,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 20, "persistent backend sessions per broker")
 	flag.IntVar(&cfg.cacheSize, "cache", 0, "result cache entries (0 disables caching)")
 	flag.DurationVar(&cfg.cacheTTL, "cache-ttl", 30*time.Second, "result cache TTL")
+	flag.IntVar(&cfg.clusterDegree, "cluster", 0, "degree of clustering: max compatible requests combined into one backend access (0 disables)")
+	flag.DurationVar(&cfg.clusterWait, "cluster-wait", 2*time.Millisecond, "how long a batch waits to fill after its first request (with -cluster)")
+	flag.IntVar(&cfg.adaptiveDegree, "adaptive-degree", 0, "self-tune the clustering degree over [1, N] with a hill-climbing controller; 0 keeps -cluster static")
 	flag.StringVar(&cfg.reportTo, "report-to", "", "push load reports to this UDP listener address")
 	flag.DurationVar(&cfg.reportEvery, "report-every", time.Second, "load report interval")
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address for /metrics, /tracez, /loadz, /breakerz (empty disables)")
@@ -202,6 +217,19 @@ func run(cfg config) error {
 		if cfg.cacheSize > 0 {
 			opts = append(opts, broker.WithCache(cfg.cacheSize, cfg.cacheTTL))
 		}
+		if cfg.clusterDegree > 0 {
+			if comb := combinerFor(kind); comb != nil {
+				opts = append(opts, broker.WithClustering(comb, cfg.clusterDegree, cfg.clusterWait))
+				if cfg.adaptiveDegree > 0 {
+					opts = append(opts, broker.WithAdaptiveDegree(cluster.AdaptiveConfig{
+						MaxDegree: cfg.adaptiveDegree,
+					}))
+				}
+			} else {
+				slog.Warn("no combiner for backend kind, clustering disabled",
+					"service", name, "kind", kind)
+			}
+		}
 		if cfg.limitMax > 0 {
 			opts = append(opts, broker.WithAdaptiveLimit(overload.Config{
 				Min:           cfg.limitMin,
@@ -225,6 +253,9 @@ func run(cfg config) error {
 			adminSrv.MountRegistry("broker."+name+".", b.Metrics())
 			adminSrv.AddBreakerSource(name, b.BreakerSnapshots)
 			adminSrv.AddLimitSource(name, b.LimitSnapshot)
+			if cfg.cacheSize > 0 {
+				adminSrv.MountCacheShards("broker."+name+".", b.CacheShardStats)
+			}
 		}
 		if store != nil {
 			store.Mount("broker."+name+".", b.Metrics())
@@ -338,6 +369,20 @@ func parseSpec(spec string) (name, kind string, addrs []string, err error) {
 		addrs = append(addrs, addr)
 	}
 	return parts[0], parts[1], addrs, nil
+}
+
+// combinerFor picks the clustering strategy for a backend kind: repeated
+// identical queries for db/cgi backends, multipart MGET for web. dir and
+// mail accesses have no combining story, so they return nil.
+func combinerFor(kind string) cluster.Combiner {
+	switch kind {
+	case "db", "cgi":
+		return cluster.RepeatCombiner{}
+	case "web":
+		return cluster.MGetCombiner{}
+	default:
+		return nil
+	}
 }
 
 // makeConnector builds the backend connector for one broker.

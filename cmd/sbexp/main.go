@@ -7,6 +7,7 @@
 //
 //	sbexp -exp all                      # everything
 //	sbexp -exp fig7                     # request clustering (Figure 7)
+//	sbexp -exp fig7a                    # adaptive degree vs static, capacity step
 //	sbexp -exp fig9|fig10|table1        # service differentiation
 //	sbexp -exp table2|table3|table4     # per-broker drop ratios
 //	sbexp -exp ablations                # design-choice ablations
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"servicebroker/internal/experiments"
@@ -31,9 +33,17 @@ import (
 	"servicebroker/internal/sqldb"
 )
 
+// knownExperiments is the single source of truth for -exp values: the flag
+// help, the dispatch check, and the unknown-value error all derive from it.
+var knownExperiments = []string{
+	"all", "fig7", "fig7a", "fig9", "fig10",
+	"table1", "table2", "table3", "table4",
+	"ablations", "obs", "overload",
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: all, fig7, fig9, fig10, table1, table2, table3, table4, ablations, obs, overload")
+		exp    = flag.String("exp", "all", "experiment: "+strings.Join(knownExperiments, ", "))
 		scale  = flag.Duration("scale", 20*time.Millisecond, "wall-clock length of one paper second")
 		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
 		csvDir = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
@@ -159,12 +169,53 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
-	switch exp {
-	case "all", "fig7", "fig9", "fig10", "table1", "table2", "table3", "table4", "ablations", "obs", "overload":
-		return nil
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+	if exp == "all" || exp == "fig7a" {
+		if err := runAdaptiveClustering(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
 	}
+
+	for _, known := range knownExperiments {
+		if exp == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown experiment %q; available experiments: %s",
+		exp, strings.Join(knownExperiments, ", "))
+}
+
+// runAdaptiveClustering runs the fig7a ablation (static clustering degrees vs
+// the adaptive controller through a mid-run backend capacity step) and writes
+// BENCH_clustering_adaptive.json in the working directory.
+func runAdaptiveClustering(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultAdaptiveClusteringConfig(quick)
+	fmt.Printf("running adaptive clustering ablation (clients=%d, slots %d→%d, degrees=%v, adaptive max=%d)...\n",
+		cfg.Clients, cfg.SlotsA, cfg.SlotsB, cfg.Degrees, cfg.MaxDegree)
+	res, err := experiments.RunAdaptiveClustering(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, s := range res.Static {
+		fmt.Printf("  static degree %-3d phaseA=%7.2fms phaseB=%7.2fms\n",
+			s.Degree, s.PhaseAMeanMs, s.PhaseBMeanMs)
+	}
+	for _, p := range []experiments.AdaptiveClusteringPhase{res.PhaseA, res.PhaseB} {
+		fmt.Printf("  slots=%-2d best d=%-3d %7.2fms  worst d=%-3d %7.2fms (%.1fx)  adaptive %7.2fms (%.2fx of best, ended at d=%d)\n",
+			p.Slots, p.BestDegree, p.BestMeanMs, p.WorstDegree, p.WorstMeanMs,
+			p.WorstVsBest, p.AdaptiveMeanMs, p.AdaptiveVsBest, p.AdaptiveDegreeEnd)
+	}
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_clustering_adaptive.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
 }
 
 // runOverload runs the step-overload ablation (static threshold vs adaptive

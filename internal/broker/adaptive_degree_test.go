@@ -1,0 +1,87 @@
+package broker
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/cluster"
+	"servicebroker/internal/qos"
+)
+
+func TestAdaptiveDegreeRequiresClustering(t *testing.T) {
+	_, err := New(echoConnector("x"),
+		WithAdaptiveDegree(cluster.AdaptiveConfig{MaxDegree: 8}))
+	if err == nil {
+		t.Fatal("WithAdaptiveDegree without WithClustering accepted")
+	}
+}
+
+func TestAdaptiveDegreeThroughBroker(t *testing.T) {
+	fc := &backend.FuncConnector{
+		ServiceName: "db",
+		DoFn: func(_ context.Context, p []byte) ([]byte, error) {
+			time.Sleep(time.Millisecond)
+			return []byte("result"), nil
+		},
+	}
+	b := newBroker(t, fc,
+		WithThreshold(64, 3),
+		WithWorkers(16),
+		WithClustering(cluster.RepeatCombiner{}, 2, 5*time.Millisecond),
+		WithAdaptiveDegree(cluster.AdaptiveConfig{MaxDegree: 8, EpochBatches: 2}))
+
+	if got := b.ClusterDegree(); got != 2 {
+		t.Fatalf("initial ClusterDegree = %d, want 2", got)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 48; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := b.Handle(context.Background(), &Request{Payload: []byte("SAME QUERY"), Class: qos.Class1, NoCache: true})
+			if resp.Status != StatusOK {
+				t.Errorf("resp = %+v", resp)
+			}
+		}()
+	}
+	wg.Wait()
+
+	deg := b.ClusterDegree()
+	if deg < 1 || deg > 8 {
+		t.Fatalf("ClusterDegree = %d escaped [1, 8]", deg)
+	}
+	// The live degree gauge rides in the broker registry so /metrics and
+	// /graphz pick it up with no extra wiring.
+	if g := b.Metrics().Gauge("cluster_degree_current").Value(); g != int64(deg) {
+		t.Fatalf("cluster_degree_current gauge = %d, ClusterDegree = %d", g, deg)
+	}
+}
+
+func TestCacheShardStats(t *testing.T) {
+	b := newBroker(t, echoConnector("db"), WithCache(1024, time.Minute))
+	for i := 0; i < 3; i++ {
+		resp := b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1})
+		if resp.Status != StatusOK {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+	shards := b.CacheShardStats()
+	if len(shards) == 0 {
+		t.Fatal("no shard stats with caching enabled")
+	}
+	var sum int64
+	for _, st := range shards {
+		sum += st.Hits
+	}
+	if total := b.CacheStats().Hits; sum != total || total == 0 {
+		t.Fatalf("shard hits sum = %d, CacheStats hits = %d (want equal, nonzero)", sum, total)
+	}
+
+	plain := newBroker(t, echoConnector("db"))
+	if got := plain.CacheShardStats(); got != nil {
+		t.Fatalf("CacheShardStats without cache = %v, want nil", got)
+	}
+}

@@ -166,6 +166,7 @@ type Broker struct {
 
 	// deferred option payloads, consumed by New once all options are known
 	clusteringCfg  *clusteringConfig
+	adaptiveDegree *cluster.AdaptiveConfig
 	prefetchCfg    *prefetchConfig
 	shareOverrides map[qos.Class]float64
 }
@@ -260,6 +261,19 @@ func WithClustering(combiner cluster.Combiner, degree int, maxWait time.Duration
 			return errors.New("broker: clustering degree must be ≥ 1")
 		}
 		b.clusteringCfg = &clusteringConfig{combiner: combiner, degree: degree, maxWait: maxWait}
+		return nil
+	})
+}
+
+// WithAdaptiveDegree makes the clustering batcher self-tuning: the degree
+// passed to WithClustering becomes the starting point of a hill-climbing
+// walk over [cfg.MinDegree, cfg.MaxDegree] that tracks the response-time
+// minimum as backend capacity shifts (the paper's Figure-7 U-curve). Must be
+// combined with WithClustering; the live degree is exported as the
+// "cluster_degree_current" gauge.
+func WithAdaptiveDegree(cfg cluster.AdaptiveConfig) Option {
+	return optionFunc(func(b *Broker) error {
+		b.adaptiveDegree = &cfg
 		return nil
 	})
 }
@@ -502,10 +516,17 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 		}
 	}
 
+	if b.adaptiveDegree != nil && b.clusteringCfg == nil {
+		b.releasePools()
+		return nil, errors.New("broker: WithAdaptiveDegree requires WithClustering")
+	}
 	if b.clusteringCfg != nil {
 		opts := []cluster.BatcherOption{cluster.WithMetrics(b.reg)}
 		if b.clusteringCfg.maxWait > 0 {
 			opts = append(opts, cluster.WithMaxWait(b.clusteringCfg.maxWait))
+		}
+		if b.adaptiveDegree != nil {
+			opts = append(opts, cluster.WithAdaptiveDegree(*b.adaptiveDegree))
 		}
 		batcher, err := cluster.NewBatcher(b.do, b.clusteringCfg.combiner, b.clusteringCfg.degree, opts...)
 		if err != nil {
@@ -576,6 +597,25 @@ func (b *Broker) CacheStats() cache.Stats {
 		return cache.Stats{}
 	}
 	return b.results.Stats()
+}
+
+// CacheShardStats returns per-shard result-cache statistics (nil when
+// caching is disabled), for the admin plane's skew view.
+func (b *Broker) CacheShardStats() []cache.ShardStats {
+	if b.results == nil {
+		return nil
+	}
+	return b.results.ShardStats()
+}
+
+// ClusterDegree returns the live degree of clustering: the configured value
+// for a static batcher, the controller's current position under
+// WithAdaptiveDegree, and 0 when clustering is disabled.
+func (b *Broker) ClusterDegree() int {
+	if b.batcher == nil {
+		return 0
+	}
+	return b.batcher.Degree()
 }
 
 // Load returns the broker's current load report. With WithAdaptiveLimit the

@@ -8,11 +8,21 @@
 // time-to-live after which normal Get lookups treat them as absent, while
 // GetStale can still read them — the degraded-mode path that lets a broker
 // answer with the best data it has when the backend is unreachable.
+//
+// Internally the cache is split into power-of-two shards keyed by an FNV-1a
+// hash so concurrent hits on different keys take different locks — the
+// broker's cache-hit fast path is its highest-traffic code and a single
+// global mutex was the throughput ceiling. Small caches (where per-shard
+// budgets would be tiny) collapse to one shard, preserving exact global LRU
+// order; larger caches trade exact cross-shard eviction order for lock
+// spreading, which is the standard sharded-LRU compromise.
 package cache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,26 +47,48 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cache is a concurrency-safe LRU cache with per-entry TTL. Use New to
-// create one.
+// ShardStats is one shard's share of the cache, as exposed on the admin
+// plane: watching per-shard hit counts makes key-space skew visible.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	Stats
+}
+
+// Cache is a concurrency-safe sharded LRU cache with per-entry TTL. Use New
+// to create one.
 type Cache struct {
-	mu         sync.Mutex
 	maxEntries int
 	maxBytes   int64
 	defaultTTL time.Duration
 	now        func() time.Time
+	shardCount int // requested via WithShards; 0 = auto
 
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	bytes int64
+	shards []*shard
+	mask   uint32
+	// seq is a global access clock: entries are stamped on insert and
+	// promotion so Keys can report recency order across shards.
+	seq atomic.Uint64
+}
 
-	hits, misses, evictions, expired, staleHits int64
+// shard is one lock domain: a private LRU list, index, and byte budget.
+// Mutating stats are atomics so Stats can aggregate without a lock sweep on
+// the counters (Entries/Bytes still take the shard lock briefly).
+type shard struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+
+	hits, misses, evictions, expired, staleHits atomic.Int64
 }
 
 type entry struct {
 	key     string
 	value   []byte
 	expires time.Time // zero means never
+	seq     uint64    // global access clock at last promotion
 }
 
 // Option configures a Cache.
@@ -85,6 +117,54 @@ func WithClock(now func() time.Time) Option {
 	return optionFunc(func(c *Cache) { c.now = now })
 }
 
+// WithShards overrides the automatic shard count. n is rounded down to a
+// power of two and clamped to [1, maxEntries]. Use 1 to force the exact
+// single-list LRU (the pre-sharding behaviour).
+func WithShards(n int) Option {
+	return optionFunc(func(c *Cache) { c.shardCount = n })
+}
+
+// maxAutoShards bounds the automatic shard count; past ~16 lock domains the
+// broker's worker parallelism, not the cache, is the limit.
+const maxAutoShards = 16
+
+// minShardBytes is the smallest per-shard byte budget the auto-sizer will
+// accept: below this, splitting a byte-bounded cache makes eviction order
+// diverge wildly from a global LRU for no contention benefit.
+const minShardBytes = 1024
+
+// floorPow2 returns the largest power of two ≤ n (n ≥ 1).
+func floorPow2(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// pickShardCount sizes the shard array: the largest power of two that keeps
+// at least 16 entries and minShardBytes of budget per shard, capped at
+// maxAutoShards. Small caches — which is what the exact-LRU tests and the
+// tiny byte-bound configurations use — come out as a single shard.
+func (c *Cache) pickShardCount() int {
+	n := c.shardCount
+	if n <= 0 {
+		n = min(maxAutoShards, c.maxEntries/maxAutoShards)
+		if c.maxBytes > 0 {
+			for n > 1 && c.maxBytes/int64(n) < minShardBytes {
+				n /= 2
+			}
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > c.maxEntries {
+		n = c.maxEntries
+	}
+	return floorPow2(n)
+}
+
 // New creates a cache holding at most maxEntries entries. maxEntries must be
 // positive.
 func New(maxEntries int, opts ...Option) *Cache {
@@ -94,13 +174,43 @@ func New(maxEntries int, opts ...Option) *Cache {
 	c := &Cache{
 		maxEntries: maxEntries,
 		now:        time.Now,
-		ll:         list.New(),
-		items:      make(map[string]*list.Element),
 	}
 	for _, o := range opts {
 		o.apply(c)
 	}
+	n := c.pickShardCount()
+	c.mask = uint32(n - 1)
+	c.shards = make([]*shard, n)
+	for i := range c.shards {
+		s := &shard{
+			// Integer division under-allocates the remainder, keeping the
+			// global entry/byte invariants strict: Σ per-shard ≤ global.
+			maxEntries: maxEntries / n,
+			ll:         list.New(),
+			items:      make(map[string]*list.Element),
+		}
+		if c.maxBytes > 0 {
+			s.maxBytes = c.maxBytes / int64(n)
+		}
+		if s.maxEntries < 1 {
+			s.maxEntries = 1
+		}
+		c.shards[i] = s
+	}
 	return c
+}
+
+// shardFor hashes key (inline FNV-1a, allocation-free) onto a shard.
+func (c *Cache) shardFor(key string) *shard {
+	if c.mask == 0 {
+		return c.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h&c.mask]
 }
 
 // Get returns the cached value for key. The returned slice is shared with
@@ -108,22 +218,27 @@ func New(maxEntries int, opts ...Option) *Cache {
 // a miss but are retained (bounded by the LRU limits) so GetStale can still
 // serve them when the backend is unavailable.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
 	if !ok {
-		c.misses++
+		s.mu.Unlock()
+		s.misses.Add(1)
 		return nil, false
 	}
 	e := el.Value.(*entry)
 	if c.isExpired(e) {
-		c.expired++
-		c.misses++
+		s.mu.Unlock()
+		s.expired.Add(1)
+		s.misses.Add(1)
 		return nil, false
 	}
-	c.ll.MoveToFront(el)
-	c.hits++
-	return e.value, true
+	s.ll.MoveToFront(el)
+	e.seq = c.seq.Add(1)
+	v := e.value
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return v, true
 }
 
 // GetStale returns the value for key regardless of TTL expiry — the
@@ -133,21 +248,27 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 // and keeps its LRU position. The returned slice is shared with the cache
 // and must not be modified.
 func (c *Cache) GetStale(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	el, ok := s.items[key]
 	if !ok {
-		c.misses++
+		s.mu.Unlock()
+		s.misses.Add(1)
 		return nil, false
 	}
 	e := el.Value.(*entry)
 	if c.isExpired(e) {
-		c.staleHits++
-		return e.value, true
+		v := e.value
+		s.mu.Unlock()
+		s.staleHits.Add(1)
+		return v, true
 	}
-	c.ll.MoveToFront(el)
-	c.hits++
-	return e.value, true
+	s.ll.MoveToFront(el)
+	e.seq = c.seq.Add(1)
+	v := e.value
+	s.mu.Unlock()
+	s.hits.Add(1)
+	return v, true
 }
 
 // Put stores value under key with the cache's default TTL.
@@ -158,103 +279,155 @@ func (c *Cache) Put(key string, value []byte) {
 // PutTTL stores value under key with an explicit TTL; ttl ≤ 0 means the
 // entry never expires.
 func (c *Cache) PutTTL(key string, value []byte, ttl time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var expires time.Time
 	if ttl > 0 {
 		expires = c.now().Add(ttl)
 	}
-	if el, ok := c.items[key]; ok {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
 		e := el.Value.(*entry)
-		c.bytes += int64(len(value)) - int64(len(e.value))
+		s.bytes += int64(len(value)) - int64(len(e.value))
 		e.value = value
 		e.expires = expires
-		c.ll.MoveToFront(el)
+		e.seq = c.seq.Add(1)
+		s.ll.MoveToFront(el)
 	} else {
-		el := c.ll.PushFront(&entry{key: key, value: value, expires: expires})
-		c.items[key] = el
-		c.bytes += int64(len(value))
+		el := s.ll.PushFront(&entry{key: key, value: value, expires: expires, seq: c.seq.Add(1)})
+		s.items[key] = el
+		s.bytes += int64(len(value))
 	}
-	c.evictOverflow()
+	s.evictOverflow()
+	s.mu.Unlock()
 }
 
 // Delete removes key if present, reporting whether it was there.
 func (c *Cache) Delete(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return false
 	}
-	c.removeElement(el)
+	s.removeElement(el)
 	return true
 }
 
 // Len returns the number of live entries (including any not yet observed to
 // be expired).
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Clear removes every entry but keeps the statistics.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[string]*list.Element)
-	c.bytes = 0
-}
-
-// Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Expired:   c.expired,
-		StaleHits: c.staleHits,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.bytes = 0
+		s.mu.Unlock()
 	}
 }
 
-// Keys returns the cached keys from most to least recently used. Intended
-// for tests and diagnostics.
-func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, c.ll.Len())
-	for el := c.ll.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*entry).key)
+// Stats returns a snapshot of the cache counters, aggregated over shards.
+func (c *Cache) Stats() Stats {
+	var out Stats
+	for _, s := range c.shards {
+		st := s.snapshot()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Expired += st.Expired
+		out.StaleHits += st.StaleHits
+		out.Entries += st.Entries
+		out.Bytes += st.Bytes
 	}
 	return out
 }
 
-// isExpired reports whether e is past its TTL. Caller holds c.mu.
+// ShardStats returns per-shard counter snapshots, in shard order.
+func (c *Cache) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(c.shards))
+	for i, s := range c.shards {
+		out[i] = ShardStats{Shard: i, Stats: s.snapshot()}
+	}
+	return out
+}
+
+// Shards returns the number of lock domains the cache was built with.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// snapshot reads one shard's counters.
+func (s *shard) snapshot() Stats {
+	s.mu.Lock()
+	entries, bytes := s.ll.Len(), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Expired:   s.expired.Load(),
+		StaleHits: s.staleHits.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+	}
+}
+
+// Keys returns the cached keys from most to least recently used, merged
+// across shards by the global access clock. Intended for tests and
+// diagnostics.
+func (c *Cache) Keys() []string {
+	type stamped struct {
+		key string
+		seq uint64
+	}
+	var all []stamped
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			all = append(all, stamped{key: e.key, seq: e.seq})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	out := make([]string, len(all))
+	for i, st := range all {
+		out[i] = st.key
+	}
+	return out
+}
+
+// isExpired reports whether e is past its TTL.
 func (c *Cache) isExpired(e *entry) bool {
 	return !e.expires.IsZero() && c.now().After(e.expires)
 }
 
-// evictOverflow drops LRU entries until both bounds hold. Caller holds c.mu.
-func (c *Cache) evictOverflow() {
-	for c.ll.Len() > c.maxEntries || (c.maxBytes > 0 && c.bytes > c.maxBytes && c.ll.Len() > 0) {
-		el := c.ll.Back()
+// evictOverflow drops LRU entries until both shard bounds hold. Caller
+// holds s.mu.
+func (s *shard) evictOverflow() {
+	for s.ll.Len() > s.maxEntries || (s.maxBytes > 0 && s.bytes > s.maxBytes && s.ll.Len() > 0) {
+		el := s.ll.Back()
 		if el == nil {
 			return
 		}
-		c.removeElement(el)
-		c.evictions++
+		s.removeElement(el)
+		s.evictions.Add(1)
 	}
 }
 
-// removeElement unlinks el. Caller holds c.mu.
-func (c *Cache) removeElement(el *list.Element) {
+// removeElement unlinks el. Caller holds s.mu.
+func (s *shard) removeElement(el *list.Element) {
 	e := el.Value.(*entry)
-	c.ll.Remove(el)
-	delete(c.items, e.key)
-	c.bytes -= int64(len(e.value))
+	s.ll.Remove(el)
+	delete(s.items, e.key)
+	s.bytes -= int64(len(e.value))
 }

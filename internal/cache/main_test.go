@@ -1,0 +1,12 @@
+package cache
+
+import (
+	"testing"
+
+	"servicebroker/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine. The cache owns
+// no background goroutines of its own, so this guards the parallel-access
+// tests and benchmarks against leaving workers behind.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"servicebroker/internal/httpserver"
@@ -131,9 +132,18 @@ type Do func(ctx context.Context, payload []byte) ([]byte, error)
 type Batcher struct {
 	do       Do
 	combiner Combiner
-	degree   int
+	degree   int // configured (initial) degree
 	maxWait  time.Duration
 	reg      *metrics.Registry
+
+	// curDegree is the live degree of clustering: equal to degree for a
+	// static batcher, walked by the controller under WithAdaptiveDegree.
+	curDegree atomic.Int32
+	adaptive  *adaptiveController
+	// waitPerUnit is the gather window per unit of degree, so the window
+	// scales with the current degree (a bigger batch needs longer to fill).
+	waitPerUnit time.Duration
+	degreeGauge *metrics.Gauge
 
 	mu     sync.Mutex
 	queue  []*pending
@@ -149,7 +159,13 @@ type Batcher struct {
 type pending struct {
 	ctx     context.Context
 	payload []byte
-	resp    chan result
+	// enq is the Submit time: the adaptive controller's samples are full
+	// request sojourns (gather wait + backend queueing + service), because
+	// that is the latency the U-curve is drawn in. Backend time alone
+	// monotonically improves with degree (the handshake amortizes) and
+	// would walk the controller to MaxDegree.
+	enq  time.Time
+	resp chan result
 }
 
 type result struct {
@@ -176,6 +192,15 @@ func WithMaxWait(d time.Duration) BatcherOption {
 // WithMetrics directs batcher counters into reg.
 func WithMetrics(reg *metrics.Registry) BatcherOption {
 	return batcherOptionFunc(func(b *Batcher) { b.reg = reg })
+}
+
+// WithAdaptiveDegree enables the self-tuning degree controller (see
+// adaptive.go): the degree passed to NewBatcher becomes the starting point
+// of a hill-climbing walk over [cfg.MinDegree, cfg.MaxDegree], and the
+// gather window scales with the current degree. The live degree is exported
+// as the "cluster_degree_current" gauge.
+func WithAdaptiveDegree(cfg AdaptiveConfig) BatcherOption {
+	return batcherOptionFunc(func(b *Batcher) { b.adaptive = &adaptiveController{cfg: cfg} })
 }
 
 // ErrBatcherClosed is returned for requests submitted after Close.
@@ -207,18 +232,44 @@ func NewBatcher(do Do, combiner Combiner, degree int, opts ...BatcherOption) (*B
 	for _, o := range opts {
 		o.apply(b)
 	}
+	b.curDegree.Store(int32(degree))
+	b.waitPerUnit = b.maxWait / time.Duration(degree)
+	if b.adaptive != nil {
+		if err := b.adaptive.init(degree); err != nil {
+			return nil, err
+		}
+		b.curDegree.Store(int32(b.adaptive.cur))
+	}
+	b.degreeGauge = b.reg.Gauge("cluster_degree_current")
+	b.degreeGauge.Set(int64(b.curDegree.Load()))
 	go b.dispatchLoop()
 	return b, nil
 }
 
 // Metrics returns the batcher registry: "batches", "clustered_requests",
-// and the "batch_size" histogram (sizes recorded in microsecond units for
+// the "cluster_degree_current" gauge (live degree of clustering), and the
+// "cluster_batch_size" histogram (sizes recorded in microsecond units for
 // reuse of the duration histogram: size n is recorded as n µs).
 func (b *Batcher) Metrics() *metrics.Registry { return b.reg }
 
+// Degree returns the current degree of clustering: the configured value for
+// a static batcher, the controller's live position under WithAdaptiveDegree.
+func (b *Batcher) Degree() int { return int(b.curDegree.Load()) }
+
+// gatherWait returns the batch-fill window for the current degree. A static
+// batcher uses the configured maxWait unchanged; an adaptive one scales it
+// linearly with the live degree, so a larger target batch is given
+// proportionally longer to fill and a shrinking degree sheds gather latency.
+func (b *Batcher) gatherWait() time.Duration {
+	if b.adaptive == nil {
+		return b.maxWait
+	}
+	return b.waitPerUnit * time.Duration(b.curDegree.Load())
+}
+
 // Submit queues one request and blocks until its response is available.
 func (b *Batcher) Submit(ctx context.Context, payload []byte) ([]byte, error) {
-	p := &pending{ctx: ctx, payload: payload, resp: make(chan result, 1)}
+	p := &pending{ctx: ctx, payload: payload, enq: time.Now(), resp: make(chan result, 1)}
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -270,12 +321,12 @@ func (b *Batcher) dispatchLoop() {
 		case <-b.kick:
 		}
 		// A request has arrived; give the batch a short window to fill.
-		if b.maxWait > 0 {
-			deadline := time.NewTimer(b.maxWait)
+		if wait := b.gatherWait(); wait > 0 {
+			deadline := time.NewTimer(wait)
 		window:
 			for {
 				b.mu.Lock()
-				full := len(b.queue) >= b.degree
+				full := len(b.queue) >= b.Degree()
 				b.mu.Unlock()
 				if full {
 					break
@@ -308,8 +359,9 @@ func (b *Batcher) dispatchOnce() bool {
 	head := b.queue[0]
 	batch := []*pending{head}
 	rest := b.queue[:0]
+	deg := b.Degree()
 	for _, p := range b.queue[1:] {
-		if len(batch) < b.degree && b.combiner.CanCombine(head.payload, p.payload) {
+		if len(batch) < deg && b.combiner.CanCombine(head.payload, p.payload) {
 			batch = append(batch, p)
 			continue
 		}
@@ -335,7 +387,7 @@ func (b *Batcher) dispatchOnce() bool {
 func (b *Batcher) execute(batch []*pending) {
 	b.reg.Counter("batches").Inc()
 	b.reg.Counter("clustered_requests").Add(int64(len(batch)))
-	b.reg.Histogram("batch_size").Observe(time.Duration(len(batch)) * time.Microsecond)
+	b.reg.Histogram("cluster_batch_size").Observe(time.Duration(len(batch)) * time.Microsecond)
 
 	payloads := make([][]byte, len(batch))
 	for i, p := range batch {
@@ -356,6 +408,13 @@ func (b *Batcher) execute(batch []*pending) {
 		fail(err)
 		return
 	}
+	if b.adaptive != nil {
+		var sojourn time.Duration
+		for _, p := range batch {
+			sojourn += time.Since(p.enq)
+		}
+		b.observeBatch(sojourn, len(batch))
+	}
 	parts, err := b.combiner.Split(body, len(batch))
 	if err != nil {
 		fail(err)
@@ -363,5 +422,19 @@ func (b *Batcher) execute(batch []*pending) {
 	}
 	for i, p := range batch {
 		p.resp <- result{body: parts[i]}
+	}
+}
+
+// observeBatch feeds one successful batch's summed request sojourn into the
+// adaptive controller and publishes any degree change. Failed accesses are
+// excluded: an error's latency says nothing about where the U-curve minimum
+// sits.
+func (b *Batcher) observeBatch(sojournSum time.Duration, size int) {
+	if b.adaptive == nil {
+		return
+	}
+	if deg, changed := b.adaptive.observe(sojournSum, size); changed {
+		b.curDegree.Store(int32(deg))
+		b.degreeGauge.Set(int64(deg))
 	}
 }

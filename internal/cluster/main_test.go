@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"servicebroker/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — every Batcher
+// started by a test must be Closed, and Close promises the dispatcher and
+// all in-flight executions have finished.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

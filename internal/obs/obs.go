@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/cache"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
@@ -76,6 +77,9 @@ type Server struct {
 type mount struct {
 	prefix string
 	reg    *metrics.Registry
+	// view is set instead of reg for dynamic mounts (MountView): the
+	// snapshot is computed per scrape rather than read from a registry.
+	view func() metrics.View
 }
 
 type namedBreakerSource struct {
@@ -119,6 +123,45 @@ func (s *Server) MountRegistry(prefix string, reg *metrics.Registry) {
 	s.mu.Lock()
 	s.mounts = append(s.mounts, mount{prefix: prefix, reg: reg})
 	s.mu.Unlock()
+}
+
+// MountView exposes a dynamically computed metrics snapshot on /metrics,
+// for stats that live outside a metrics.Registry (per-shard cache counters,
+// for example). fn is called once per scrape.
+func (s *Server) MountView(prefix string, fn func() metrics.View) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.mounts = append(s.mounts, mount{prefix: prefix, view: fn})
+	s.mu.Unlock()
+}
+
+// MountCacheShards exposes per-shard result-cache counters on /metrics as
+// cache_shard<N>_{hits,misses,evictions,expired,stale_hits} counters and
+// cache_shard<N>_{entries,bytes} gauges, making key-space skew across the
+// cache's lock domains visible. stats is typically broker.CacheShardStats.
+func (s *Server) MountCacheShards(prefix string, stats func() []cache.ShardStats) {
+	if stats == nil {
+		return
+	}
+	s.MountView(prefix, func() metrics.View {
+		v := metrics.View{
+			Counters: make(map[string]int64),
+			Gauges:   make(map[string]int64),
+		}
+		for _, st := range stats() {
+			p := fmt.Sprintf("cache_shard%d_", st.Shard)
+			v.Counters[p+"hits"] = st.Hits
+			v.Counters[p+"misses"] = st.Misses
+			v.Counters[p+"evictions"] = st.Evictions
+			v.Counters[p+"expired"] = st.Expired
+			v.Counters[p+"stale_hits"] = st.StaleHits
+			v.Gauges[p+"entries"] = int64(st.Entries)
+			v.Gauges[p+"bytes"] = st.Bytes
+		}
+		return v
+	})
 }
 
 // SetRecorder wires the trace recorder backing /tracez.
@@ -244,7 +287,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
 	for _, m := range mounts {
-		WriteProm(&b, m.prefix, m.reg.View())
+		v := m.view
+		if v == nil {
+			v = m.reg.View
+		}
+		WriteProm(&b, m.prefix, v())
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/cache"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
@@ -252,5 +254,56 @@ func TestLimitzEndpoint(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("limitz missing %q, got:\n%s", want, body)
 		}
+	}
+}
+
+func TestMountView(t *testing.T) {
+	s := New()
+	calls := 0
+	s.MountView("dyn.", func() metrics.View {
+		calls++
+		return metrics.View{
+			Counters: map[string]int64{"lookups": int64(10 * calls)},
+			Gauges:   map[string]int64{"live": 4},
+		}
+	})
+	body := get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "dyn_lookups 10") || !strings.Contains(body, "dyn_live 4") {
+		t.Fatalf("/metrics missing dynamic view:\n%s", body)
+	}
+	// The view is recomputed per scrape, not cached.
+	body = get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "dyn_lookups 20") {
+		t.Fatalf("/metrics served a stale dynamic view:\n%s", body)
+	}
+}
+
+func TestMountCacheShards(t *testing.T) {
+	c := cache.New(1024, cache.WithShards(4))
+	c.Put("k", []byte("v"))
+	c.Get("k")
+	c.Get("absent")
+	s := New()
+	s.MountCacheShards("broker.db.", c.ShardStats)
+	body := get(t, s.Handler(), "/metrics")
+	for _, want := range []string{
+		"broker_db_cache_shard0_hits",
+		"broker_db_cache_shard3_misses",
+		"broker_db_cache_shard0_entries",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+	var hits int64
+	for _, line := range strings.Split(body, "\n") {
+		var shard int
+		var v int64
+		if n, _ := fmt.Sscanf(line, "broker_db_cache_shard%d_hits %d", &shard, &v); n == 2 {
+			hits += v
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("per-shard hit lines sum to %d, want 1:\n%s", hits, body)
 	}
 }

@@ -1,0 +1,12 @@
+package qos
+
+import (
+	"testing"
+
+	"servicebroker/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — the queue's
+// callback and sojourn-sweep contracts run user code that must not strand
+// waiters.
+func TestMain(m *testing.M) { testutil.VerifyMain(m) }

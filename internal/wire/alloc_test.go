@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+
+	"servicebroker/internal/qos"
+)
+
+// allocMessages covers all four frame layouts the codec can emit.
+func allocMessages() []*Message {
+	return []*Message{
+		{ // v1: untraced
+			Type: TypeRequest, ID: 7, Service: "db", Class: qos.Class1,
+			TxnID: "txn-1", TxnStep: 2, Flags: FlagNoCache,
+			Payload: []byte("select * from shows"),
+		},
+		{ // v2: traced
+			Type: TypeRequest, ID: 8, Service: "web", TraceID: 0xfeedbeef,
+			Payload: []byte("/movies/today"),
+		},
+		{ // v3: spans
+			Type: TypeResponse, ID: 9, Service: "db", TraceID: 0xabc,
+			Status:  StatusOK,
+			Spans:   []Span{{Stage: "backend", Note: "q", Start: 100, End: 200}},
+			Payload: []byte("result"),
+		},
+		{ // v4: retry-after trailer
+			Type: TypeResponse, ID: 10, Service: "db", TraceID: 0xdef,
+			Status: StatusShed, RetryAfterMs: 25, Payload: []byte("shed"),
+		},
+	}
+}
+
+// TestAppendEncodeMatchesEncode: the append-into path must produce exactly
+// the bytes Encode does, for every frame version, including when appending
+// after existing content.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for i, m := range allocMessages() {
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatalf("msg %d: Encode: %v", i, err)
+		}
+		got, err := AppendEncode(nil, m)
+		if err != nil {
+			t.Fatalf("msg %d: AppendEncode: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("msg %d: AppendEncode(nil) differs from Encode", i)
+		}
+		prefix := []byte("prefix-")
+		got, err = AppendEncode(append([]byte(nil), prefix...), m)
+		if err != nil {
+			t.Fatalf("msg %d: AppendEncode with prefix: %v", i, err)
+		}
+		if !bytes.HasPrefix(got, prefix) || !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("msg %d: AppendEncode did not append after existing content", i)
+		}
+	}
+}
+
+// TestAppendEncodeZeroAllocs is the ISSUE's hot-path gate: encoding into a
+// buffer with spare capacity must not allocate, for any frame version.
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	buf := make([]byte, 0, MaxFrame)
+	for i, m := range allocMessages() {
+		allocs := testing.AllocsPerRun(1000, func() {
+			var err error
+			if _, err = AppendEncode(buf[:0], m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("msg %d (v%d layout): AppendEncode = %.1f allocs/op, want 0", i, i+1, allocs)
+		}
+	}
+}
+
+// TestEncodeDecodeAllocBudget bounds the full round trip. Encode costs one
+// allocation (the frame). Decode builds an independent message — the struct,
+// a payload copy, the string fields, and any span block — so its budget is
+// fixed per layout rather than zero; the gate is that neither side regresses.
+func TestEncodeDecodeAllocBudget(t *testing.T) {
+	budgets := []float64{5, 5, 8, 5} // per-layout: v1, v2, v3, v4
+	for i, m := range allocMessages() {
+		budget := budgets[i]
+		allocs := testing.AllocsPerRun(1000, func() {
+			frame, err := Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Decode(frame); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("msg %d (v%d layout): round trip = %.1f allocs/op, budget %.0f", i, i+1, allocs, budget)
+		}
+	}
+}
+
+// TestPooledCallPath exercises the client's pooled encode and the server's
+// pooled receive end to end, checking correctness is unchanged when buffers
+// recycle under concurrency.
+func TestPooledCallPath(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(ctx context.Context, from net.Addr, req *Message) *Message {
+		return &Message{Status: StatusOK, Service: req.Service, Payload: append([]byte("echo:"), req.Payload...)}
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+
+	done := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				payload := []byte{byte('a' + g), byte(i)}
+				resp, err := cli.Call(context.Background(), &Message{Service: "db", Payload: payload})
+				if err != nil {
+					done <- err
+					return
+				}
+				if want := append([]byte("echo:"), payload...); !bytes.Equal(resp.Payload, want) {
+					done <- errTestMismatch
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("pooled call path: %v", err)
+		}
+	}
+}
+
+var errTestMismatch = errTest("response payload mismatch")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

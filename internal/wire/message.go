@@ -188,6 +188,15 @@ var (
 
 // Encode serializes m into a datagram-sized frame.
 func Encode(m *Message) ([]byte, error) {
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode serializes m exactly as Encode and appends the frame to dst,
+// returning the extended slice. When dst has enough spare capacity the call
+// performs no allocation — the hot-path contract the client's pooled send
+// buffers rely on. dst's existing contents are preserved; the frame occupies
+// the appended tail.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 	if len(m.Service) > maxStringLen {
 		return nil, fmt.Errorf("%w: service name %d bytes", ErrFrameTooLarge, len(m.Service))
 	}
@@ -227,7 +236,14 @@ func Encode(m *Message) ([]byte, error) {
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
-	buf := make([]byte, 0, total)
+	// Reserve the full frame up front so the appends below never reallocate;
+	// a dst with spare capacity (a pooled buffer) makes this a no-op.
+	buf := dst
+	if cap(buf)-len(buf) < total {
+		grown := make([]byte, len(buf), len(buf)+total)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = append(buf, magic0, magic1, version, byte(m.Type))
 	buf = binary.BigEndian.AppendUint64(buf, m.ID)
 	buf = append(buf, byte(m.Class))

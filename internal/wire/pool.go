@@ -1,0 +1,22 @@
+package wire
+
+import "sync"
+
+// bufPool recycles MaxFrame-sized buffers between the client's encode path
+// and the server's receive path. Encode never produces more than MaxFrame
+// bytes and a datagram never carries more, so a pooled buffer always has
+// enough capacity and AppendEncode into one is allocation-free. The pool
+// stores *[]byte rather than []byte so checking a buffer in and out does
+// not itself allocate (a bare slice would be boxed into the interface).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, MaxFrame)
+		return &b
+	},
+}
+
+// getBuf checks a MaxFrame-capacity buffer out of the pool.
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// putBuf returns a buffer. Callers must not retain any slice of it.
+func putBuf(b *[]byte) { bufPool.Put(b) }

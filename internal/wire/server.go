@@ -82,22 +82,25 @@ func (s *Server) Close() error {
 }
 
 // serve is the receive loop. Each request is handled on its own goroutine so
-// a slow backend does not head-of-line-block the socket.
+// a slow backend does not head-of-line-block the socket. Receive buffers
+// come from the frame pool instead of being copied per datagram: Decode
+// copies everything it keeps, so the frame never escapes handleFrame and
+// the buffer can go straight back to the pool.
 func (s *Server) serve(ctx context.Context) {
 	defer s.wg.Done()
-	buf := make([]byte, MaxFrame)
 	for {
-		n, from, err := s.conn.ReadFrom(buf)
+		bp := getBuf()
+		n, from, err := s.conn.ReadFrom(*bp)
 		if err != nil {
+			putBuf(bp)
 			return // socket closed
 		}
-		frame := make([]byte, n)
-		copy(frame, buf[:n])
 		s.wg.Add(1)
-		go func(frame []byte, from net.Addr) {
+		go func(bp *[]byte, n int, from net.Addr) {
 			defer s.wg.Done()
-			s.handleFrame(ctx, frame, from)
-		}(frame, from)
+			defer putBuf(bp)
+			s.handleFrame(ctx, (*bp)[:n], from)
+		}(bp, n, from)
 	}
 }
 
@@ -292,7 +295,12 @@ func (c *Client) Call(ctx context.Context, req *Message) (*Message, error) {
 	c.pending[req.ID] = ch
 	c.mu.Unlock()
 
-	frame, err := Encode(req)
+	// Encode into a pooled buffer: the frame is only referenced for the
+	// duration of the Call's send attempts, so the buffer recycles and the
+	// steady-state send path allocates nothing.
+	bp := getBuf()
+	defer putBuf(bp)
+	frame, err := AppendEncode((*bp)[:0], req)
 	if err != nil {
 		c.abandon(req.ID)
 		return nil, err
