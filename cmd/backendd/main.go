@@ -25,6 +25,7 @@ import (
 	"servicebroker/internal/mailsvc"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
+	"servicebroker/internal/sketch"
 	"servicebroker/internal/sqldb"
 	"servicebroker/internal/tsdb"
 )
@@ -39,19 +40,27 @@ func main() {
 		maxClients = flag.Int("maxclients", 5, "cgi: max simultaneous requests")
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, pprof (empty disables)")
 		drainTO    = flag.Duration("drain-timeout", 5*time.Second, "cgi: how long SIGTERM/SIGINT waits for in-flight requests to finish")
+		hotkeys    = flag.Int("hotkeys", 0, "cgi: track the top-N hottest request payloads for /hotz (0 disables)")
 	)
 	flag.Parse()
 
-	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients, *admin, *drainTO); err != nil {
+	if err := run(*kind, *addr, *records, *handshake, *delay, *maxClients, *admin, *drainTO, *hotkeys); err != nil {
 		slog.Error("backendd failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int, admin string, drainTimeout time.Duration) error {
+func run(kind, addr string, records int, handshake, delay time.Duration, maxClients int, admin string, drainTimeout time.Duration, hotkeys int) error {
 	reg := metrics.NewRegistry()
 	reg.Gauge("up").Set(1)
 	served := reg.Counter("cgi_requests")
+	// Hot-key tracking is only observable at the CGI server, which sees the
+	// request payload; the protocol backends (db/dir/mail) are tracked at
+	// their broker instead.
+	var hk *sketch.Tracker
+	if hotkeys > 0 && kind == "cgi" {
+		hk = sketch.NewTracker(sketch.Config{TopK: hotkeys})
+	}
 	var (
 		boundAddr string
 		shutdown  func() error
@@ -94,7 +103,12 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 		}
 		srv.Handle("/cgi", func(req *httpserver.Request) *httpserver.Response {
 			served.Inc()
+			start := time.Now()
 			time.Sleep(delay)
+			if hk != nil {
+				hk.RecordAccess(req.Query["q"], false)
+				hk.RecordLatency(req.Query["q"], time.Since(start))
+			}
 			return httpserver.Text(fmt.Sprintf("processed %s after %v", req.Query["q"], delay))
 		})
 		// Graceful stop: finish in-flight CGI work before closing.
@@ -116,6 +130,9 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 		adminSrv.MountRegistry("backend."+kind+".", reg)
 		store := tsdb.New(0)
 		store.Mount("backend."+kind+".", reg)
+		if hk != nil {
+			adminSrv.AddHotKeySource("backend."+kind, func() (sketch.Snapshot, bool) { return hk.Snapshot(), true })
+		}
 		adminSrv.SetTSDB(store)
 		store.Start(time.Second)
 		defer store.Close()

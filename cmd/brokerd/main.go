@@ -37,6 +37,12 @@
 // controller walks [1, M] tracking the response-time minimum as backend
 // capacity shifts, with the live degree on /metrics and /graphz as
 // cluster_degree_current.
+//
+// Workload analytics and SLOs (DESIGN.md §11): -hotkeys N tracks the top-N
+// hottest request keys per broker in fixed memory (count-min sketch +
+// space-saving), surfaced on the admin plane at /hotz; -slo evaluates
+// per-class latency/availability objectives with multi-window burn-rate
+// alerting on /sloz (-slo-fast and -slo-slow size the windows).
 package main
 
 import (
@@ -59,6 +65,8 @@ import (
 	"servicebroker/internal/obs"
 	"servicebroker/internal/overload"
 	"servicebroker/internal/resilience"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
 )
@@ -107,6 +115,10 @@ type config struct {
 	latencyTarget   time.Duration
 	sojournBudget   time.Duration
 	drainTimeout    time.Duration
+	hotkeys         int
+	slo             bool
+	sloFast         time.Duration
+	sloSlow         time.Duration
 }
 
 func main() {
@@ -138,6 +150,10 @@ func main() {
 	flag.DurationVar(&cfg.latencyTarget, "latency-target", 0, "completion latency the adaptive limiter treats as congestion (0 reacts to failures only)")
 	flag.DurationVar(&cfg.sojournBudget, "sojourn-budget", 0, "class-1 queue-wait budget; queued requests over their class budget are shed early (0 disables)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
+	flag.IntVar(&cfg.hotkeys, "hotkeys", 0, "track the top-N hottest request keys per broker for /hotz (0 disables)")
+	flag.BoolVar(&cfg.slo, "slo", false, "evaluate per-class SLO burn rates for /sloz")
+	flag.DurationVar(&cfg.sloFast, "slo-fast", 0, "SLO fast burn window (0 selects the default)")
+	flag.DurationVar(&cfg.sloSlow, "slo-slow", 0, "SLO slow burn window (0 selects 12x the fast window)")
 	flag.Var(&cfg.services, "service", "broker spec name:kind:addr[|addr...] (repeatable)")
 	flag.Parse()
 
@@ -240,6 +256,20 @@ func run(cfg config) error {
 		if cfg.sojournBudget > 0 {
 			opts = append(opts, broker.WithSojournBudget(cfg.sojournBudget))
 		}
+		if cfg.hotkeys > 0 {
+			opts = append(opts, broker.WithHotKeys(sketch.Config{TopK: cfg.hotkeys}))
+		}
+		if cfg.slo {
+			objectives := slo.DefaultObjectives()
+			if cfg.classes < len(objectives) {
+				objectives = objectives[:cfg.classes]
+			}
+			opts = append(opts, broker.WithSLO(slo.Config{
+				Objectives: objectives,
+				FastWindow: cfg.sloFast,
+				SlowWindow: cfg.sloSlow,
+			}))
+		}
 		if tracer != nil {
 			opts = append(opts, broker.WithTracer(tracer))
 		}
@@ -256,6 +286,12 @@ func run(cfg config) error {
 			if cfg.cacheSize > 0 {
 				adminSrv.MountCacheShards("broker."+name+".", b.CacheShardStats)
 			}
+			if cfg.hotkeys > 0 {
+				adminSrv.AddHotKeySource(name, b.HotKeySnapshot)
+			}
+			if cfg.slo {
+				adminSrv.AddSLOSource(name, b.SLOStatus)
+			}
 		}
 		if store != nil {
 			store.Mount("broker."+name+".", b.Metrics())
@@ -270,6 +306,41 @@ func run(cfg config) error {
 						return 0, false
 					}
 					return float64(dropped.Value()) / float64(total), true
+				})
+			}
+			if cfg.hotkeys > 0 {
+				// Snapshotting also refreshes the hotkey_* gauges already
+				// mounted from the broker registry.
+				store.AddProbe("broker."+name+".hotkey_skew", func() (float64, bool) {
+					snap, ok := b.HotKeySnapshot()
+					if !ok || snap.TotalAccesses == 0 {
+						return 0, false
+					}
+					return snap.Skew, true
+				})
+				store.AddProbe("broker."+name+".hotkey_top10_share", func() (float64, bool) {
+					snap, ok := b.HotKeySnapshot()
+					if !ok || snap.TotalAccesses == 0 {
+						return 0, false
+					}
+					return snap.TopShare(10), true
+				})
+			}
+			if cfg.slo {
+				// Evaluating once per tick drives the alert state machine and
+				// refreshes the slo_* gauges even when nobody scrapes /sloz.
+				store.AddProbe("broker."+name+".slo_breach_classes", func() (float64, bool) {
+					st, ok := b.SLOStatus()
+					if !ok {
+						return 0, false
+					}
+					breaching := 0.0
+					for _, c := range st.Classes {
+						if c.AlertState() != slo.StateOK {
+							breaching++
+						}
+					}
+					return breaching, true
 				})
 			}
 		}

@@ -32,6 +32,8 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
 )
@@ -59,18 +61,20 @@ func main() {
 		traceSeed   = flag.Uint64("trace-seed", 1, "deterministic tail-sampling seed (share across processes for consistent decisions)")
 		sampleEvery = flag.Duration("sample-every", time.Second, "time-series sampling interval for /seriesz and /graphz")
 		drainTO     = flag.Duration("drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
+		hotkeys     = flag.Int("hotkeys", 0, "track the top-N hottest request payloads for /hotz (0 disables)")
+		sloOn       = flag.Bool("slo", false, "evaluate per-class SLO burn rates over client-observed latency for /sloz")
 	)
 	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
 	flag.Parse()
 
 	sampler := &trace.Sampler{SlowThreshold: *traceSlow, Fraction: *traceSample, Seed: *traceSeed}
-	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO); err != nil {
+	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO, *hotkeys, *sloOn); err != nil {
 		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration) error {
+func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration, hotkeys int, sloOn bool) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -93,6 +97,23 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		httpOpts = append(httpOpts, httpserver.WithMaxClients(maxClients))
 	}
 
+	// Client-side workload analytics: the front end sees every request end to
+	// end, so its tracker attributes popularity across all brokered services
+	// and its SLO engine scores the latency clients actually observe.
+	var hk *sketch.Tracker
+	if hotkeys > 0 {
+		hk = sketch.NewTracker(sketch.Config{TopK: hotkeys})
+	}
+	var sloEng *slo.Engine
+	anaReg := metrics.NewRegistry()
+	if sloOn {
+		sloEng = slo.New(slo.Config{
+			Objectives: slo.DefaultObjectives(),
+			Logger:     slog.Default(),
+			Metrics:    anaReg,
+		})
+	}
+
 	// startAdmin mounts the front end's registry and trace recorder on an
 	// obs server when -admin is set; it returns a cleanup (possibly no-op).
 	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder)) (func(), error) {
@@ -109,6 +130,32 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		store := tsdb.New(0)
 		store.Mount("", traceReg)
 		store.Mount("frontend.", reg)
+		adminSrv.MountRegistry("frontend.", anaReg)
+		store.Mount("frontend.", anaReg)
+		if hk != nil {
+			adminSrv.AddHotKeySource("frontend", func() (sketch.Snapshot, bool) { return hk.Snapshot(), true })
+			store.AddProbe("frontend.hotkey_skew", func() (float64, bool) {
+				snap := hk.Snapshot()
+				if snap.TotalAccesses == 0 {
+					return 0, false
+				}
+				return snap.Skew, true
+			})
+		}
+		if sloEng != nil {
+			adminSrv.AddSLOSource("frontend", func() (slo.Status, bool) { return sloEng.Status(), true })
+			// Evaluating once per tick drives the alert state machine even
+			// when nobody scrapes /sloz.
+			store.AddProbe("frontend.slo_breach_classes", func() (float64, bool) {
+				breaching := 0.0
+				for _, c := range sloEng.Status().Classes {
+					if c.AlertState() != slo.StateOK {
+						breaching++
+					}
+				}
+				return breaching, true
+			})
+		}
 		adminSrv.SetTSDB(store)
 		store.Start(sampleEvery)
 		if err := adminSrv.Start(admin); err != nil {
@@ -126,6 +173,7 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 			return err
 		}
 		defer d.Close()
+		d.EnableAnalytics(hk, sloEng)
 		stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing)
 		if err != nil {
 			return err
@@ -145,6 +193,7 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 			return err
 		}
 		defer c.Close()
+		c.EnableAnalytics(hk, sloEng)
 		stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing)
 		if err != nil {
 			return err

@@ -29,28 +29,46 @@ import (
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
 	"servicebroker/internal/tsdb"
 	"servicebroker/internal/workload"
 )
 
 func main() {
-	var (
-		mode     = flag.String("mode", "ab", "load model: ab or webstone")
-		url      = flag.String("url", "", "target URL (http://host:port/path?query)")
-		n        = flag.Int("n", 100, "ab: total requests")
-		c        = flag.Int("c", 10, "ab: concurrency")
-		clients  = flag.Int("clients", 30, "webstone: total clients across classes")
-		classes  = flag.Int("classes", 3, "webstone: QoS classes")
-		duration = flag.Duration("duration", 30*time.Second, "webstone: run duration")
-		think    = flag.Duration("think", time.Second, "webstone: per-client think time")
-		admin    = flag.String("admin", "", "admin HTTP address for /metrics, /seriesz, /graphz (empty disables)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.mode, "mode", "ab", "load model: ab or webstone")
+	flag.StringVar(&cfg.url, "url", "", "target URL (http://host:port/path?query)")
+	flag.IntVar(&cfg.n, "n", 100, "ab: total requests")
+	flag.IntVar(&cfg.c, "c", 10, "ab: concurrency")
+	flag.IntVar(&cfg.clients, "clients", 30, "webstone: total clients across classes")
+	flag.IntVar(&cfg.classes, "classes", 3, "webstone: QoS classes")
+	flag.DurationVar(&cfg.duration, "duration", 30*time.Second, "webstone: run duration")
+	flag.DurationVar(&cfg.think, "think", time.Second, "webstone: per-client think time")
+	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address for /metrics, /seriesz, /graphz (empty disables)")
+	flag.Float64Var(&cfg.zipf, "zipf", 0, "key-popularity skew s > 0 draws keys Zipf(s)-distributed; the sampled key id replaces every {key} in the URL query")
+	flag.IntVar(&cfg.zipfKeys, "zipf-keys", 1000, "zipf: size of the key universe")
+	flag.BoolVar(&cfg.slo, "slo", false, "evaluate client-side per-class SLO burn rates, served on -admin /sloz")
+	flag.IntVar(&cfg.hotkeys, "hotkeys", 0, "with -zipf: track the top-N hottest sampled keys client-side for -admin /hotz (0 disables)")
 	flag.Parse()
 
-	if err := run(*mode, *url, *n, *c, *clients, *classes, *duration, *think, *admin); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries every flag; run validates it.
+type runConfig struct {
+	mode, url        string
+	n, c             int
+	clients, classes int
+	duration, think  time.Duration
+	admin            string
+	zipf             float64
+	zipfKeys         int
+	slo              bool
+	hotkeys          int
 }
 
 // maxBackoff caps how long a retry-after hint can stall one virtual client.
@@ -74,12 +92,65 @@ func parseURL(raw string) (addr, path string, query map[string]string, err error
 			continue
 		}
 		k, v, _ := strings.Cut(pair, "=")
-		query[k] = strings.ReplaceAll(v, "+", " ")
+		query[k] = unescape(v)
 	}
 	return addr, path, query, nil
 }
 
-func run(mode, url string, n, c, clients, classes int, duration, think time.Duration, admin string) error {
+// unescape decodes the %XX and + escapes of a query value, so a -url like
+// ...?q=SELECT+*+WHERE+id+%3D+{key} carries the decoded text (the client
+// re-escapes it on send).
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '+':
+			b.WriteByte(' ')
+		case s[i] == '%' && i+2 < len(s):
+			if hi, ok1 := unhex(s[i+1]); ok1 {
+				if lo, ok2 := unhex(s[i+2]); ok2 {
+					b.WriteByte(hi<<4 | lo)
+					i += 2
+					continue
+				}
+			}
+			b.WriteByte(s[i])
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// keyPlaceholder marks where the Zipf-sampled key id lands in the query.
+const keyPlaceholder = "{key}"
+
+// hasKeyPlaceholder reports whether any query value embeds {key}.
+func hasKeyPlaceholder(query map[string]string) bool {
+	for _, v := range query {
+		if strings.Contains(v, keyPlaceholder) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(cfg runConfig) error {
+	mode, url := cfg.mode, cfg.url
+	n, c, clients, classes := cfg.n, cfg.c, cfg.clients, cfg.classes
+	duration, think, admin := cfg.duration, cfg.think, cfg.admin
 	if url == "" {
 		return fmt.Errorf("-url is required")
 	}
@@ -88,13 +159,46 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 		return err
 	}
 
+	// Key-popularity skew: each request substitutes a Zipf-sampled key id
+	// for {key} in the query, so hot keys emerge at the broker's cache and
+	// show up on its /hotz page.
+	var keys *workload.ZipfKeys
+	if cfg.zipf > 0 {
+		if !hasKeyPlaceholder(query) {
+			return fmt.Errorf("-zipf requires a %s placeholder in the URL query (e.g. q=SELECT+...+WHERE+id+=+%s)", keyPlaceholder, keyPlaceholder)
+		}
+		if keys, err = workload.NewZipfKeys(cfg.zipfKeys, cfg.zipf, 20030519); err != nil {
+			return err
+		}
+	}
+
 	// Client-observed metrics: what the driver sees end to end (HTTP +
 	// wire + broker + backend), mountable on -admin next to the server-side
 	// registries for a same-scrape comparison.
 	reg := metrics.NewRegistry()
+
+	// Client-side analytics: the driver scores the latency clients actually
+	// observe against the per-class objectives, and (with -zipf) tracks which
+	// sampled keys dominate — a cached fidelity counts as a hit, so the
+	// client-side /hotz hit ratio approximates the broker cache's.
+	var sloEng *slo.Engine
+	if cfg.slo {
+		sloEng = slo.New(slo.Config{Objectives: slo.DefaultObjectives(), Logger: slog.Default(), Metrics: reg})
+	}
+	var hk *sketch.Tracker
+	if cfg.hotkeys > 0 && keys != nil {
+		hk = sketch.NewTracker(sketch.Config{TopK: cfg.hotkeys})
+	}
+
 	if admin != "" {
 		adminSrv := obs.New()
 		adminSrv.MountRegistry("client.", reg)
+		if sloEng != nil {
+			adminSrv.AddSLOSource("client", func() (slo.Status, bool) { return sloEng.Status(), true })
+		}
+		if hk != nil {
+			adminSrv.AddHotKeySource("client", func() (sketch.Snapshot, bool) { return hk.Snapshot(), true })
+		}
 		store := tsdb.New(0)
 		store.Mount("client.", reg)
 		adminSrv.SetTSDB(store)
@@ -132,6 +236,10 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 			if class >= 1 {
 				reg.Histogram(fmt.Sprintf("latency_class_%d", class)).Observe(elapsed)
 			}
+			if sloEng != nil && class >= 1 {
+				ok := err == nil && (fid == qos.FidelityFull || fid == qos.FidelityCached)
+				sloEng.Record(class, elapsed, ok)
+			}
 			if err != nil {
 				reg.Counter("errors").Inc()
 				return
@@ -146,6 +254,15 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 			q := make(map[string]string, len(query)+1)
 			for k, v := range query {
 				q[k] = v
+			}
+			var keyID string
+			if keys != nil {
+				// Decorrelate the per-class streams so every class does not
+				// replay the identical key sequence.
+				keyID = strconv.Itoa(keys.Rank(client+int(class)*1000, seq))
+				for k, v := range q {
+					q[k] = strings.ReplaceAll(v, keyPlaceholder, keyID)
+				}
 			}
 			if class >= 1 {
 				q["qos"] = fmt.Sprint(int(class))
@@ -171,6 +288,10 @@ func run(mode, url string, n, c, clients, classes int, duration, think time.Dura
 				fid = qos.FidelityBusy
 			}
 			observe(start, fid, nil)
+			if hk != nil && keyID != "" {
+				hk.RecordAccess(keyID, fid == qos.FidelityCached)
+				hk.RecordLatency(keyID, time.Since(start))
+			}
 			// Honor the broker's backpressure hint: a shed response names how
 			// long this client should back off before its next request. The
 			// hint is capped so a hostile or buggy server cannot stall a run.

@@ -45,10 +45,41 @@ func TestParseURLRejectsNonHTTP(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run("ab", "", 1, 1, 1, 1, 1, 0, ""); err == nil {
+	base := runConfig{mode: "ab", n: 1, c: 1, clients: 1, classes: 1, duration: 1}
+	if err := run(base); err == nil {
 		t.Fatal("missing url accepted")
 	}
-	if err := run("warp", "http://h:1/x", 1, 1, 1, 1, 1, 0, ""); err == nil {
+	warp := base
+	warp.mode, warp.url = "warp", "http://h:1/x"
+	if err := run(warp); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+	zipf := base
+	zipf.url, zipf.zipf, zipf.zipfKeys = "http://h:1/x?q=SELECT+1", 1.1, 100
+	if err := run(zipf); err == nil {
+		t.Fatal("-zipf without a {key} placeholder accepted")
+	}
+}
+
+func TestHasKeyPlaceholder(t *testing.T) {
+	if hasKeyPlaceholder(map[string]string{"q": "SELECT 1"}) {
+		t.Fatal("false positive")
+	}
+	if !hasKeyPlaceholder(map[string]string{"q": "WHERE id = {key}"}) {
+		t.Fatal("false negative")
+	}
+}
+
+func TestParseURLUnescapesQuery(t *testing.T) {
+	_, _, q, err := parseURL("http://h:1/db?q=SELECT+id+FROM+t+WHERE+id+%3D+{key}&qos=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT id FROM t WHERE id = {key}"; q["q"] != want {
+		t.Fatalf("q = %q, want %q", q["q"], want)
+	}
+	// A bare % that is not a valid escape passes through untouched.
+	if _, _, q, _ = parseURL("http://h:1/p?v=100%+%zz"); q["v"] != "100% %zz" {
+		t.Fatalf("v = %q", q["v"])
 	}
 }

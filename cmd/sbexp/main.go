@@ -13,6 +13,7 @@
 //	sbexp -exp ablations                # design-choice ablations
 //	sbexp -exp obs                      # tracing-overhead benchmark
 //	sbexp -exp overload                 # static vs adaptive admission ablation
+//	sbexp -exp hotkey                   # hot-key detection under a popularity flip
 //	sbexp -scale 20ms                   # wall time per paper second
 //	sbexp -quick                        # smaller sweeps for a fast pass
 package main
@@ -38,7 +39,7 @@ import (
 var knownExperiments = []string{
 	"all", "fig7", "fig7a", "fig9", "fig10",
 	"table1", "table2", "table3", "table4",
-	"ablations", "obs", "overload",
+	"ablations", "obs", "overload", "hotkey",
 }
 
 func main() {
@@ -176,6 +177,13 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "hotkey" {
+		if err := runHotkeyDetection(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	for _, known := range knownExperiments {
 		if exp == known {
 			return nil
@@ -211,6 +219,36 @@ func runAdaptiveClustering(ctx context.Context, quick bool) error {
 		return err
 	}
 	const benchFile = "BENCH_clustering_adaptive.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
+}
+
+// runHotkeyDetection replays a ground-truth Zipf workload with a mid-run
+// popularity flip through the hot-key tracker and writes BENCH_hotkey.json
+// in the working directory.
+func runHotkeyDetection(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultHotkeyConfig(quick)
+	fmt.Printf("running hot-key detection benchmark (keys=%d, zipf s=%.1f, %d requests/phase, top-k=%d)...\n",
+		cfg.Keys, cfg.Skew, cfg.RequestsPerPhase, cfg.TopK)
+	res, err := experiments.RunHotkeyDetection(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, p := range []experiments.HotkeyPhase{res.PhaseA, res.PhaseB} {
+		fmt.Printf("  %-8s recall=%.2f rank_recall=%.2f skew_est=%.2f\n",
+			p.Name, p.Recall, p.RankRecall, p.SkewEstimate)
+	}
+	fmt.Printf("  flip detected after %d requests (%v); memory=%dB record=%.0fns/op\n",
+		res.DetectionRequests, res.DetectionLatency, res.MemoryBytes, res.RecordNsPerOp)
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_hotkey.json"
 	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

@@ -31,6 +31,8 @@ import (
 	"servicebroker/internal/overload"
 	"servicebroker/internal/qos"
 	"servicebroker/internal/resilience"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/txn"
 )
@@ -137,6 +139,10 @@ type Broker struct {
 	tracker  *txn.Tracker
 	contract map[qos.Class]*qos.Contract
 
+	// workload analytics (WithHotKeys) and per-class SLOs (WithSLO)
+	hotkeys *sketch.Tracker
+	sloEng  *slo.Engine
+
 	hotFrac   float64
 	hotNotify func(LoadReport)
 
@@ -169,12 +175,16 @@ type Broker struct {
 	adaptiveDegree *cluster.AdaptiveConfig
 	prefetchCfg    *prefetchConfig
 	shareOverrides map[qos.Class]float64
+	cacheCfg       *cacheConfig
+	hotkeysCfg     *sketch.Config
+	sloCfg         *slo.Config
 }
 
 type job struct {
 	ctx     context.Context
 	req     *Request
 	class   qos.Class
+	key     string // cache key, reused for hot-key attribution
 	resp    chan *Response
 	started time.Time
 	tr      *trace.Active // nil when tracing is off
@@ -238,14 +248,41 @@ func WithWorkers(n int) Option {
 }
 
 // WithCache enables result caching with the given capacity and TTL (ttl ≤ 0
-// means entries never expire).
+// means entries never expire). The cache itself is built in New once all
+// options are known, so WithHotKeys can attach its access hook regardless of
+// option order.
 func WithCache(capacity int, ttl time.Duration) Option {
 	return optionFunc(func(b *Broker) error {
 		if capacity <= 0 {
 			return errors.New("broker: cache capacity must be positive")
 		}
-		b.results = cache.New(capacity, cache.WithDefaultTTL(ttl))
-		b.cacheTTL = ttl
+		b.cacheCfg = &cacheConfig{capacity: capacity, ttl: ttl}
+		return nil
+	})
+}
+
+// WithHotKeys enables workload analytics (paper §III hot-spot detection):
+// every cache access records the key's frequency and hit/miss into a
+// fixed-memory lock-striped sketch tracker, and completed requests attribute
+// their latency to tracked hot keys. The snapshot is surfaced via
+// HotKeySnapshot (the obs /hotz page) and the hotkey_* gauges. A zero cfg
+// selects the sketch defaults (top-64 keys, ~150 KiB).
+func WithHotKeys(cfg sketch.Config) Option {
+	return optionFunc(func(b *Broker) error {
+		b.hotkeysCfg = &cfg
+		return nil
+	})
+}
+
+// WithSLO attaches a per-class SLO engine (package slo): every request's
+// final disposition is recorded against its class's latency and availability
+// objectives, and the broker's stage timings (queue, cache, cluster,
+// backend, retry) feed the engine's per-stage budget attribution. The
+// evaluated state is surfaced via SLOStatus (the obs /sloz page) and, when
+// cfg.Metrics is nil, slo_* gauges in the broker's registry.
+func WithSLO(cfg slo.Config) Option {
+	return optionFunc(func(b *Broker) error {
+		b.sloCfg = &cfg
 		return nil
 	})
 }
@@ -434,6 +471,11 @@ type clusteringConfig struct {
 	maxWait  time.Duration
 }
 
+type cacheConfig struct {
+	capacity int
+	ttl      time.Duration
+}
+
 type prefetchConfig struct {
 	interval time.Duration
 	lowWater int
@@ -455,6 +497,26 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 	}
 	if b.shareOverrides != nil {
 		b.policy.Shares = b.shareOverrides
+	}
+
+	// Analytics before the cache: the cache's access hook feeds the tracker.
+	if b.hotkeysCfg != nil {
+		b.hotkeys = sketch.NewTracker(*b.hotkeysCfg)
+	}
+	if b.sloCfg != nil {
+		cfg := *b.sloCfg
+		if cfg.Metrics == nil {
+			cfg.Metrics = b.reg
+		}
+		b.sloEng = slo.New(cfg)
+	}
+	if b.cacheCfg != nil {
+		copts := []cache.Option{cache.WithDefaultTTL(b.cacheCfg.ttl)}
+		if b.hotkeys != nil {
+			copts = append(copts, cache.WithAccessHook(b.hotkeys.RecordAccess))
+		}
+		b.results = cache.New(b.cacheCfg.capacity, copts...)
+		b.cacheTTL = b.cacheCfg.ttl
 	}
 
 	switch {
@@ -651,6 +713,52 @@ func (b *Broker) LimitSnapshot() (overload.Snapshot, bool) {
 	return b.limiter.Snapshot(), true
 }
 
+// HotKeys returns the workload-analytics tracker (nil unless WithHotKeys).
+func (b *Broker) HotKeys() *sketch.Tracker { return b.hotkeys }
+
+// HotKeySnapshot returns the merged hot-key view; ok is false unless
+// WithHotKeys is configured. Each call also refreshes the hotkey_* gauges,
+// so periodic scrapers (obs, tsdb probes) keep them current.
+func (b *Broker) HotKeySnapshot() (sketch.Snapshot, bool) {
+	if b.hotkeys == nil {
+		return sketch.Snapshot{}, false
+	}
+	snap := b.hotkeys.Snapshot()
+	b.reg.Gauge("hotkey_tracked").Set(int64(len(snap.Keys)))
+	b.reg.Gauge("hotkey_skew_x100").Set(int64(snap.Skew * 100))
+	b.reg.Gauge("hotkey_memory_bytes").Set(int64(snap.MemoryBytes))
+	b.reg.Gauge("hotkey_top10_share_x100").Set(int64(snap.TopShare(10) * 100))
+	return snap, true
+}
+
+// SLO returns the per-class SLO engine (nil unless WithSLO).
+func (b *Broker) SLO() *slo.Engine { return b.sloEng }
+
+// SLOStatus evaluates and returns the per-class SLO state; ok is false
+// unless WithSLO is configured. Evaluation (burn rates, alert transitions,
+// gauge publication) happens on each call, so periodic scrapers drive the
+// alert state machine.
+func (b *Broker) SLOStatus() (slo.Status, bool) {
+	if b.sloEng == nil {
+		return slo.Status{}, false
+	}
+	return b.sloEng.Status(), true
+}
+
+// sloRecord registers a request's final disposition with the SLO engine.
+func (b *Broker) sloRecord(class qos.Class, latency time.Duration, ok bool) {
+	if b.sloEng != nil {
+		b.sloEng.Record(class, latency, ok)
+	}
+}
+
+// sloStage attributes stage time to a class's SLO window.
+func (b *Broker) sloStage(class qos.Class, stage trace.Stage, d time.Duration) {
+	if b.sloEng != nil {
+		b.sloEng.RecordStage(class, stage, d)
+	}
+}
+
 // ErrBrokerClosed is returned by Handle after Close.
 var ErrBrokerClosed = errors.New("broker: closed")
 
@@ -660,6 +768,7 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	if req == nil {
 		return &Response{Status: StatusError, Err: errors.New("broker: nil request")}
 	}
+	started := time.Now()
 	class := req.Class
 	if !class.Valid() {
 		class = qos.Class(b.policy.Classes) // default to lowest priority
@@ -686,24 +795,35 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	b.reg.Counter(fmt.Sprintf("requests_class_%d", class)).Inc()
 
 	// Cache: a fresh hit is served immediately without consuming backend
-	// capacity (paper §III, "Caching of query results").
+	// capacity (paper §III, "Caching of query results"). The cache's access
+	// hook is what feeds the hot-key tracker, so key frequency is measured
+	// at the cache: shed/drop fallback lookups count as extra accesses.
 	key := cacheKey(req.Payload)
+	if b.hotkeys != nil && (b.results == nil || req.NoCache) {
+		b.hotkeys.RecordAccess(key, false)
+	}
 	if b.results != nil && !req.NoCache {
 		lookup := tr.StartSpan(trace.StageCache)
 		body, ok := b.results.Get(key)
 		if ok {
-			lookup.EndNote("hit")
+			d := lookup.EndNote("hit")
+			b.sloStage(class, trace.StageCache, d)
 			b.reg.Counter("cache_hits").Inc()
 			tr.SetStatus("ok")
 			tr.Finish()
+			elapsed := time.Since(started)
+			if b.hotkeys != nil {
+				b.hotkeys.RecordLatency(key, elapsed)
+			}
+			b.sloRecord(class, elapsed, true)
 			return &Response{Status: StatusOK, Fidelity: qos.FidelityCached, Payload: body}
 		}
-		lookup.EndNote("miss")
+		b.sloStage(class, trace.StageCache, lookup.EndNote("miss"))
 	}
 
 	// Contract enforcement (loosely coupled services).
 	if c := b.contract[req.Class]; c != nil && !c.Allow() {
-		return b.drop(req, class, key, "contract exceeded", tr)
+		return b.drop(req, class, key, "contract exceeded", tr, started)
 	}
 
 	// Admission control: the binary forward/drop rule, evaluated at the
@@ -717,11 +837,11 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	}
 	if b.draining {
 		b.mu.Unlock()
-		return b.shed(req, class, key, "draining", tr)
+		return b.shed(req, class, key, "draining", tr, started)
 	}
 	if !b.policy.AdmitAt(class, b.outstanding, b.effectiveThreshold()) {
 		b.mu.Unlock()
-		return b.shed(req, class, key, "threshold exceeded", tr)
+		return b.shed(req, class, key, "threshold exceeded", tr, started)
 	}
 	b.outstanding++
 	outstanding := b.outstanding
@@ -732,7 +852,7 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.hotNotify(report)
 	}
 
-	j := &job{ctx: ctx, req: req, class: class, resp: make(chan *Response, 1), started: time.Now(), tr: tr}
+	j := &job{ctx: ctx, req: req, class: class, key: key, resp: make(chan *Response, 1), started: time.Now(), tr: tr}
 	if err := b.queue.Push(class, j); err != nil {
 		b.finishJob()
 		tr.SetStatus("error")
@@ -753,12 +873,13 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 
 // drop produces the immediate low-fidelity response for a shed request:
 // a (possibly stale) cached result when available, else the busy message.
-func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *trace.Active) *Response {
+func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *trace.Active, started time.Time) *Response {
 	b.reg.Counter("dropped").Inc()
 	b.reg.Counter(fmt.Sprintf("dropped_class_%d", class)).Inc()
 	tr.SetStatus("dropped")
 	tr.SetNote(reason)
 	defer tr.Finish()
+	b.sloRecord(class, time.Since(started), false)
 	if b.results != nil && !req.NoCache {
 		if body, ok := b.results.Get(key); ok {
 			b.reg.Counter("degraded_replies").Inc()
@@ -777,12 +898,13 @@ func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *tra
 // by overload control: like drop, but with StatusShed and a retry-after
 // hint so well-behaved clients back off instead of hammering an overloaded
 // broker.
-func (b *Broker) shed(req *Request, class qos.Class, key, reason string, tr *trace.Active) *Response {
+func (b *Broker) shed(req *Request, class qos.Class, key, reason string, tr *trace.Active, started time.Time) *Response {
 	b.reg.Counter("shed_total").Inc()
 	b.reg.Counter(fmt.Sprintf("shed_class_%d", class)).Inc()
 	tr.SetStatus("shed")
 	tr.SetNote(reason)
 	defer tr.Finish()
+	b.sloRecord(class, time.Since(started), false)
 	hint := b.retryAfterHint()
 	if b.results != nil && !req.NoCache {
 		if body, ok := b.results.Get(key); ok {
@@ -843,8 +965,9 @@ func (b *Broker) evictExpired(j *job, _ qos.Class, wait time.Duration) {
 		b.limiter.Overload()
 	}
 	j.tr.Span(trace.StageQueue, j.started, time.Now(), "sojourn evicted")
+	b.sloStage(j.class, trace.StageQueue, wait)
 	b.finishJob()
-	j.resp <- b.shed(j.req, j.class, cacheKey(j.req.Payload), "sojourn budget exceeded", j.tr)
+	j.resp <- b.shed(j.req, j.class, j.key, "sojourn budget exceeded", j.tr, j.started)
 }
 
 // worker pops jobs in priority order and executes them on the backend.
@@ -858,6 +981,7 @@ func (b *Broker) worker() {
 		popped := time.Now()
 		wait := popped.Sub(j.started)
 		j.tr.Span(trace.StageQueue, j.started, popped, "")
+		b.sloStage(j.class, trace.StageQueue, wait)
 		b.reg.Histogram("queue_wait").ObserveTrace(wait, uint64(j.tr.ID()))
 		b.reg.Histogram(fmt.Sprintf("queue_wait_class_%d", j.class)).ObserveTrace(wait, uint64(j.tr.ID()))
 		b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
@@ -920,11 +1044,15 @@ func (b *Broker) execute(j *job) *Response {
 			// delay".
 			span := j.tr.StartSpan(trace.StageCluster)
 			body, err = b.batcher.Submit(ctx, j.req.Payload)
-			b.reg.Histogram("cluster_time").ObserveTrace(span.EndNote("batched access"), uint64(j.tr.ID()))
+			d := span.EndNote("batched access")
+			b.sloStage(j.class, trace.StageCluster, d)
+			b.reg.Histogram("cluster_time").ObserveTrace(d, uint64(j.tr.ID()))
 		} else {
 			span := j.tr.StartSpan(trace.StageBackend)
 			body, err = b.do(ctx, j.req.Payload)
-			b.reg.Histogram("backend_rtt").ObserveTrace(span.End(), uint64(j.tr.ID()))
+			d := span.End()
+			b.sloStage(j.class, trace.StageBackend, d)
+			b.reg.Histogram("backend_rtt").ObserveTrace(d, uint64(j.tr.ID()))
 		}
 		return body, err
 	}
@@ -940,6 +1068,7 @@ func (b *Broker) execute(j *job) *Response {
 				now := time.Now()
 				j.tr.Span(trace.StageRetry, now.Add(-waited), now,
 					fmt.Sprintf("attempt %d after: %v", attempt, cause))
+				b.sloStage(j.class, trace.StageRetry, waited)
 			})
 		if attempts > 1 {
 			b.reg.Counter("retries_total").Add(int64(attempts - 1))
@@ -985,6 +1114,15 @@ func (b *Broker) observeCompletion(j *job, resp *Response) {
 	elapsed := time.Since(j.started)
 	b.reg.Histogram("processing_time").ObserveTrace(elapsed, uint64(j.tr.ID()))
 	b.reg.Histogram(fmt.Sprintf("processing_time_class_%d", j.class)).ObserveTrace(elapsed, uint64(j.tr.ID()))
+	if b.hotkeys != nil {
+		b.hotkeys.RecordLatency(j.key, elapsed)
+	}
+	// For the SLO's availability objective a request counts as served only
+	// when it produced a full or cached result: stale/degraded answers and
+	// errors burn the class's budget.
+	ok := resp.Status == StatusOK &&
+		(resp.Fidelity == qos.FidelityFull || resp.Fidelity == qos.FidelityCached)
+	b.sloRecord(j.class, elapsed, ok)
 	if resp.Status == StatusOK {
 		b.reg.Counter("completed").Inc()
 		b.reg.Counter(fmt.Sprintf("completed_class_%d", j.class)).Inc()

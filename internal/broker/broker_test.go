@@ -267,7 +267,7 @@ func TestDroppedRequestDegradedReply(t *testing.T) {
 	// when the fresh-hit check is skipped: exercise drop() directly.
 	b := newBroker(t, echoConnector("cgi"), WithCache(4, 0))
 	b.results.Put("key", []byte("stale result"))
-	resp := b.drop(&Request{Payload: []byte("key")}, qos.Class3, "key", "test", nil)
+	resp := b.drop(&Request{Payload: []byte("key")}, qos.Class3, "key", "test", nil, time.Now())
 	if resp.Status != StatusDropped || resp.Fidelity != qos.FidelityDegraded {
 		t.Fatalf("resp = %+v, want dropped/degraded", resp)
 	}

@@ -1,0 +1,195 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/qos"
+)
+
+// waitCounter polls a metrics counter until it reaches at least want.
+func waitCounter(t *testing.T, b *Broker, name string, want int64) {
+	t.Helper()
+	deadline := time.After(2 * time.Second)
+	for b.Metrics().Counter(name).Value() < want {
+		select {
+		case <-deadline:
+			t.Fatalf("%s never reached %d (at %d)", name, want, b.Metrics().Counter(name).Value())
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}
+
+// TestPrefetchIdleGatingLowWaterBoundary pins the idle predicate: prefetch
+// runs while outstanding < lowWater and defers at outstanding == lowWater.
+func TestPrefetchIdleGatingLowWaterBoundary(t *testing.T) {
+	release := make(chan struct{})
+	fc := &backend.FuncConnector{
+		ServiceName: "news",
+		DoFn: func(_ context.Context, p []byte) ([]byte, error) {
+			if string(p) == "busywork" {
+				<-release
+			}
+			return append([]byte("v:"), p...), nil
+		},
+	}
+	b := newBroker(t, fc,
+		WithThreshold(8, 1), WithWorkers(2),
+		WithCache(16, 0),
+		WithPrefetch(10*time.Millisecond, 2, func() [][]byte {
+			return [][]byte{[]byte("/headlines")}
+		}))
+
+	// One request outstanding: 1 < lowWater 2, so prefetch must still run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Handle(context.Background(), &Request{Payload: []byte("busywork"), Class: qos.Class1, NoCache: true})
+	}()
+	waitCounter(t, b, "prefetched", 1)
+	close(release)
+	<-done
+}
+
+// TestPrefetchSkipCounter verifies every deferred round increments
+// prefetch_skipped and that rounds resume (and warm the cache) once the
+// broker drains below lowWater.
+func TestPrefetchSkipCounter(t *testing.T) {
+	release := make(chan struct{})
+	fc := &backend.FuncConnector{
+		ServiceName: "news",
+		DoFn: func(_ context.Context, p []byte) ([]byte, error) {
+			if string(p) == "busywork" {
+				<-release
+			}
+			return append([]byte("v:"), p...), nil
+		},
+	}
+	b := newBroker(t, fc,
+		WithThreshold(8, 1), WithWorkers(2),
+		WithCache(16, 0),
+		WithPrefetch(5*time.Millisecond, 1, func() [][]byte {
+			return [][]byte{[]byte("/headlines")}
+		}))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b.Handle(context.Background(), &Request{Payload: []byte("busywork"), Class: qos.Class1, NoCache: true})
+	}()
+	waitCounter(t, b, "prefetch_skipped", 3)
+	if got := b.Metrics().Counter("prefetched").Value(); got != 0 {
+		t.Fatalf("prefetched = %d while busy, want 0", got)
+	}
+
+	// Drain; the next rounds are idle again and must warm the cache.
+	close(release)
+	<-done
+	waitCounter(t, b, "prefetched", 1)
+	resp := b.Handle(context.Background(), &Request{Payload: []byte("/headlines"), Class: qos.Class1})
+	if resp.Status != StatusOK || resp.Fidelity != qos.FidelityCached {
+		t.Fatalf("resp = %+v, want cached after resumed prefetch", resp)
+	}
+}
+
+// TestPrefetchErrorsCounted verifies failed prefetch accesses are counted and
+// do not poison the cache.
+func TestPrefetchErrorsCounted(t *testing.T) {
+	var calls atomic.Int64
+	fc := &backend.FuncConnector{
+		ServiceName: "news",
+		DoFn: func(_ context.Context, p []byte) ([]byte, error) {
+			calls.Add(1)
+			return nil, errors.New("backend exploded")
+		},
+	}
+	b := newBroker(t, fc,
+		WithCache(16, 0),
+		WithPrefetch(5*time.Millisecond, 5, func() [][]byte {
+			return [][]byte{[]byte("/headlines")}
+		}))
+	waitCounter(t, b, "prefetch_errors", 2)
+	if got := b.Metrics().Counter("prefetched").Value(); got != 0 {
+		t.Fatalf("prefetched = %d, want 0 when every access fails", got)
+	}
+	// A real request must go to the backend (no cached garbage).
+	resp := b.Handle(context.Background(), &Request{Payload: []byte("/headlines"), Class: qos.Class1})
+	if resp.Status != StatusError {
+		t.Fatalf("resp = %+v, want backend error surfaced", resp)
+	}
+}
+
+// TestPrefetchStopMidRound verifies stop() interrupts a long round between
+// payloads: Close must not wait for the full source list to be fetched.
+func TestPrefetchStopMidRound(t *testing.T) {
+	started := make(chan struct{})
+	var once atomic.Bool
+	fc := &backend.FuncConnector{
+		ServiceName: "news",
+		DoFn: func(ctx context.Context, p []byte) ([]byte, error) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+			time.Sleep(20 * time.Millisecond)
+			return p, nil
+		},
+	}
+	// 200 payloads × 20ms would be 4s per round; stop must cut that short.
+	payloads := make([][]byte, 200)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	b, err := New(fc,
+		WithCache(256, 0),
+		WithPrefetch(5*time.Millisecond, 5, func() [][]byte { return payloads }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	closed := make(chan struct{})
+	go func() {
+		b.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close blocked on an in-progress prefetch round")
+	}
+}
+
+// TestPrefetchStopsAfterClose verifies no rounds run once the broker is
+// closed: the prefetched counter must stay frozen.
+func TestPrefetchStopsAfterClose(t *testing.T) {
+	b, err := New(echoConnector("news"),
+		WithCache(16, 0),
+		WithPrefetch(5*time.Millisecond, 5, func() [][]byte {
+			return [][]byte{[]byte("/headlines")}
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCounterOpen := func(want int64) {
+		deadline := time.After(2 * time.Second)
+		for b.Metrics().Counter("prefetched").Value() < want {
+			select {
+			case <-deadline:
+				t.Fatalf("prefetched never reached %d", want)
+			default:
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}
+	waitCounterOpen(1)
+	b.Close()
+	frozen := b.Metrics().Counter("prefetched").Value()
+	time.Sleep(50 * time.Millisecond)
+	if got := b.Metrics().Counter("prefetched").Value(); got != frozen {
+		t.Fatalf("prefetched advanced after Close: %d -> %d", frozen, got)
+	}
+}

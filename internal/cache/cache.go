@@ -62,6 +62,7 @@ type Cache struct {
 	defaultTTL time.Duration
 	now        func() time.Time
 	shardCount int // requested via WithShards; 0 = auto
+	onAccess   func(key string, hit bool)
 
 	shards []*shard
 	mask   uint32
@@ -122,6 +123,16 @@ func WithClock(now func() time.Time) Option {
 // single-list LRU (the pre-sharding behaviour).
 func WithShards(n int) Option {
 	return optionFunc(func(c *Cache) { c.shardCount = n })
+}
+
+// WithAccessHook registers fn to observe every Get/GetStale lookup: fn is
+// called with the key and whether the lookup was a fresh hit (stale reads
+// and misses report false). The hook runs outside the shard lock on the
+// cache-hit fast path, so it must be cheap, allocation-free, and must not
+// call back into the cache. The broker uses this to feed the hot-key
+// tracker (package sketch).
+func WithAccessHook(fn func(key string, hit bool)) Option {
+	return optionFunc(func(c *Cache) { c.onAccess = fn })
 }
 
 // maxAutoShards bounds the automatic shard count; past ~16 lock domains the
@@ -224,6 +235,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if !ok {
 		s.mu.Unlock()
 		s.misses.Add(1)
+		c.access(key, false)
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -231,6 +243,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 		s.mu.Unlock()
 		s.expired.Add(1)
 		s.misses.Add(1)
+		c.access(key, false)
 		return nil, false
 	}
 	s.ll.MoveToFront(el)
@@ -238,7 +251,15 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	v := e.value
 	s.mu.Unlock()
 	s.hits.Add(1)
+	c.access(key, true)
 	return v, true
+}
+
+// access fires the registered access hook, if any, outside the shard lock.
+func (c *Cache) access(key string, hit bool) {
+	if c.onAccess != nil {
+		c.onAccess(key, hit)
+	}
 }
 
 // GetStale returns the value for key regardless of TTL expiry — the
@@ -254,6 +275,7 @@ func (c *Cache) GetStale(key string) ([]byte, bool) {
 	if !ok {
 		s.mu.Unlock()
 		s.misses.Add(1)
+		c.access(key, false)
 		return nil, false
 	}
 	e := el.Value.(*entry)
@@ -261,6 +283,7 @@ func (c *Cache) GetStale(key string) ([]byte, bool) {
 		v := e.value
 		s.mu.Unlock()
 		s.staleHits.Add(1)
+		c.access(key, false)
 		return v, true
 	}
 	s.ll.MoveToFront(el)
@@ -268,6 +291,7 @@ func (c *Cache) GetStale(key string) ([]byte, bool) {
 	v := e.value
 	s.mu.Unlock()
 	s.hits.Add(1)
+	c.access(key, true)
 	return v, true
 }
 

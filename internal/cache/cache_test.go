@@ -291,3 +291,39 @@ func TestByteAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAccessHook(t *testing.T) {
+	type access struct {
+		key string
+		hit bool
+	}
+	var got []access
+	c := New(8,
+		WithDefaultTTL(50*time.Millisecond),
+		WithAccessHook(func(key string, hit bool) { got = append(got, access{key, hit}) }))
+	now := time.Unix(0, 0)
+	WithClock(func() time.Time { return now }).apply(c)
+
+	c.Get("a") // miss
+	c.Put("a", []byte("v"))
+	c.Get("a") // fresh hit
+	now = now.Add(time.Second)
+	c.Get("a")      // expired -> miss
+	c.GetStale("a") // stale read -> not a fresh hit
+	c.Put("b", []byte("v"))
+	c.GetStale("b") // fresh via GetStale -> hit
+	c.GetStale("c") // absent
+
+	want := []access{
+		{"a", false}, {"a", true}, {"a", false}, {"a", false},
+		{"b", true}, {"c", false},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hook fired %d times, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

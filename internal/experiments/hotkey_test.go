@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+func TestHotkeyDetectionRecallBothPhases(t *testing.T) {
+	cfg := DefaultHotkeyConfig(true)
+	res, err := RunHotkeyDetection(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PhaseA.Recall < 0.9 {
+		t.Fatalf("phase A recall = %.2f, want ≥ 0.9", res.PhaseA.Recall)
+	}
+	if res.PhaseB.Recall < 0.9 {
+		t.Fatalf("phase B (post-flip) recall = %.2f, want ≥ 0.9", res.PhaseB.Recall)
+	}
+	if res.DetectionRequests < 0 {
+		t.Fatal("popularity flip never detected")
+	}
+	if res.DetectionRequests > cfg.RequestsPerPhase {
+		t.Fatalf("detection took %d requests, more than the phase length %d",
+			res.DetectionRequests, cfg.RequestsPerPhase)
+	}
+	if res.MemoryBytes <= 0 {
+		t.Fatal("memory footprint not reported")
+	}
+	// The estimator should see a clearly skewed workload in both phases.
+	if res.PhaseA.SkewEstimate < 0.5 || res.PhaseB.SkewEstimate < 0.5 {
+		t.Fatalf("skew estimates %.2f / %.2f, want both ≥ 0.5 for s=%.1f truth",
+			res.PhaseA.SkewEstimate, res.PhaseB.SkewEstimate, cfg.Skew)
+	}
+}
+
+func TestHotkeyDetectionValidation(t *testing.T) {
+	cfg := DefaultHotkeyConfig(true)
+	cfg.TruthK = cfg.TopK + 1
+	if _, err := RunHotkeyDetection(context.Background(), cfg); err == nil {
+		t.Fatal("truth set larger than tracked top-k accepted")
+	}
+}

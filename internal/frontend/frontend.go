@@ -30,6 +30,8 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
 )
 
@@ -109,20 +111,60 @@ func respond(resp *broker.Response, traceID trace.ID) *httpserver.Response {
 	return out
 }
 
+// analytics bundles the optional front-end measurement hooks shared by both
+// deployment models: a hot-key tracker fed with each request's payload key
+// and a per-class SLO engine fed with each request's disposition and the
+// remote per-stage breakdown shipped back on the wire.
+type analytics struct {
+	hotkeys *sketch.Tracker
+	slo     *slo.Engine
+}
+
+// observe records one completed gateway call. wire is the full UDP
+// round-trip time; the remote spans (when the brokers trace) are subtracted
+// from it so the wire stage attributes only the network + gateway overhead,
+// not the broker-side work it encloses.
+func (a analytics) observe(key string, class qos.Class, resp *broker.Response, err error, wire time.Duration) {
+	if a.hotkeys != nil {
+		hit := err == nil && resp != nil && resp.Fidelity == qos.FidelityCached
+		a.hotkeys.RecordAccess(key, hit)
+		a.hotkeys.RecordLatency(key, wire)
+	}
+	if a.slo == nil {
+		return
+	}
+	ok := err == nil && resp != nil && resp.Status == broker.StatusOK &&
+		(resp.Fidelity == qos.FidelityFull || resp.Fidelity == qos.FidelityCached)
+	a.slo.Record(class, wire, ok)
+	var remote time.Duration
+	if resp != nil {
+		for _, sp := range resp.RemoteSpans {
+			d := sp.Duration()
+			a.slo.RecordStage(class, sp.Stage, d)
+			remote += d
+		}
+	}
+	if net := wire - remote; net > 0 {
+		a.slo.RecordStage(class, trace.StageWire, net)
+	}
+}
+
 // tracedCall wraps one gateway call with trace bookkeeping shared by both
 // deployment models: it assigns the request's end-to-end trace ID, times the
-// wire (UDP round-trip) stage, and finishes the front-end trace record with
-// the request's disposition. With a nil recorder it degrades to a plain
-// call with a zero trace ID.
-func tracedCall(rec *trace.Recorder, cli *broker.Client, service string, req *broker.Request) (*broker.Response, trace.ID, error) {
+// wire (UDP round-trip) stage, finishes the front-end trace record with
+// the request's disposition, and feeds the analytics hooks. With a nil
+// recorder it degrades to a plain call with a zero trace ID.
+func tracedCall(rec *trace.Recorder, ana analytics, cli *broker.Client, service string, req *broker.Request) (*broker.Response, trace.ID, error) {
 	var tr *trace.Active
 	if rec != nil {
 		tr = rec.Start(0, service, int(req.Class))
 		req.TraceID = tr.ID()
 	}
+	start := time.Now()
 	span := tr.StartSpan(trace.StageWire)
 	resp, err := cli.Do(context.Background(), service, req)
 	span.End()
+	wire := time.Since(start)
 	if resp != nil {
 		// Merge the broker-side spans shipped back on the response so the
 		// front end's /tracez shows the whole cross-process tree (wire →
@@ -131,6 +173,7 @@ func tracedCall(rec *trace.Recorder, cli *broker.Client, service string, req *br
 			tr.Span(sp.Stage, sp.Start, sp.End, sp.Note)
 		}
 	}
+	ana.observe(string(req.Payload), req.Class, resp, err, wire)
 	switch {
 	case err != nil:
 		tr.SetStatus("error")
@@ -156,6 +199,7 @@ type Distributed struct {
 	cli *broker.Client
 	reg *metrics.Registry
 	rec *trace.Recorder
+	ana analytics
 }
 
 // NewDistributed starts a front-end web server on addr whose routes call
@@ -196,10 +240,19 @@ func (d *Distributed) Metrics() *metrics.Registry { return d.reg }
 // expose /tracez.
 func (d *Distributed) EnableTracing(rec *trace.Recorder) { d.rec = rec }
 
+// EnableAnalytics attaches the front end's workload measurement: hk (when
+// non-nil) tracks per-key frequency, broker-cache-hit ratio, and latency for
+// the /hotz page; eng (when non-nil) records per-class dispositions and the
+// per-stage breakdown for the /sloz page. Stage attribution beyond the wire
+// stage requires tracing enabled on both the front end and the brokers.
+func (d *Distributed) EnableAnalytics(hk *sketch.Tracker, eng *slo.Engine) {
+	d.ana = analytics{hotkeys: hk, slo: eng}
+}
+
 func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Response {
 	txnID, step := txnOf(req)
 	d.reg.Counter("forwarded").Inc()
-	resp, traceID, err := tracedCall(d.rec, d.cli, route.Service, &broker.Request{
+	resp, traceID, err := tracedCall(d.rec, d.ana, d.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,
@@ -251,6 +304,7 @@ type Centralized struct {
 	profiles map[string][]Demand // pattern → demands
 	reg      *metrics.Registry
 	rec      *trace.Recorder
+	ana      analytics
 }
 
 // NewCentralized starts the centralized front end. listenAddr is the UDP
@@ -337,6 +391,12 @@ func (c *Centralized) admit(route Route) error {
 // brokers over the wire protocol.
 func (c *Centralized) EnableTracing(rec *trace.Recorder) { c.rec = rec }
 
+// EnableAnalytics attaches the front end's workload measurement (see
+// Distributed.EnableAnalytics).
+func (c *Centralized) EnableAnalytics(hk *sketch.Tracker, eng *slo.Engine) {
+	c.ana = analytics{hotkeys: hk, slo: eng}
+}
+
 func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Response {
 	if err := c.admit(route); err != nil {
 		c.reg.Counter("aborted").Inc()
@@ -344,7 +404,7 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 	}
 	c.reg.Counter("admitted").Inc()
 	txnID, step := txnOf(req)
-	resp, traceID, err := tracedCall(c.rec, c.cli, route.Service, &broker.Request{
+	resp, traceID, err := tracedCall(c.rec, c.ana, c.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
+	"servicebroker/internal/trace"
+)
+
+// HotKeySource supplies a workload-analytics snapshot for /hotz. The bool is
+// false when the broker runs without hot-key tracking (no WithHotKeys).
+type HotKeySource func() (sketch.Snapshot, bool)
+
+// SLOSource supplies an evaluated per-class SLO status for /sloz. The bool
+// is false when no SLO engine is configured. Each /sloz render evaluates the
+// engine, so scraping the page (or the tsdb probes) drives alerting.
+type SLOSource func() (slo.Status, bool)
+
+type namedHotKeySource struct {
+	service string
+	src     HotKeySource
+}
+
+type namedSLOSource struct {
+	service string
+	src     SLOSource
+}
+
+// AddHotKeySource registers a /hotz supplier for one service. Sources whose
+// broker has no tracker render as a "disabled" line.
+func (s *Server) AddHotKeySource(service string, src HotKeySource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hotkeys = append(s.hotkeys, namedHotKeySource{service: service, src: src})
+	s.mu.Unlock()
+}
+
+// AddSLOSource registers a /sloz supplier for one service. Sources with no
+// engine render as a "disabled" line.
+func (s *Server) AddSLOSource(service string, src SLOSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.slos = append(s.slos, namedSLOSource{service: service, src: src})
+	s.mu.Unlock()
+}
+
+// --- / (index) --------------------------------------------------------------
+
+// pageInfo is one admin page for the index: its path and a one-line
+// description.
+type pageInfo struct {
+	Path string
+	Desc string
+}
+
+// pages returns the currently reachable admin pages. Pages whose handler
+// would 404 without configuration (the tsdb-backed ones) appear only once
+// their backing store is wired, so every listed page serves a 200 — the CI
+// smoke step depends on that.
+func (s *Server) pages() []pageInfo {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	out := []pageInfo{
+		{"/", "this index: every mounted admin page with a one-line description"},
+		{"/healthz", "liveness probe"},
+		{"/buildz", "build, runtime, and uptime information"},
+		{"/metrics", "Prometheus-style exposition of every mounted metrics registry"},
+		{"/tracez", "recent completed traces with per-stage latency breakdowns"},
+		{"/loadz", "live broker load reports (outstanding, threshold, queue, hot)"},
+		{"/breakerz", "per-replica circuit-breaker states"},
+		{"/limitz", "adaptive admission-limit snapshots"},
+		{"/hotz", "hot keys: top-k frequency, hit ratio, latency, and workload skew"},
+		{"/sloz", "per-class SLO burn rates, error budgets, and stage attribution"},
+		{"/debug/pprof/", "standard net/http/pprof profiling handlers"},
+	}
+	if store != nil {
+		out = append(out,
+			pageInfo{"/seriesz", "raw time-series snapshots as JSON"},
+			pageInfo{"/graphz", "SVG charts over the recorded time series"},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// handleIndex serves the admin page directory at exactly "/": one
+// tab-separated "path<TAB>description" line per page, trivially parseable by
+// the CI smoke step. Any other unmounted path still 404s.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "admin pages")
+	for _, p := range s.pages() {
+		fmt.Fprintf(w, "%s\t%s\n", p.Path, p.Desc)
+	}
+}
+
+// --- /hotz ------------------------------------------------------------------
+
+func (s *Server) handleHotz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sources := append([]namedHotKeySource(nil), s.hotkeys...)
+	s.mu.Unlock()
+
+	limit := 0
+	if v, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && v > 0 {
+		limit = v
+	}
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(sources) == 0 {
+		fmt.Fprintln(w, "hotz: no hot-key sources configured")
+		return
+	}
+	sort.SliceStable(sources, func(i, j int) bool { return sources[i].service < sources[j].service })
+	for _, ns := range sources {
+		snap, ok := ns.src()
+		if !ok {
+			fmt.Fprintf(w, "service=%s hot-key tracking disabled\n", ns.service)
+			continue
+		}
+		fmt.Fprintf(w, "service=%s accesses=%d hit_ratio=%.3f skew=%.2f tracked=%d memory=%dB elapsed=%s\n",
+			ns.service, snap.TotalAccesses, snap.HitRatio(), snap.Skew,
+			len(snap.Keys), snap.MemoryBytes, snap.Elapsed.Round(time.Second))
+		keys := snap.Keys
+		if limit > 0 && len(keys) > limit {
+			keys = keys[:limit]
+		}
+		for i, k := range keys {
+			fmt.Fprintf(w, "  #%-3d key=%q count=%d(±%d) rate=%.2f/s hit_ratio=%.3f mean=%s p95=%s\n",
+				i+1, k.Key, k.Count, k.Err, k.RatePerSec, k.HitRatio,
+				trace.FormatDuration(time.Duration(k.MeanLatencyUs)*time.Microsecond),
+				trace.FormatDuration(time.Duration(k.P95LatencyUs)*time.Microsecond))
+		}
+	}
+}
+
+// --- /sloz ------------------------------------------------------------------
+
+func (s *Server) handleSloz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sources := append([]namedSLOSource(nil), s.slos...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(sources) == 0 {
+		fmt.Fprintln(w, "sloz: no SLO sources configured")
+		return
+	}
+	sort.SliceStable(sources, func(i, j int) bool { return sources[i].service < sources[j].service })
+	for _, ns := range sources {
+		st, ok := ns.src()
+		if !ok {
+			fmt.Fprintf(w, "service=%s SLO evaluation disabled\n", ns.service)
+			continue
+		}
+		fmt.Fprintf(w, "service=%s fast_window=%s slow_window=%s\n",
+			ns.service, st.FastWindow, st.SlowWindow)
+		for _, c := range st.Classes {
+			fmt.Fprintf(w, "  class=%d state=%s since=%s requests(fast/slow)=%d/%d\n",
+				c.Class, c.State, c.Since.Format(time.RFC3339), c.FastTotal, c.SlowTotal)
+			fmt.Fprintf(w, "    latency: target=%s goal=%.3f burn(fast/slow)=%.2f/%.2f budget=%.3f\n",
+				trace.FormatDuration(c.LatencyTarget), c.Latency.Goal,
+				c.Latency.FastBurn, c.Latency.SlowBurn, c.Latency.Budget)
+			fmt.Fprintf(w, "    availability: goal=%.3f burn(fast/slow)=%.2f/%.2f budget=%.3f\n",
+				c.Availability.Goal,
+				c.Availability.FastBurn, c.Availability.SlowBurn, c.Availability.Budget)
+			for _, sh := range c.Stages {
+				fmt.Fprintf(w, "    stage=%s share=%.3f total=%s\n",
+					sh.Stage, sh.Share, trace.FormatDuration(sh.Total))
+			}
+		}
+	}
+}

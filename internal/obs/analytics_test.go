@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"servicebroker/internal/qos"
+	"servicebroker/internal/sketch"
+	"servicebroker/internal/slo"
+	"servicebroker/internal/tsdb"
+)
+
+func fetch(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Result().StatusCode, string(body)
+}
+
+func TestIndexListsPagesAndAllServe200(t *testing.T) {
+	s := New()
+	s.SetTSDB(tsdb.New(0))
+	code, body := fetch(t, s, "/")
+	if code != 200 {
+		t.Fatalf("GET / = %d", code)
+	}
+	var paths []string
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		path, desc, ok := strings.Cut(line, "\t")
+		if !ok || !strings.HasPrefix(path, "/") {
+			continue
+		}
+		if desc == "" {
+			t.Fatalf("page %q has no description", path)
+		}
+		paths = append(paths, path)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("index lists %d pages, want ≥ 10:\n%s", len(paths), body)
+	}
+	for _, p := range paths {
+		code, pageBody := fetch(t, s, p)
+		if code != 200 {
+			t.Fatalf("GET %s = %d, want 200", p, code)
+		}
+		if strings.TrimSpace(pageBody) == "" {
+			t.Fatalf("GET %s returned an empty body", p)
+		}
+	}
+	for _, p := range []string{"/seriesz", "/graphz"} {
+		if !strings.Contains(body, p) {
+			t.Fatalf("index with a tsdb store must list %s:\n%s", p, body)
+		}
+	}
+}
+
+func TestIndexOmitsTSDBPagesWithoutStore(t *testing.T) {
+	s := New()
+	_, body := fetch(t, s, "/")
+	if strings.Contains(body, "/seriesz") || strings.Contains(body, "/graphz") {
+		t.Fatalf("index without a store must not list tsdb pages:\n%s", body)
+	}
+}
+
+func TestIndexUnknownPath404s(t *testing.T) {
+	s := New()
+	if code, _ := fetch(t, s, "/nonsense"); code != 404 {
+		t.Fatalf("GET /nonsense = %d, want 404", code)
+	}
+}
+
+func TestHotz(t *testing.T) {
+	s := New()
+	if _, body := fetch(t, s, "/hotz"); !strings.Contains(body, "no hot-key sources") {
+		t.Fatalf("empty /hotz = %q", body)
+	}
+
+	tr := sketch.NewTracker(sketch.Config{TopK: 4, Shards: 1})
+	for i := 0; i < 9; i++ {
+		tr.RecordAccess("movie-42", i > 0)
+		tr.RecordLatency("movie-42", 2*time.Millisecond)
+	}
+	s.AddHotKeySource("db", func() (sketch.Snapshot, bool) { return tr.Snapshot(), true })
+	s.AddHotKeySource("files", func() (sketch.Snapshot, bool) { return sketch.Snapshot{}, false })
+
+	_, body := fetch(t, s, "/hotz")
+	for _, want := range []string{"service=db", `key="movie-42"`, "count=9", "service=files hot-key tracking disabled"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/hotz missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestSloz(t *testing.T) {
+	s := New()
+	if _, body := fetch(t, s, "/sloz"); !strings.Contains(body, "no SLO sources") {
+		t.Fatalf("empty /sloz = %q", body)
+	}
+
+	eng := slo.New(slo.Config{
+		Objectives: []slo.Objective{{Class: qos.Class1, LatencyTarget: time.Second, LatencyGoal: 0.9, AvailabilityGoal: 0.99}},
+		Logger:     slog.Default(),
+	})
+	eng.Record(qos.Class1, time.Millisecond, true)
+	s.AddSLOSource("db", func() (slo.Status, bool) { return eng.Status(), true })
+	s.AddSLOSource("files", func() (slo.Status, bool) { return slo.Status{}, false })
+
+	_, body := fetch(t, s, "/sloz")
+	for _, want := range []string{"service=db", "class=1 state=ok", "latency:", "availability:", "service=files SLO evaluation disabled"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/sloz missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -12,6 +12,11 @@
 //	          sources (state, consecutive failures, totals, last transition)
 //	/limitz   adaptive admission-limit snapshots from registered limit
 //	          sources (current limit, bounds, latency target, cut counts)
+//	/hotz     hot-key analytics from registered sketch trackers (top-k keys
+//	          with rates, hit ratios, p95 latency, and estimated Zipf skew)
+//	/sloz     per-QoS-class SLO state from registered engines (burn rates,
+//	          error budgets, alert state, per-stage budget attribution)
+//	/         an index of every mounted page with one-line descriptions
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
 // The server is stdlib-only and safe to mount in front of live registries:
@@ -68,6 +73,8 @@ type Server struct {
 	sources  []LoadSource
 	breakers []namedBreakerSource
 	limits   []namedLimitSource
+	hotkeys  []namedHotKeySource
+	slos     []namedSLOSource
 	store    *tsdb.Store
 
 	srv *http.Server
@@ -95,6 +102,7 @@ type namedLimitSource struct {
 // New returns an admin server with all endpoints registered.
 func New() *Server {
 	s := &Server{mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/buildz", s.handleBuildz)
@@ -104,6 +112,8 @@ func New() *Server {
 	s.mux.HandleFunc("/limitz", s.handleLimitz)
 	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
 	s.mux.HandleFunc("/graphz", s.handleGraphz)
+	s.mux.HandleFunc("/hotz", s.handleHotz)
+	s.mux.HandleFunc("/sloz", s.handleSloz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -292,6 +302,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			v = m.reg.View
 		}
 		WriteProm(&b, m.prefix, v())
+	}
+	if b.Len() == 0 {
+		b.WriteString("# no metrics registries mounted\n")
 	}
 	_, _ = w.Write([]byte(b.String()))
 }

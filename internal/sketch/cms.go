@@ -1,0 +1,111 @@
+// Package sketch provides the fixed-memory streaming data structures behind
+// the broker's workload analytics (paper §III, hot-spot detection): a
+// count-min sketch with conservative update for per-key frequency estimates,
+// a space-saving top-k tracker that attributes hits and latency to the keys
+// that matter, and a streaming Zipf-skew estimator derived from the tracked
+// frequency profile.
+//
+// The composition is the classic hot-key pipeline: every access updates the
+// count-min sketch (error bounded by width/depth, never undercounting), the
+// sketch estimate drives the space-saving replacement decision, and the
+// surviving top-k entries carry exact-ish per-key hit ratios and latency
+// buckets. The Tracker shards this machinery by key hash so the record path
+// is lock-striped and allocation-free — it sits on the broker's cache-hit
+// fast path.
+package sketch
+
+// CountMin is a count-min sketch with conservative update: Add raises only
+// the cells that equal the current minimum, so overestimation error grows
+// far slower than with the plain "increment every row" update while the
+// no-undercount guarantee is preserved.
+//
+// Memory is fixed at depth×width uint32 cells. CountMin is not
+// concurrency-safe on its own; the Tracker guards each sketch with its
+// shard's lock.
+type CountMin struct {
+	width uint32
+	depth int
+	rows  []uint32 // depth rows of width cells, row-major
+}
+
+// NewCountMin returns a sketch with the given geometry. width is rounded up
+// to a power of two (cheap masking); depth < 1 selects 4 rows.
+func NewCountMin(width, depth int) *CountMin {
+	if depth < 1 {
+		depth = 4
+	}
+	w := uint32(1)
+	for int(w) < width {
+		w <<= 1
+	}
+	return &CountMin{width: w, depth: depth, rows: make([]uint32, int(w)*depth)}
+}
+
+// hash2 derives two independent 32-bit hashes of key (FNV-1a and a
+// multiplicative variant); row i uses h1 + i·h2, the standard
+// Kirsch-Mitzenmacher double-hashing scheme. Inline and allocation-free.
+func hash2(key string) (uint32, uint32) {
+	h1 := uint32(2166136261)
+	h2 := uint32(0x9747b28c)
+	for i := 0; i < len(key); i++ {
+		c := uint32(key[i])
+		h1 = (h1 ^ c) * 16777619
+		h2 = h2*31 + c
+	}
+	// Finalize h2 so short keys still spread across rows.
+	h2 ^= h2 >> 16
+	h2 *= 0x85ebca6b
+	h2 ^= h2 >> 13
+	if h2 == 0 {
+		h2 = 0x27d4eb2f // h2 must be nonzero or all rows collapse to one cell
+	}
+	return h1, h2
+}
+
+// Add records one occurrence of key and returns the post-update estimate.
+// Conservative update: only cells equal to the pre-update minimum move.
+func (c *CountMin) Add(key string) uint32 {
+	h1, h2 := hash2(key)
+	mask := c.width - 1
+
+	min := uint32(1<<32 - 1)
+	for i := 0; i < c.depth; i++ {
+		v := c.rows[uint32(i)*c.width+(h1+uint32(i)*h2)&mask]
+		if v < min {
+			min = v
+		}
+	}
+	target := min + 1
+	for i := 0; i < c.depth; i++ {
+		cell := &c.rows[uint32(i)*c.width+(h1+uint32(i)*h2)&mask]
+		if *cell < target {
+			*cell = target
+		}
+	}
+	return target
+}
+
+// Estimate returns the sketch's frequency estimate for key (an upper bound
+// on the true count).
+func (c *CountMin) Estimate(key string) uint32 {
+	h1, h2 := hash2(key)
+	mask := c.width - 1
+	min := uint32(1<<32 - 1)
+	for i := 0; i < c.depth; i++ {
+		v := c.rows[uint32(i)*c.width+(h1+uint32(i)*h2)&mask]
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// MemoryBytes reports the fixed cell memory of the sketch.
+func (c *CountMin) MemoryBytes() int { return len(c.rows) * 4 }
+
+// Reset zeroes every cell.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+}

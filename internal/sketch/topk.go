@@ -1,0 +1,190 @@
+package sketch
+
+import (
+	"math"
+	"time"
+)
+
+// latBucketCount is the number of log-scaled per-key latency buckets: bucket
+// i covers [2^i, 2^(i+1)) microseconds, matching metrics.Histogram's scale.
+// 28 buckets reach ~2.2 minutes, far beyond any brokered request.
+const latBucketCount = 28
+
+// Entry is one tracked hot-key candidate. Counts are space-saving style:
+// Count never undercounts the key's true frequency, and Err bounds the
+// overestimation inherited from the entry it displaced. Hits, latency sums,
+// and buckets are exact for the period the key has been tracked.
+type Entry struct {
+	Key string
+	// Count is the estimated access frequency (upper bound).
+	Count uint64
+	// Err bounds Count's overestimation: true count ≥ Count - Err.
+	Err uint64
+	// Accesses and Hits count cache accesses and fresh cache hits observed
+	// while the key has been tracked.
+	Accesses uint64
+	Hits     uint64
+	// LatCount/LatSum aggregate request latency attributed to the key while
+	// tracked.
+	LatCount uint64
+	LatSum   time.Duration
+	buckets  [latBucketCount]uint32
+}
+
+// HitRatio returns Hits/Accesses for the tracked period (0 when untouched).
+func (e *Entry) HitRatio() float64 {
+	if e.Accesses == 0 {
+		return 0
+	}
+	return float64(e.Hits) / float64(e.Accesses)
+}
+
+// MeanLatency returns the mean attributed latency (0 when none recorded).
+func (e *Entry) MeanLatency() time.Duration {
+	if e.LatCount == 0 {
+		return 0
+	}
+	return e.LatSum / time.Duration(e.LatCount)
+}
+
+// P95Latency returns the 95th-percentile attributed latency from the
+// fixed log-scaled buckets (upper bound of the bucket holding the p95
+// observation; 0 when none recorded).
+func (e *Entry) P95Latency() time.Duration {
+	return e.latQuantile(0.95)
+}
+
+func (e *Entry) latQuantile(q float64) time.Duration {
+	if e.LatCount == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(e.LatCount)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < latBucketCount; i++ {
+		cum += uint64(e.buckets[i])
+		if cum >= rank {
+			return time.Duration(1<<uint(i+1)) * time.Microsecond
+		}
+	}
+	return e.LatSum // unreachable unless buckets under-counted; be safe
+}
+
+func latBucketFor(d time.Duration) int {
+	us := d.Microseconds()
+	if us <= 1 {
+		return 0
+	}
+	b := int(math.Log2(float64(us)))
+	if b >= latBucketCount {
+		b = latBucketCount - 1
+	}
+	return b
+}
+
+// TopK is a space-saving top-k tracker admission-filtered by a count-min
+// estimate: a new key displaces the current minimum only when its sketch
+// estimate exceeds the minimum's count, so one-hit wonders cannot churn the
+// tracked set. Not concurrency-safe on its own; the Tracker guards each
+// instance with its shard's lock.
+type TopK struct {
+	capacity int
+	entries  []Entry
+	index    map[string]int
+}
+
+// NewTopK returns a tracker holding at most capacity keys (min 1).
+func NewTopK(capacity int) *TopK {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TopK{
+		capacity: capacity,
+		entries:  make([]Entry, 0, capacity),
+		index:    make(map[string]int, capacity),
+	}
+}
+
+// Offer records one access of key with the given cache outcome. estimate is
+// the key's count-min frequency estimate (used for admission and the initial
+// count of a newly tracked key). Allocation-free for already-tracked keys
+// and for replacements.
+func (t *TopK) Offer(key string, estimate uint64, hit bool) {
+	if i, ok := t.index[key]; ok {
+		e := &t.entries[i]
+		e.Count++
+		e.Accesses++
+		if hit {
+			e.Hits++
+		}
+		return
+	}
+	if len(t.entries) < t.capacity {
+		t.entries = append(t.entries, Entry{Key: key, Count: estimate})
+		if estimate > 0 {
+			t.entries[len(t.entries)-1].Err = estimate - 1
+		}
+		i := len(t.entries) - 1
+		e := &t.entries[i]
+		e.Accesses = 1
+		if hit {
+			e.Hits = 1
+		}
+		t.index[key] = i
+		return
+	}
+	// Full: find the minimum-count entry and displace it only if the
+	// newcomer's estimate beats it (space-saving with CMS admission).
+	mi := 0
+	for i := 1; i < len(t.entries); i++ {
+		if t.entries[i].Count < t.entries[mi].Count {
+			mi = i
+		}
+	}
+	e := &t.entries[mi]
+	if estimate <= e.Count {
+		return
+	}
+	delete(t.index, e.Key)
+	*e = Entry{Key: key, Count: estimate, Err: e.Count, Accesses: 1}
+	if hit {
+		e.Hits = 1
+	}
+	t.index[key] = mi
+}
+
+// RecordLatency attributes one request latency to key if it is currently
+// tracked; untracked keys are ignored. Allocation-free.
+func (t *TopK) RecordLatency(key string, d time.Duration) {
+	i, ok := t.index[key]
+	if !ok {
+		return
+	}
+	e := &t.entries[i]
+	if d < 0 {
+		d = 0
+	}
+	e.LatCount++
+	e.LatSum += d
+	e.buckets[latBucketFor(d)]++
+}
+
+// Len returns the number of tracked keys.
+func (t *TopK) Len() int { return len(t.entries) }
+
+// Snapshot copies the tracked entries (unsorted).
+func (t *TopK) Snapshot() []Entry {
+	out := make([]Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+// MemoryBytes estimates the tracker's steady-state memory: entry structs
+// plus index buckets (key string bytes excluded — they alias caller keys).
+func (t *TopK) MemoryBytes() int {
+	const entrySize = 64 + latBucketCount*4 // struct fields + buckets
+	const indexSlot = 48                    // map bucket amortized
+	return t.capacity * (entrySize + indexSlot)
+}

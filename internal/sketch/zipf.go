@@ -1,0 +1,45 @@
+package sketch
+
+import "math"
+
+// EstimateSkew fits a Zipf exponent to a frequency profile: counts must be
+// sorted descending (rank order); the return value is the least-squares
+// slope of log(count) on log(rank), negated, so a perfectly Zipfian stream
+// with exponent s yields ≈ s. Values near 0 mean uniform popularity; ≥ 1
+// means a classic heavy-tailed hot set. Returns 0 when fewer than 3 nonzero
+// counts are available (no slope to fit).
+//
+// Fitting over the tracked top-k is the standard streaming approach: the
+// head of a Zipf distribution determines the exponent, and the top-k tracker
+// retains exactly the head.
+func EstimateSkew(counts []uint64) float64 {
+	var xs, ys []float64
+	for i, c := range counts {
+		if c == 0 {
+			break
+		}
+		xs = append(xs, math.Log(float64(i+1)))
+		ys = append(ys, math.Log(float64(c)))
+	}
+	if len(xs) < 3 {
+		return 0
+	}
+	var sumX, sumY, sumXX, sumXY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+		sumXX += xs[i] * xs[i]
+		sumXY += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	den := n*sumXX - sumX*sumX
+	if den == 0 {
+		return 0
+	}
+	slope := (n*sumXY - sumX*sumY) / den
+	skew := -slope
+	if skew < 0 {
+		skew = 0
+	}
+	return skew
+}

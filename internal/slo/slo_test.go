@@ -1,0 +1,247 @@
+package slo
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+	"time"
+
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/trace"
+)
+
+// testEngine builds an engine with a manual clock, tight windows, and a
+// captured slog buffer.
+func testEngine(t *testing.T, objs []Objective) (*Engine, *time.Time, *bytes.Buffer) {
+	t.Helper()
+	now := time.Unix(10000, 0)
+	var logBuf bytes.Buffer
+	e := New(Config{
+		Objectives: objs,
+		FastWindow: 2 * time.Second,
+		SlowWindow: 8 * time.Second,
+		Resolution: 200 * time.Millisecond,
+		Logger:     slog.New(slog.NewTextHandler(&logBuf, nil)),
+		Clock:      func() time.Time { return now },
+	})
+	return e, &now, &logBuf
+}
+
+func objs() []Objective {
+	return []Objective{
+		{Class: qos.Class1, LatencyTarget: 100 * time.Millisecond, LatencyGoal: 0.99, AvailabilityGoal: 0.99},
+		{Class: qos.Class3, LatencyTarget: 500 * time.Millisecond, LatencyGoal: 0.9, AvailabilityGoal: 0.95},
+	}
+}
+
+func TestHealthyClassStaysOK(t *testing.T) {
+	e, now, _ := testEngine(t, objs())
+	for i := 0; i < 100; i++ {
+		e.Record(qos.Class1, 10*time.Millisecond, true)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st := e.Status()
+	c1 := st.Classes[0]
+	if c1.State != "ok" {
+		t.Fatalf("state = %q, want ok", c1.State)
+	}
+	if c1.Availability.FastBurn != 0 || c1.Latency.FastBurn != 0 {
+		t.Fatalf("burns = %v/%v, want 0/0", c1.Latency.FastBurn, c1.Availability.FastBurn)
+	}
+	if c1.Availability.Budget != 1 {
+		t.Fatalf("budget = %v, want 1", c1.Availability.Budget)
+	}
+}
+
+func TestAvailabilityBurnPagesAndRecovers(t *testing.T) {
+	e, now, logBuf := testEngine(t, objs())
+	// Sustained unavailability for class 3 across the whole slow window;
+	// class 1 stays healthy throughout.
+	for i := 0; i < 200; i++ {
+		e.Record(qos.Class3, 10*time.Millisecond, false)
+		e.Record(qos.Class1, 10*time.Millisecond, true)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st := e.Status()
+	var c1, c3 ClassStatus
+	for _, c := range st.Classes {
+		switch c.Class {
+		case 1:
+			c1 = c
+		case 3:
+			c3 = c
+		}
+	}
+	if c3.State != "page" {
+		t.Fatalf("class 3 state = %q, want page (fast %v slow %v)",
+			c3.State, c3.Availability.FastBurn, c3.Availability.SlowBurn)
+	}
+	if c3.Availability.Budget != 0 {
+		t.Fatalf("class 3 budget = %v, want 0", c3.Availability.Budget)
+	}
+	if c1.State != "ok" {
+		t.Fatalf("class 1 state = %q, want ok", c1.State)
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("slo state change")) {
+		t.Fatal("no slog transition recorded")
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("to=page")) {
+		t.Fatalf("no page transition in log: %s", logBuf.String())
+	}
+
+	// Recovery: healthy traffic long enough to clear both windows.
+	logBuf.Reset()
+	for i := 0; i < 200; i++ {
+		e.Record(qos.Class3, 10*time.Millisecond, true)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st = e.Status()
+	for _, c := range st.Classes {
+		if c.Class == 3 && c.State != "ok" {
+			t.Fatalf("class 3 state after recovery = %q, want ok", c.State)
+		}
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("to=ok")) {
+		t.Fatalf("no recovery transition in log: %s", logBuf.String())
+	}
+}
+
+func TestLatencyBurn(t *testing.T) {
+	e, now, _ := testEngine(t, objs())
+	// All requests succeed but half blow the 100ms class-1 target: latency
+	// burn = 0.5/0.01 = 50, availability burn stays 0.
+	for i := 0; i < 200; i++ {
+		lat := 10 * time.Millisecond
+		if i%2 == 0 {
+			lat = 300 * time.Millisecond
+		}
+		e.Record(qos.Class1, lat, true)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st := e.Status()
+	c1 := st.Classes[0]
+	if c1.Availability.FastBurn != 0 {
+		t.Fatalf("availability burn = %v, want 0", c1.Availability.FastBurn)
+	}
+	if c1.Latency.FastBurn < 40 {
+		t.Fatalf("latency fast burn = %v, want ~50", c1.Latency.FastBurn)
+	}
+	if c1.State != "page" {
+		t.Fatalf("state = %q, want page", c1.State)
+	}
+}
+
+func TestBlipDoesNotPage(t *testing.T) {
+	e, now, _ := testEngine(t, objs())
+	// 6s of healthy history, then a 400ms spike of failures: the fast
+	// window burns but the slow window stays below the page threshold.
+	for i := 0; i < 120; i++ {
+		e.Record(qos.Class1, 10*time.Millisecond, true)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		e.Record(qos.Class1, 10*time.Millisecond, false)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st := e.Status()
+	c1 := st.Classes[0]
+	if c1.Availability.FastBurn < e.cfg.PageBurn {
+		t.Fatalf("fast burn = %v, want hot (≥ %v)", c1.Availability.FastBurn, e.cfg.PageBurn)
+	}
+	if c1.State == "page" {
+		t.Fatalf("state = page on a blip; slow burn %v", c1.Availability.SlowBurn)
+	}
+}
+
+func TestStageAttribution(t *testing.T) {
+	e, now, _ := testEngine(t, objs())
+	for i := 0; i < 20; i++ {
+		e.Record(qos.Class1, 50*time.Millisecond, true)
+		e.RecordStage(qos.Class1, trace.StageQueue, 40*time.Millisecond)
+		e.RecordStage(qos.Class1, trace.StageBackend, 10*time.Millisecond)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	st := e.Status()
+	stages := st.Classes[0].Stages
+	if len(stages) != 2 {
+		t.Fatalf("len(stages) = %d, want 2 (%v)", len(stages), stages)
+	}
+	if stages[0].Stage != trace.StageQueue {
+		t.Fatalf("dominant stage = %v, want queue", stages[0].Stage)
+	}
+	if stages[0].Share < 0.7 || stages[0].Share > 0.9 {
+		t.Fatalf("queue share = %v, want ~0.8", stages[0].Share)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	e, now, _ := testEngine(t, objs())
+	for i := 0; i < 40; i++ {
+		e.Record(qos.Class1, 10*time.Millisecond, false)
+		*now = now.Add(50 * time.Millisecond)
+	}
+	// Idle past the slow window: all history expires.
+	*now = now.Add(10 * time.Second)
+	st := e.Status()
+	c1 := st.Classes[0]
+	if c1.SlowTotal != 0 || c1.FastTotal != 0 {
+		t.Fatalf("window totals = %d/%d after expiry, want 0/0", c1.FastTotal, c1.SlowTotal)
+	}
+	if c1.State != "ok" {
+		t.Fatalf("state = %q after expiry, want ok", c1.State)
+	}
+}
+
+func TestMetricsGauges(t *testing.T) {
+	now := time.Unix(10000, 0)
+	reg := metrics.NewRegistry()
+	e := New(Config{
+		Objectives: objs(),
+		FastWindow: 2 * time.Second,
+		SlowWindow: 8 * time.Second,
+		Resolution: 200 * time.Millisecond,
+		Logger:     slog.New(slog.NewTextHandler(&bytes.Buffer{}, nil)),
+		Metrics:    reg,
+		Clock:      func() time.Time { return now },
+	})
+	for i := 0; i < 200; i++ {
+		e.Record(qos.Class3, 10*time.Millisecond, false)
+		now = now.Add(50 * time.Millisecond)
+	}
+	e.Status()
+	if got := reg.Gauge("slo_state_class_3").Value(); got != int64(StatePage) {
+		t.Fatalf("slo_state_class_3 = %d, want %d", got, int64(StatePage))
+	}
+	if got := reg.Gauge("slo_budget_ppm_class_3").Value(); got != 0 {
+		t.Fatalf("slo_budget_ppm_class_3 = %d, want 0", got)
+	}
+	if got := reg.Gauge("slo_state_class_1").Value(); got != int64(StateOK) {
+		t.Fatalf("slo_state_class_1 = %d, want 0", got)
+	}
+}
+
+func TestUnknownClassIgnored(t *testing.T) {
+	e, _, _ := testEngine(t, objs())
+	e.Record(qos.Class2, time.Millisecond, true) // no objective for class 2
+	e.RecordStage(qos.Class2, trace.StageQueue, time.Millisecond)
+	st := e.Status()
+	if len(st.Classes) != 2 {
+		t.Fatalf("len(Classes) = %d, want 2", len(st.Classes))
+	}
+}
+
+func TestDefaultObjectivesTightenWithPriority(t *testing.T) {
+	def := DefaultObjectives()
+	if len(def) != 3 {
+		t.Fatalf("len = %d, want 3", len(def))
+	}
+	for i := 1; i < len(def); i++ {
+		if def[i].LatencyTarget <= def[i-1].LatencyTarget {
+			t.Fatalf("latency targets must loosen with class: %v", def)
+		}
+		if def[i].AvailabilityGoal >= def[i-1].AvailabilityGoal {
+			t.Fatalf("availability goals must loosen with class: %v", def)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfKeysValidation(t *testing.T) {
+	if _, err := NewZipfKeys(0, 1, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewZipfKeys(10, -1, 0); err == nil {
+		t.Fatal("negative skew accepted")
+	}
+	if _, err := NewZipfKeys(10, math.NaN(), 0); err == nil {
+		t.Fatal("NaN skew accepted")
+	}
+}
+
+func TestZipfKeysDeterministic(t *testing.T) {
+	a, _ := NewZipfKeys(100, 1.1, 7)
+	b, _ := NewZipfKeys(100, 1.1, 7)
+	for seq := 0; seq < 200; seq++ {
+		if a.Rank(3, seq) != b.Rank(3, seq) {
+			t.Fatalf("seq %d: samplers with equal seeds diverge", seq)
+		}
+	}
+	c, _ := NewZipfKeys(100, 1.1, 8)
+	same := 0
+	for seq := 0; seq < 200; seq++ {
+		if a.Rank(3, seq) == c.Rank(3, seq) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds replay the identical stream")
+	}
+}
+
+func TestZipfKeysSkewConcentratesMass(t *testing.T) {
+	z, _ := NewZipfKeys(1000, 1.2, 42)
+	counts := make([]int, z.N())
+	const draws = 40000
+	for client := 0; client < 4; client++ {
+		for seq := 0; seq < draws/4; seq++ {
+			counts[z.Rank(client, seq)]++
+		}
+	}
+	top10 := 0
+	for r := 0; r < 10; r++ {
+		top10 += counts[r]
+	}
+	got := float64(top10) / draws
+	want := z.Share(10)
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("top-10 empirical share = %.3f, analytic = %.3f", got, want)
+	}
+	if got < 0.5 {
+		t.Fatalf("s=1.2 should concentrate >50%% of draws on the top 10 keys, got %.3f", got)
+	}
+	// Rank 0 must dominate rank 99 decisively.
+	if counts[0] < 10*counts[99] {
+		t.Fatalf("rank 0 drawn %d times vs rank 99 %d times; skew not applied", counts[0], counts[99])
+	}
+}
+
+func TestZipfKeysUniformWhenSkewZero(t *testing.T) {
+	z, _ := NewZipfKeys(50, 0, 1)
+	counts := make([]int, z.N())
+	const draws = 50000
+	for seq := 0; seq < draws; seq++ {
+		counts[z.Rank(0, seq)]++
+	}
+	for r, c := range counts {
+		got := float64(c) / draws
+		if math.Abs(got-0.02) > 0.01 {
+			t.Fatalf("rank %d share = %.4f, want ≈ 0.02 under uniform choice", r, got)
+		}
+	}
+}
+
+func TestZipfKeysKeyFormat(t *testing.T) {
+	z, _ := NewZipfKeys(10, 2, 0)
+	k := z.Key(0, 0)
+	if len(k) != len("key-00000") || k[:4] != "key-" {
+		t.Fatalf("key = %q, want key-NNNNN", k)
+	}
+}
