@@ -15,9 +15,13 @@
 //	        -threshold 20 -classes 3 -workers 20 -cache 1024
 //
 // With -report-to the broker pushes load reports to a centralized front
-// end's listener thread. With -admin the process serves the obs admin
-// endpoints (/metrics, /tracez, /loadz, /breakerz, /healthz, pprof) over
-// HTTP. The -retries, -retry-base, -breaker-failures, -breaker-cooldown,
+// end's listener thread. With -register-to it additionally self-registers
+// each hosted service at a front end's lease listener (DESIGN.md §12): a
+// REGISTER datagram on startup, RENEW every third of -lease-ttl with the
+// live load piggybacked, DEREGISTER on graceful shutdown — so a replicated
+// broker pool assembles itself and a crashed member ages out when its lease
+// lapses. With -admin the process serves the obs admin endpoints (/metrics,
+// /tracez, /loadz, /breakerz, /healthz, pprof) over HTTP. The -retries, -retry-base, -breaker-failures, -breaker-cooldown,
 // and -serve-stale flags configure the fault-tolerance layer (see
 // DESIGN.md §8): transient backend errors are retried with capped backoff,
 // replicas trip per-replica circuit breakers, and -serve-stale answers
@@ -64,6 +68,7 @@ import (
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/obs"
 	"servicebroker/internal/overload"
+	"servicebroker/internal/registry"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/sketch"
 	"servicebroker/internal/slo"
@@ -99,6 +104,8 @@ type config struct {
 	adaptiveDegree  int
 	reportTo        string
 	reportEvery     time.Duration
+	registerTo      string
+	leaseTTL        time.Duration
 	admin           string
 	retries         int
 	retryBase       time.Duration
@@ -134,6 +141,8 @@ func main() {
 	flag.IntVar(&cfg.adaptiveDegree, "adaptive-degree", 0, "self-tune the clustering degree over [1, N] with a hill-climbing controller; 0 keeps -cluster static")
 	flag.StringVar(&cfg.reportTo, "report-to", "", "push load reports to this UDP listener address")
 	flag.DurationVar(&cfg.reportEvery, "report-every", time.Second, "load report interval")
+	flag.StringVar(&cfg.registerTo, "register-to", "", "self-register hosted services at this front-end lease listener (UDP address)")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", 3*time.Second, "lease duration requested with -register-to (renewed every ttl/3)")
 	flag.StringVar(&cfg.admin, "admin", "", "admin HTTP address for /metrics, /tracez, /loadz, /breakerz (empty disables)")
 	flag.IntVar(&cfg.retries, "retries", 2, "retries after a failed backend access (0 disables retrying)")
 	flag.DurationVar(&cfg.retryBase, "retry-base", 10*time.Millisecond, "base retry backoff (doubles per attempt, jittered)")
@@ -358,6 +367,32 @@ func run(cfg config) error {
 		return err
 	}
 	defer gw.Close()
+
+	// Lease registration: advertise each hosted service at the front end.
+	// The deferred Close runs before the gateway's, so DEREGISTER goes out
+	// while the advertised address is still answering.
+	if cfg.registerTo != "" {
+		var registrars []*registry.Registrar
+		defer func() {
+			for _, r := range registrars {
+				r.Close()
+			}
+		}()
+		for name, b := range brokers {
+			r, err := registry.NewRegistrar(registry.RegistrarConfig{
+				Service: name,
+				Addr:    gw.Addr().String(),
+				Target:  cfg.registerTo,
+				TTL:     cfg.leaseTTL,
+				Load:    b.Load,
+			})
+			if err != nil {
+				return fmt.Errorf("registrar %s: %w", name, err)
+			}
+			registrars = append(registrars, r)
+		}
+		slog.Info("lease registration up", "target", cfg.registerTo, "ttl", cfg.leaseTTL)
+	}
 
 	if adminSrv != nil {
 		adminSrv.AddLoadSource(func() []broker.LoadReport {

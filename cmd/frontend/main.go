@@ -13,6 +13,14 @@
 //	frontend -model distributed -addr 127.0.0.1:8080 \
 //	         -gateway 127.0.0.1:6000 -route /db=db -route /dir=dir
 //
+// -gateway accepts several "|"-separated addresses; the front end then
+// routes each request across the replicated broker pool with health-weighted
+// failover. With -registry the pool additionally discovers members through
+// lease registration (brokerd -register-to): the distributed model binds a
+// lease listener on -registry-listen, the centralized model accepts lease
+// datagrams on its existing -load-listen socket. Pool membership is served
+// on /poolz (both the web status plane and, with -admin, the obs plane).
+//
 // In the centralized model, point brokerd's -report-to at the address this
 // command prints as its listener.
 package main
@@ -52,8 +60,10 @@ func main() {
 	var (
 		model       = flag.String("model", "distributed", "deployment model: distributed or centralized")
 		addr        = flag.String("addr", "127.0.0.1:0", "HTTP listen address")
-		gateway     = flag.String("gateway", "", "broker gateway UDP address (required)")
+		gateway     = flag.String("gateway", "", `broker gateway UDP address(es), "|"-separated (required)`)
 		listenAddr  = flag.String("load-listen", "127.0.0.1:0", "centralized: UDP address for broker load reports")
+		registryOn  = flag.Bool("registry", false, "discover pool members via lease registration (brokerd -register-to)")
+		registryLsn = flag.String("registry-listen", "127.0.0.1:0", "distributed: UDP address for the lease listener (centralized reuses -load-listen)")
 		maxClients  = flag.Int("maxclients", 0, "cap simultaneous request processing (0 = unlimited)")
 		admin       = flag.String("admin", "", "admin HTTP address for /metrics, /tracez (empty disables)")
 		traceSample = flag.Float64("trace-sample", 1, "fraction of healthy traces retained in the ring (errors, drops, and slow traces always kept)")
@@ -68,13 +78,13 @@ func main() {
 	flag.Parse()
 
 	sampler := &trace.Sampler{SlowThreshold: *traceSlow, Fraction: *traceSample, Seed: *traceSeed}
-	if err := run(*model, *addr, *gateway, *listenAddr, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO, *hotkeys, *sloOn); err != nil {
+	if err := run(*model, *addr, *gateway, *listenAddr, *registryOn, *registryLsn, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO, *hotkeys, *sloOn); err != nil {
 		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration, hotkeys int, sloOn bool) error {
+func run(model, addr, gateway, listenAddr string, registryOn bool, registryListen string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration, hotkeys int, sloOn bool) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -114,13 +124,16 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		})
 	}
 
-	// startAdmin mounts the front end's registry and trace recorder on an
-	// obs server when -admin is set; it returns a cleanup (possibly no-op).
-	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder)) (func(), error) {
+	// startAdmin mounts the front end's registry, trace recorder, pool view,
+	// and (when available) age-stamped listener loads on an obs server when
+	// -admin is set; it returns a cleanup (possibly no-op).
+	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder), poolSrc obs.PoolSource, agedSrc obs.AgedLoadSource) (func(), error) {
 		if admin == "" {
 			return func() {}, nil
 		}
 		adminSrv := obs.New()
+		adminSrv.AddPoolSource("frontend", poolSrc)
+		adminSrv.AddAgedLoadSource(agedSrc)
 		traceReg := metrics.NewRegistry()
 		rec := trace.NewRecorder(trace.WithMetrics(traceReg), trace.WithSampler(sampler))
 		enableTracing(rec)
@@ -174,14 +187,24 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		}
 		defer d.Close()
 		d.EnableAnalytics(hk, sloEng)
-		stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing)
+		var agedSrc obs.AgedLoadSource
+		if registryOn {
+			l, err := d.EnableRegistry(registryListen)
+			if err != nil {
+				return err
+			}
+			agedSrc = agedLoads(l.Entries)
+			slog.Info("lease listener up", "addr", l.Addr())
+		}
+		stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing, d.PoolStatus, agedSrc)
 		if err != nil {
 			return err
 		}
 		defer stopAdmin()
 		d.ServeStatus()
 		slog.Info("distributed model up", "http", d.Addr(), "gateway", gateway,
-			"status", "http://"+d.Addr()+"/broker-status")
+			"status", "http://"+d.Addr()+"/broker-status",
+			"pool", "http://"+d.Addr()+"/poolz")
 		wait()
 		slog.Info("shutting down: draining", "timeout", drainTimeout)
 		drain(d.Drain, drainTimeout)
@@ -194,7 +217,11 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		}
 		defer c.Close()
 		c.EnableAnalytics(hk, sloEng)
-		stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing)
+		if registryOn {
+			c.EnableRegistry()
+			slog.Info("lease registration enabled on load listener", "addr", c.ListenerAddr())
+		}
+		stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing, c.PoolStatus, agedLoads(c.LoadEntries))
 		if err != nil {
 			return err
 		}
@@ -202,6 +229,7 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 		c.ServeStatus()
 		slog.Info("centralized model up", "http", c.Addr(), "gateway", gateway,
 			"status", "http://"+c.Addr()+"/broker-status",
+			"pool", "http://"+c.Addr()+"/poolz",
 			"load_listener", c.ListenerAddr())
 		wait()
 		slog.Info("shutting down: draining", "timeout", drainTimeout)
@@ -210,6 +238,19 @@ func run(model, addr, gateway, listenAddr string, maxClients int, routeSpecs rou
 
 	default:
 		return fmt.Errorf("unknown model %q", model)
+	}
+}
+
+// agedLoads adapts the listener's age-stamped load entries to the obs
+// /loadz row type.
+func agedLoads(entries func() []frontend.LoadEntry) obs.AgedLoadSource {
+	return func() []obs.AgedLoad {
+		es := entries()
+		out := make([]obs.AgedLoad, len(es))
+		for i, e := range es {
+			out[i] = obs.AgedLoad{Report: e.Report, Age: e.Age, Stale: e.Stale}
+		}
+		return out
 	}
 }
 

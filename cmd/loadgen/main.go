@@ -16,13 +16,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"servicebroker/internal/httpserver"
@@ -73,6 +76,47 @@ type runConfig struct {
 
 // maxBackoff caps how long a retry-after hint can stall one virtual client.
 const maxBackoff = 5 * time.Second
+
+// Connection-refused retry policy. During a failover window (the front end
+// or a broker restarting) connects fail instantly with ECONNREFUSED; without
+// retries every such request counts as an error and inflates failure rates
+// in availability ablations. A refused connect is retried with bounded,
+// jittered backoff instead; only exhausting the retries scores an error.
+const (
+	refusedRetries = 4
+	refusedBase    = 25 * time.Millisecond
+)
+
+// retryableConn reports whether err is a transient connection-level failure
+// worth retrying: the peer is not there right now (refused) or dropped the
+// connection mid-restart (reset). Application-level failures are not retried.
+func retryableConn(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// refusedBackoff returns the jittered wait before retry attempt (0-based):
+// base<<attempt plus up to half that again, so synchronized clients do not
+// reconnect in lockstep the instant a server returns.
+func refusedBackoff(attempt int, randInt63n func(int64) int64) time.Duration {
+	d := refusedBase << attempt
+	return d + time.Duration(randInt63n(int64(d/2)+1))
+}
+
+// getWithRetry issues one GET, retrying refused/reset connections with
+// jittered backoff. retries counts into reg's "refused_retries".
+func getWithRetry(ctx context.Context, cli *httpserver.Client, path string, q map[string]string, reg *metrics.Registry) (*httpserver.Response, error) {
+	resp, err := cli.Get(path, q)
+	for attempt := 0; err != nil && retryableConn(err) && attempt < refusedRetries; attempt++ {
+		reg.Counter("refused_retries").Inc()
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(refusedBackoff(attempt, rand.Int63n)):
+		}
+		resp, err = cli.Get(path, q)
+	}
+	return resp, err
+}
 
 // parseURL splits http://host:port/path?query into pieces.
 func parseURL(raw string) (addr, path string, query map[string]string, err error) {
@@ -268,7 +312,7 @@ func run(cfg runConfig) error {
 				q["qos"] = fmt.Sprint(int(class))
 			}
 			start := time.Now()
-			resp, err := cli.Get(path, q)
+			resp, err := getWithRetry(ctx, cli, path, q, reg)
 			if err != nil {
 				observe(start, 0, err)
 				return 0, err

@@ -1,6 +1,16 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+	"testing"
+	"time"
+
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/metrics"
+)
 
 func TestParseURL(t *testing.T) {
 	addr, path, query, err := parseURL("http://127.0.0.1:8080/db?q=SELECT+1&qos=2")
@@ -67,6 +77,79 @@ func TestHasKeyPlaceholder(t *testing.T) {
 	}
 	if !hasKeyPlaceholder(map[string]string{"q": "WHERE id = {key}"}) {
 		t.Fatal("false negative")
+	}
+}
+
+func TestRetryableConn(t *testing.T) {
+	refused := fmt.Errorf("dial: %w", syscall.ECONNREFUSED)
+	reset := fmt.Errorf("read: %w", syscall.ECONNRESET)
+	timeout := fmt.Errorf("read: %w", syscall.ETIMEDOUT)
+	if !retryableConn(refused) || !retryableConn(reset) {
+		t.Fatal("refused/reset not classified retryable")
+	}
+	if retryableConn(timeout) || retryableConn(fmt.Errorf("bad status")) || retryableConn(nil) {
+		t.Fatal("non-connection error classified retryable")
+	}
+}
+
+func TestRefusedBackoffJittered(t *testing.T) {
+	// With the RNG pinned to its max draw, each attempt waits base<<attempt
+	// plus half that again; with zero draw, exactly base<<attempt.
+	maxDraw := func(n int64) int64 { return n - 1 }
+	zeroDraw := func(int64) int64 { return 0 }
+	for attempt := 0; attempt < refusedRetries; attempt++ {
+		lo := refusedBase << attempt
+		if got := refusedBackoff(attempt, zeroDraw); got != lo {
+			t.Errorf("attempt %d zero-jitter backoff %v, want %v", attempt, got, lo)
+		}
+		if got := refusedBackoff(attempt, maxDraw); got < lo || got > lo+lo/2 {
+			t.Errorf("attempt %d jittered backoff %v outside [%v, %v]", attempt, got, lo, lo+lo/2)
+		}
+	}
+}
+
+func TestGetWithRetryRefusedExhausts(t *testing.T) {
+	// Reserve a port with no listener: every connect fails ECONNREFUSED, so
+	// the request retries refusedRetries times, counts each, and still errors.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cli := httpserver.NewClient(addr)
+	defer cli.Close()
+	reg := metrics.NewRegistry()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := getWithRetry(ctx, cli, "/x", nil, reg); err == nil {
+		t.Fatal("refused connect reported success")
+	}
+	if got := reg.Counter("refused_retries").Value(); got != refusedRetries {
+		t.Fatalf("refused_retries = %d, want %d", got, refusedRetries)
+	}
+}
+
+func TestGetWithRetryStopsOnCancel(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cli := httpserver.NewClient(addr)
+	defer cli.Close()
+	reg := metrics.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := getWithRetry(ctx, cli, "/x", nil, reg); err == nil {
+		t.Fatal("cancelled retry reported success")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled retry still backed off for %v", elapsed)
 	}
 }
 

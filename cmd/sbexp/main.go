@@ -39,7 +39,7 @@ import (
 var knownExperiments = []string{
 	"all", "fig7", "fig7a", "fig9", "fig10",
 	"table1", "table2", "table3", "table4",
-	"ablations", "obs", "overload", "hotkey",
+	"ablations", "obs", "overload", "hotkey", "failover",
 }
 
 func main() {
@@ -184,6 +184,13 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "failover" {
+		if err := runFailover(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	for _, known := range knownExperiments {
 		if exp == known {
 			return nil
@@ -219,6 +226,35 @@ func runAdaptiveClustering(ctx context.Context, quick bool) error {
 		return err
 	}
 	const benchFile = "BENCH_clustering_adaptive.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
+}
+
+// runFailover rolls a deterministic kill/hang/partition schedule through a
+// replicated broker pool and through a single-broker baseline, and writes
+// BENCH_availability.json in the working directory.
+func runFailover(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultFailoverConfig(quick)
+	fmt.Printf("running broker failover ablation (%d members, %d kills, %v down each, deadline %v, run %v)...\n",
+		cfg.Members, cfg.Kills, cfg.DownFor, cfg.Deadline, cfg.Run)
+	res, err := experiments.RunBrokerFailover(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.FailoverMode{res.Single, res.Pool} {
+		fmt.Printf("  %-7s members=%d availability=%6.2f%% issued=%d ok=%d stale=%d errors=%d premium_lost=%d failovers=%d lease_expirations=%d rejoins=%d\n",
+			m.Name, m.Members, m.Availability*100, m.Issued, m.OK, m.Stale, m.Errors,
+			m.PremiumLost, m.Failovers, m.LeaseExpirations, m.LeaseRejoins)
+	}
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_availability.json"
 	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

@@ -47,6 +47,28 @@ func NewGateway(addr string, brokers map[string]*Broker) (*Gateway, error) {
 	return g, nil
 }
 
+// NewGatewayConn starts a gateway on an already-bound PacketConn. The chaos
+// harness uses this to interpose netsim fault gates (hangs, asymmetric
+// partitions) between the gateway and its socket; Close closes pc.
+func NewGatewayConn(pc net.PacketConn, brokers map[string]*Broker) (*Gateway, error) {
+	if len(brokers) == 0 {
+		return nil, errors.New("broker: gateway needs at least one broker")
+	}
+	g := &Gateway{brokers: make(map[string]*Broker, len(brokers))}
+	for name, b := range brokers {
+		if b == nil {
+			return nil, fmt.Errorf("broker: nil broker for service %q", name)
+		}
+		g.brokers[name] = b
+	}
+	srv, err := wire.NewServerConn(pc, g.handle)
+	if err != nil {
+		return nil, err
+	}
+	g.server = srv
+	return g, nil
+}
+
 // Addr returns the gateway's UDP address.
 func (g *Gateway) Addr() net.Addr { return g.server.Addr() }
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunBrokerFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second chaos run")
+	}
+	cfg := DefaultFailoverConfig(true)
+	cfg.Run = 1200 * time.Millisecond
+	cfg.Kills = 2
+	cfg.KillStart = 200 * time.Millisecond
+	cfg.KillInterval = 450 * time.Millisecond
+	cfg.DownFor = 300 * time.Millisecond
+	cfg.HangFor = 0
+	cfg.PartitionFor = 0
+
+	res, err := RunBrokerFailover(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pool.PremiumLost != 0 {
+		t.Errorf("pool lost %d premium requests across the kills", res.Pool.PremiumLost)
+	}
+	// Loose bound: the CI assertion is about replication beating a single
+	// broker, not the exact BENCH number (the sbexp run asserts >= 99%).
+	if res.Pool.Availability < 0.9 {
+		t.Errorf("pool availability %.4f, want >= 0.9", res.Pool.Availability)
+	}
+	if res.Single.Availability >= res.Pool.Availability {
+		t.Errorf("single %.4f did not collapse vs pool %.4f",
+			res.Single.Availability, res.Pool.Availability)
+	}
+	if res.Pool.LeaseExpirations < 1 {
+		t.Errorf("no lease expirations observed (%d)", res.Pool.LeaseExpirations)
+	}
+	if res.Pool.Issued == 0 || res.Single.Issued == 0 {
+		t.Errorf("empty run: single issued=%d pool issued=%d", res.Single.Issued, res.Pool.Issued)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
+	"servicebroker/internal/registry"
 	"servicebroker/internal/sketch"
 	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
@@ -153,8 +154,9 @@ func (a analytics) observe(key string, class qos.Class, resp *broker.Response, e
 // deployment models: it assigns the request's end-to-end trace ID, times the
 // wire (UDP round-trip) stage, finishes the front-end trace record with
 // the request's disposition, and feeds the analytics hooks. With a nil
-// recorder it degrades to a plain call with a zero trace ID.
-func tracedCall(rec *trace.Recorder, ana analytics, cli *broker.Client, service string, req *broker.Request) (*broker.Response, trace.ID, error) {
+// recorder it degrades to a plain call with a zero trace ID. cli is either
+// a single gateway client or a replicated Pool.
+func tracedCall(rec *trace.Recorder, ana analytics, cli caller, service string, req *broker.Request) (*broker.Response, trace.ID, error) {
 	var tr *trace.Active
 	if rec != nil {
 		tr = rec.Start(0, service, int(req.Class))
@@ -192,32 +194,57 @@ func tracedCall(rec *trace.Recorder, ana analytics, cli *broker.Client, service 
 	return resp, req.TraceID, err
 }
 
+// splitGateways parses a gateway address spec: one address, or several
+// pool members separated by "|" (the same replica separator brokerd's
+// -service spec uses).
+func splitGateways(spec string) []string {
+	var out []string
+	for _, a := range strings.Split(spec, "|") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// registryReconcileInterval is how often the deployment models' registries
+// sweep for expired leases.
+const registryReconcileInterval = 500 * time.Millisecond
+
 // Distributed is the Figure 5 deployment: a front-end web server that
 // forwards every routed request to the brokers and relays their responses.
+// The brokers behind it may be a replicated pool.
 type Distributed struct {
-	srv *httpserver.Server
-	cli *broker.Client
-	reg *metrics.Registry
-	rec *trace.Recorder
-	ana analytics
+	srv  *httpserver.Server
+	cli  caller
+	pool *Pool
+	reg  *metrics.Registry
+	rec  *trace.Recorder
+	ana  analytics
+
+	registry    *registry.Registry
+	regListener *Listener
 }
 
 // NewDistributed starts a front-end web server on addr whose routes call
-// brokers behind gatewayAddr.
+// brokers behind gatewayAddr — a single gateway or several separated by "|"
+// (a replicated pool with health-weighted failover). EnableRegistry adds
+// lease-discovered members to the pool.
 func NewDistributed(addr, gatewayAddr string, routes []Route, opts ...httpserver.ServerOption) (*Distributed, error) {
 	if len(routes) == 0 {
 		return nil, errors.New("frontend: no routes")
 	}
-	cli, err := broker.DialGateway(gatewayAddr)
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(PoolConfig{Gateways: splitGateways(gatewayAddr), Metrics: reg})
 	if err != nil {
 		return nil, err
 	}
 	srv, err := httpserver.NewServer(addr, opts...)
 	if err != nil {
-		cli.Close()
+		pool.Close()
 		return nil, err
 	}
-	d := &Distributed{srv: srv, cli: cli, reg: metrics.NewRegistry()}
+	d := &Distributed{srv: srv, cli: pool, pool: pool, reg: reg}
 	for _, route := range routes {
 		route := route
 		srv.Handle(route.Pattern, func(req *httpserver.Request) *httpserver.Response {
@@ -226,6 +253,32 @@ func NewDistributed(addr, gatewayAddr string, routes []Route, opts ...httpserver
 	}
 	return d, nil
 }
+
+// EnableRegistry starts lease-based pool discovery: it binds a UDP listener
+// on listenAddr for REGISTER/RENEW/DEREGISTER datagrams (brokerd's
+// -register-to target), reconciles leases in the background, and routes to
+// discovered members alongside the static gateways. The returned listener's
+// Addr is the address brokers register to.
+func (d *Distributed) EnableRegistry(listenAddr string) (*Listener, error) {
+	if d.registry != nil {
+		return d.regListener, nil
+	}
+	reg := registry.New(registry.Config{Metrics: d.reg, Logger: slog.Default()})
+	l, err := NewListener(listenAddr, WithRegistry(reg))
+	if err != nil {
+		reg.Close()
+		return nil, err
+	}
+	reg.Start(registryReconcileInterval)
+	d.registry = reg
+	d.regListener = l
+	d.pool.SetRegistry(reg)
+	return l, nil
+}
+
+// PoolStatus returns the routing pool's /poolz rows (lease state merged
+// with per-member routing health).
+func (d *Distributed) PoolStatus() []registry.PoolView { return d.pool.Status() }
 
 // Addr returns the web server's address.
 func (d *Distributed) Addr() string { return d.srv.Addr().String() }
@@ -275,11 +328,20 @@ func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Re
 // requests run to completion (bounded by ctx). Call before Close.
 func (d *Distributed) Drain(ctx context.Context) error { return d.srv.Drain(ctx) }
 
-// Close stops the web server and the gateway client.
+// Close stops the web server, the gateway pool, and (when registry
+// discovery is enabled) the lease listener and reconciliation loop.
 func (d *Distributed) Close() error {
 	err := d.srv.Close()
 	if cerr := d.cli.Close(); err == nil {
 		err = cerr
+	}
+	if d.regListener != nil {
+		if lerr := d.regListener.Close(); err == nil {
+			err = lerr
+		}
+	}
+	if d.registry != nil {
+		d.registry.Close()
 	}
 	return err
 }
@@ -296,21 +358,26 @@ type Demand struct {
 
 // Centralized is the Figure 4 deployment: the web server runs admission
 // control against broker load reports gathered by its listener goroutine
-// and per-URL resource profiles, aborting doomed requests up front.
+// and per-URL resource profiles, aborting doomed requests up front. The
+// brokers behind it may be a replicated pool.
 type Centralized struct {
 	srv      *httpserver.Server
-	cli      *broker.Client
+	cli      caller
+	pool     *Pool
 	listener *Listener
 	profiles map[string][]Demand // pattern → demands
 	reg      *metrics.Registry
 	rec      *trace.Recorder
 	ana      analytics
+
+	registry *registry.Registry
 }
 
 // NewCentralized starts the centralized front end. listenAddr is the UDP
 // address its listener thread binds for load reports; each route's resource
 // profile is given in profiles keyed by route pattern (routes without a
-// profile are admitted unconditionally).
+// profile are admitted unconditionally). gatewayAddr may name several pool
+// members separated by "|".
 func NewCentralized(addr, gatewayAddr, listenAddr string, routes []Route, profiles map[string][]Demand, opts ...httpserver.ServerOption) (*Centralized, error) {
 	if len(routes) == 0 {
 		return nil, errors.New("frontend: no routes")
@@ -319,23 +386,25 @@ func NewCentralized(addr, gatewayAddr, listenAddr string, routes []Route, profil
 	if err != nil {
 		return nil, err
 	}
-	cli, err := broker.DialGateway(gatewayAddr)
+	reg := metrics.NewRegistry()
+	pool, err := NewPool(PoolConfig{Gateways: splitGateways(gatewayAddr), Metrics: reg})
 	if err != nil {
 		listener.Close()
 		return nil, err
 	}
 	srv, err := httpserver.NewServer(addr, opts...)
 	if err != nil {
-		cli.Close()
+		pool.Close()
 		listener.Close()
 		return nil, err
 	}
 	c := &Centralized{
 		srv:      srv,
-		cli:      cli,
+		cli:      pool,
+		pool:     pool,
 		listener: listener,
 		profiles: profiles,
-		reg:      metrics.NewRegistry(),
+		reg:      reg,
 	}
 	for _, route := range routes {
 		route := route
@@ -345,6 +414,26 @@ func NewCentralized(addr, gatewayAddr, listenAddr string, routes []Route, profil
 	}
 	return c, nil
 }
+
+// EnableRegistry turns on lease-based pool discovery over the existing
+// load-report listener: REGISTER/RENEW/DEREGISTER datagrams arriving at
+// ListenerAddr() maintain pool membership, and discovered members join the
+// routing pool alongside the static gateways.
+func (c *Centralized) EnableRegistry() *registry.Registry {
+	if c.registry != nil {
+		return c.registry
+	}
+	reg := registry.New(registry.Config{Metrics: c.reg, Logger: slog.Default()})
+	reg.Start(registryReconcileInterval)
+	c.listener.AttachRegistry(reg)
+	c.registry = reg
+	c.pool.SetRegistry(reg)
+	return reg
+}
+
+// PoolStatus returns the routing pool's /poolz rows (lease state merged
+// with per-member routing health).
+func (c *Centralized) PoolStatus() []registry.PoolView { return c.pool.Status() }
 
 // Addr returns the web server's address.
 func (c *Centralized) Addr() string { return c.srv.Addr().String() }
@@ -356,6 +445,10 @@ func (c *Centralized) ListenerAddr() string { return c.listener.Addr() }
 // processed — the update workload the paper's scalability discussion is
 // about.
 func (c *Centralized) ListenerUpdates() int { return c.listener.Updates() }
+
+// LoadEntries returns the listener's age-stamped load reports (fresh and
+// stale) for /loadz.
+func (c *Centralized) LoadEntries() []LoadEntry { return c.listener.Entries() }
 
 // Metrics returns the front-end registry ("admitted", "aborted", "dropped",
 // "errors").
@@ -427,7 +520,8 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 // requests run to completion (bounded by ctx). Call before Close.
 func (c *Centralized) Drain(ctx context.Context) error { return c.srv.Drain(ctx) }
 
-// Close stops the web server, gateway client, and listener.
+// Close stops the web server, gateway pool, listener, and (when enabled)
+// the registry reconciliation loop.
 func (c *Centralized) Close() error {
 	err := c.srv.Close()
 	if cerr := c.cli.Close(); err == nil {
@@ -435,6 +529,9 @@ func (c *Centralized) Close() error {
 	}
 	if lerr := c.listener.Close(); err == nil {
 		err = lerr
+	}
+	if c.registry != nil {
+		c.registry.Close()
 	}
 	return err
 }
@@ -511,18 +608,23 @@ func indentLines(s string) string {
 	return "  " + strings.ReplaceAll(s, "\n", "\n  ") + "\n"
 }
 
-// ServeStatus registers the /broker-status diagnostics page on the
-// distributed front end. Load information is not available in this model
-// (brokers decide autonomously), so only front-end counters appear.
+// ServeStatus registers the diagnostics pages on the distributed front
+// end: /broker-status (front-end counters only — load information is not
+// available in this model, brokers decide autonomously) and /poolz (pool
+// membership, lease state, and per-member routing health).
 func (d *Distributed) ServeStatus() {
 	d.srv.Handle("/broker-status", func(*httpserver.Request) *httpserver.Response {
 		return httpserver.Text(string(statusBody(nil, d.reg)))
 	})
+	d.srv.Handle("/poolz", func(*httpserver.Request) *httpserver.Response {
+		return httpserver.Text(string(poolStatusBody(d.PoolStatus())))
+	})
 }
 
-// ServeStatus registers the /broker-status diagnostics page on the
-// centralized front end, including the latest load report per service from
-// the listener thread.
+// ServeStatus registers the diagnostics pages on the centralized front
+// end: /broker-status (the latest load report per profiled service from
+// the listener thread, plus front-end counters) and /poolz (pool
+// membership, lease state, and per-member routing health).
 func (c *Centralized) ServeStatus() {
 	c.srv.Handle("/broker-status", func(*httpserver.Request) *httpserver.Response {
 		var loads []broker.LoadReport
@@ -544,5 +646,8 @@ func (c *Centralized) ServeStatus() {
 			}
 		}
 		return httpserver.Text(string(statusBody(loads, c.reg)))
+	})
+	c.srv.Handle("/poolz", func(*httpserver.Request) *httpserver.Response {
+		return httpserver.Text(string(poolStatusBody(c.PoolStatus())))
 	})
 }

@@ -3,11 +3,14 @@ package frontend
 import (
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/registry"
 )
 
 // Load-report datagrams are single text lines:
@@ -118,30 +121,102 @@ func printable(s string) bool {
 	return len(s) > 0
 }
 
+// DefaultLoadTTL is how long a load report stays trusted without a refresh.
+// A broker that stopped reporting is more likely dead than idle; serving
+// its last-known load forever would let centralized admission keep
+// admitting (or keep aborting) against a ghost.
+const DefaultLoadTTL = 15 * time.Second
+
+// loadEntry is one service's latest report plus its arrival time.
+type loadEntry struct {
+	report broker.LoadReport
+	at     time.Time
+}
+
+// LoadEntry is one /loadz row: a report with its age and staleness.
+type LoadEntry struct {
+	Report broker.LoadReport
+	Age    time.Duration
+	// Stale means the report has outlived the listener's TTL: it is shown
+	// for diagnosis but no longer consulted by admission control.
+	Stale bool
+}
+
+// ListenerOption configures a Listener.
+type ListenerOption func(*Listener)
+
+// WithLoadTTL overrides how long a load report stays fresh (default
+// DefaultLoadTTL). Zero or negative keeps the default.
+func WithLoadTTL(d time.Duration) ListenerOption {
+	return func(l *Listener) {
+		if d > 0 {
+			l.ttl = d
+		}
+	}
+}
+
+// WithRegistry attaches a broker-pool registry: datagrams that are not LOAD
+// reports are parsed as registration commands (REGISTER/RENEW/DEREGISTER)
+// and applied to it, so leases share the load-report socket. Loads
+// piggybacked on REGISTER/RENEW also refresh the admission table.
+func WithRegistry(r *registry.Registry) ListenerOption {
+	return func(l *Listener) { l.registry = r }
+}
+
+// AttachRegistry attaches a registry after construction (the centralized
+// model enables pooling on an already-running listener).
+func (l *Listener) AttachRegistry(r *registry.Registry) {
+	l.mu.Lock()
+	l.registry = r
+	l.mu.Unlock()
+}
+
+// reg reads the attached registry under the lock.
+func (l *Listener) reg() *registry.Registry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.registry
+}
+
+// withClock substitutes the listener's time source (tests).
+func withClock(now func() time.Time) ListenerOption {
+	return func(l *Listener) { l.now = now }
+}
+
 // Listener is the centralized model's listener thread: a goroutine that
 // receives load-report datagrams and keeps the latest report per service.
+// With a registry attached it also accepts lease commands on the same
+// socket.
 type Listener struct {
 	conn net.PacketConn
+	ttl  time.Duration
+	now  func() time.Time
 
-	mu      sync.Mutex
-	loads   map[string]broker.LoadReport
-	updates int
-	closed  bool
+	mu       sync.Mutex
+	registry *registry.Registry
+	loads    map[string]loadEntry
+	updates  int
+	closed   bool
 
 	done chan struct{}
 }
 
 // NewListener binds a UDP socket on addr ("127.0.0.1:0" for ephemeral) and
 // starts the receive goroutine.
-func NewListener(addr string) (*Listener, error) {
+func NewListener(addr string, opts ...ListenerOption) (*Listener, error) {
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("frontend: listen %s: %w", addr, err)
 	}
 	l := &Listener{
 		conn:  conn,
-		loads: make(map[string]broker.LoadReport),
+		ttl:   DefaultLoadTTL,
+		now:   time.Now,
+		loads: make(map[string]loadEntry),
 		done:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(l)
 	}
 	go l.run()
 	return l, nil
@@ -149,6 +224,9 @@ func NewListener(addr string) (*Listener, error) {
 
 // Addr returns the bound UDP address.
 func (l *Listener) Addr() string { return l.conn.LocalAddr().String() }
+
+// Registry returns the attached pool registry, nil if none.
+func (l *Listener) Registry() *registry.Registry { return l.reg() }
 
 func (l *Listener) run() {
 	defer close(l.done)
@@ -158,23 +236,53 @@ func (l *Listener) run() {
 		if err != nil {
 			return
 		}
-		report, err := parseReport(string(buf[:n]))
+		line := string(buf[:n])
+		report, err := parseReport(line)
 		if err != nil {
-			continue // drop garbage silently
+			// Not a LOAD report; with a registry attached it may be a lease
+			// command. Garbage still drops silently.
+			if r := l.reg(); r != nil {
+				if cmd, cerr := registry.ParseCommand(line); cerr == nil {
+					r.Apply(cmd)
+					if cmd.Verb != registry.VerbDeregister {
+						l.Record(cmd.Load)
+					}
+				}
+			}
+			continue
 		}
-		l.mu.Lock()
-		l.loads[report.Service] = report
-		l.updates++
-		l.mu.Unlock()
+		l.Record(report)
 	}
 }
 
-// Load returns the latest report for a service.
+// Load returns the latest report for a service. A report older than the
+// listener's TTL is withheld (ok=false): admission then fails open exactly
+// as it does before the first report arrives, rather than trusting a
+// broker that stopped talking.
 func (l *Listener) Load(service string) (broker.LoadReport, bool) {
+	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r, ok := l.loads[service]
-	return r, ok
+	e, ok := l.loads[service]
+	if !ok || now.Sub(e.at) > l.ttl {
+		return broker.LoadReport{}, false
+	}
+	return e.report, true
+}
+
+// Entries returns every known report — fresh and stale — with ages, sorted
+// by service, for /loadz.
+func (l *Listener) Entries() []LoadEntry {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LoadEntry, 0, len(l.loads))
+	for _, e := range l.loads {
+		age := now.Sub(e.at)
+		out = append(out, LoadEntry{Report: e.report, Age: age, Stale: age > l.ttl})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Report.Service < out[j].Report.Service })
+	return out
 }
 
 // Updates counts processed report datagrams (the listener-thread workload
@@ -187,9 +295,10 @@ func (l *Listener) Updates() int {
 
 // Record injects a report directly (in-process deployments and tests).
 func (l *Listener) Record(r broker.LoadReport) {
+	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.loads[r.Service] = r
+	l.loads[r.Service] = loadEntry{report: r, at: now}
 	l.updates++
 }
 

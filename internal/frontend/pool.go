@@ -1,0 +1,508 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"servicebroker/internal/broker"
+	"servicebroker/internal/cache"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/registry"
+	"servicebroker/internal/resilience"
+	"servicebroker/internal/wire"
+)
+
+// caller is the gateway-call surface the deployment models route through:
+// a single broker.Client or a replicated Pool.
+type caller interface {
+	Do(ctx context.Context, service string, req *broker.Request) (*broker.Response, error)
+	Close() error
+}
+
+// PoolConfig parameterizes a broker Pool.
+type PoolConfig struct {
+	// Gateways are statically configured member addresses (always
+	// candidates, for every service).
+	Gateways []string
+	// Registry, when set, contributes lease-discovered members per service.
+	Registry *registry.Registry
+	// AttemptTimeout bounds one member attempt when another candidate is
+	// waiting behind it; zero means DefaultAttemptTimeout. A single-member
+	// pool with no request deadline is never cut short.
+	AttemptTimeout time.Duration
+	// Breaker configures the per-member circuit breakers.
+	Breaker resilience.BreakerConfig
+	// Metrics, when set, receives pool_* counters.
+	Metrics *metrics.Registry
+	// WireOpts apply to every member client dialed by the pool.
+	WireOpts []wire.ClientOption
+	// StaleEntries sizes the last-good-response cache used to answer
+	// low-fidelity classes when every member is down; zero means 256,
+	// negative disables stale serving.
+	StaleEntries int
+}
+
+// DefaultAttemptTimeout caps one member attempt during failover.
+const DefaultAttemptTimeout = 150 * time.Millisecond
+
+// staleTTL is how long a remembered response may be served stale — long,
+// because it is only consulted when the whole pool is unreachable.
+const staleTTL = 5 * time.Minute
+
+// lowFidelityClass is the first class that trades failover persistence for
+// stale serves: classes below it (premium) try every member, classes at or
+// above it stop after two attempts and may answer from the stale cache at
+// qos.FidelityLow — the degradation ladder of PR 2, one tier up.
+const lowFidelityClass = qos.Class(3)
+
+// poolMember is one gateway the pool can route to.
+type poolMember struct {
+	addr    string
+	static  bool
+	breaker *resilience.Breaker
+
+	mu        sync.Mutex
+	cli       *broker.Client
+	failures  int64
+	failovers int64
+	lastErr   string
+}
+
+// Pool fans requests over a replicated broker tier: static gateway
+// addresses plus lease-discovered members, ordered by health (piggybacked
+// load + breaker state), with deadline-budgeted failover to the next member
+// when one fails. It implements the same Do surface as broker.Client.
+type Pool struct {
+	cfg   PoolConfig
+	stale *cache.Cache
+
+	mu      sync.Mutex
+	members map[string]*poolMember
+	closed  bool
+
+	failovers   *metrics.Counter
+	staleServed *metrics.Counter
+	exhausted   *metrics.Counter
+}
+
+// NewPool builds a pool. At least one static gateway or a registry must be
+// configured. Static members are dialed eagerly (so a bad address fails
+// construction, like DialGateway); discovered members are dialed on first
+// use.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Gateways) == 0 && cfg.Registry == nil {
+		return nil, errors.New("frontend: pool needs static gateways or a registry")
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	p := &Pool{cfg: cfg, members: make(map[string]*poolMember)}
+	if n := cfg.StaleEntries; n >= 0 {
+		if n == 0 {
+			n = 256
+		}
+		p.stale = cache.New(n, cache.WithDefaultTTL(staleTTL))
+	}
+	if m := cfg.Metrics; m != nil {
+		p.failovers = m.Counter("pool_failovers")
+		p.staleServed = m.Counter("pool_stale_served")
+		p.exhausted = m.Counter("pool_exhausted")
+	}
+	for _, addr := range cfg.Gateways {
+		mem := p.member(addr, true)
+		if _, err := p.clientFor(mem); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// SetRegistry attaches (or replaces) the member-discovery registry; the
+// deployment models call this when lease registration is enabled after the
+// pool is built.
+func (p *Pool) SetRegistry(r *registry.Registry) {
+	p.mu.Lock()
+	p.cfg.Registry = r
+	p.mu.Unlock()
+}
+
+// registry reads the discovery registry under the lock.
+func (p *Pool) registry() *registry.Registry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Registry
+}
+
+// member returns (creating if needed) the bookkeeping entry for addr.
+func (p *Pool) member(addr string, static bool) *poolMember {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.members[addr]
+	if !ok {
+		m = &poolMember{
+			addr:    addr,
+			static:  static,
+			breaker: resilience.NewBreaker(addr, p.cfg.Breaker),
+		}
+		p.members[addr] = m
+	}
+	if static {
+		m.static = true
+	}
+	return m
+}
+
+// clientFor lazily dials a member's gateway client.
+func (p *Pool) clientFor(m *poolMember) (*broker.Client, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cli != nil {
+		return m.cli, nil
+	}
+	cli, err := broker.DialGateway(m.addr, p.cfg.WireOpts...)
+	if err != nil {
+		return nil, err
+	}
+	m.cli = cli
+	return cli, nil
+}
+
+// candidate is one routing choice with its selection weight.
+type candidate struct {
+	member *poolMember
+	weight float64
+}
+
+// weightOf scores a member by its piggybacked load: utilization plus a hot
+// penalty, lower is better. Members without load data score a neutral 0.5
+// so an idle reported member beats them but an unknown one beats a busy
+// one.
+func weightOf(load broker.LoadReport, hasLoad bool) float64 {
+	if !hasLoad {
+		return 0.5
+	}
+	thr := load.Threshold
+	if thr < 1 {
+		thr = 1
+	}
+	w := float64(load.Outstanding) / float64(thr)
+	if load.Hot {
+		w += 1
+	}
+	return w
+}
+
+// candidates assembles the health-ordered member list for a service:
+// lease-discovered members (with live load data) unioned with the static
+// gateways, open-breaker members filtered out unless that would empty the
+// list entirely (then the pool fails open — a guess beats a guaranteed
+// error).
+func (p *Pool) candidates(service string) ([]candidate, bool) {
+	type seed struct {
+		addr    string
+		static  bool
+		load    broker.LoadReport
+		hasLoad bool
+	}
+	seeds := make(map[string]seed)
+	for _, addr := range p.cfg.Gateways {
+		seeds[addr] = seed{addr: addr, static: true}
+	}
+	if reg := p.registry(); reg != nil {
+		for _, m := range reg.Members(service) {
+			s := seeds[m.Addr]
+			s.addr = m.Addr
+			s.load, s.hasLoad = m.Load, true
+			seeds[m.Addr] = s
+		}
+	}
+	all := make([]candidate, 0, len(seeds))
+	for _, s := range seeds {
+		all = append(all, candidate{
+			member: p.member(s.addr, s.static),
+			weight: weightOf(s.load, s.hasLoad),
+		})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].weight != all[j].weight {
+			return all[i].weight < all[j].weight
+		}
+		return all[i].member.addr < all[j].member.addr
+	})
+	live := all[:0:0]
+	for _, c := range all {
+		if c.member.breaker.Candidate() {
+			live = append(live, c)
+		}
+	}
+	if len(live) > 0 {
+		return live, false
+	}
+	return all, true // every breaker open: fail open, bypass gating
+}
+
+// staleKey identifies one (service, payload) response in the stale cache.
+func staleKey(service string, payload []byte) string {
+	return service + "\x00" + string(payload)
+}
+
+// Do routes one request: try members in health order, failing over on
+// transport errors within the caller's deadline budget. Premium classes
+// (below lowFidelityClass) try every candidate; lower classes stop after
+// two attempts and fall back to a stale answer at qos.FidelityLow when one
+// is cached — losing freshness instead of failing, while premium traffic
+// gets every chance at a live broker.
+func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*broker.Response, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, wire.ErrClientClosed
+	}
+	p.mu.Unlock()
+
+	cands, bypass := p.candidates(service)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("frontend: no pool members for service %q", service)
+	}
+	maxAttempts := len(cands)
+	premium := req.Class != 0 && req.Class < lowFidelityClass
+	if !premium && maxAttempts > 2 {
+		maxAttempts = 2
+	}
+	deadline, hasDeadline := ctx.Deadline()
+
+	var lastErr error
+	var lastResp *broker.Response
+	for i := 0; i < maxAttempts; i++ {
+		cand := cands[i]
+		cli, err := p.clientFor(cand.member)
+		if err != nil {
+			lastErr = err
+			p.noteFailure(cand.member, err, i < maxAttempts-1)
+			continue
+		}
+		acquired := false
+		if !bypass {
+			if acquired = cand.member.breaker.Acquire(); !acquired {
+				continue // raced open since the Candidate check
+			}
+		}
+
+		attemptCtx, cancel := p.attemptContext(ctx, deadline, hasDeadline, len(cands), maxAttempts-i)
+		resp, err := cli.Do(attemptCtx, service, req)
+		if cancel != nil {
+			cancel()
+		}
+		if err != nil && attemptCtx.Err() != nil && ctx.Err() == nil {
+			// The per-attempt budget expired, not the caller's deadline:
+			// report it as such so the breaker counts it against the member.
+			err = fmt.Errorf("frontend: pool attempt to %s: %w", cand.member.addr, context.DeadlineExceeded)
+		}
+		if acquired {
+			cand.member.breaker.Done(err)
+		}
+		if err == nil {
+			if resp.Status == broker.StatusError && i < maxAttempts-1 {
+				// The member is alive but cannot serve this (e.g. it does not
+				// host the service): not a breaker failure, but another
+				// member may do better.
+				lastResp, lastErr = resp, nil
+				p.countFailover()
+				continue
+			}
+			p.rememberGood(service, req, resp)
+			return resp, nil
+		}
+		lastErr = err
+		p.noteFailure(cand.member, err, i < maxAttempts-1)
+		if ctx.Err() != nil {
+			break // the caller's own deadline/cancellation: stop failing over
+		}
+	}
+
+	if lastResp != nil {
+		return lastResp, nil
+	}
+	count(p.exhausted)
+	if !premium && p.stale != nil {
+		if payload, ok := p.stale.GetStale(staleKey(service, req.Payload)); ok {
+			count(p.staleServed)
+			return &broker.Response{Status: broker.StatusOK, Fidelity: qos.FidelityLow, Payload: payload}, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("frontend: no admissible pool member for service %q", service)
+	}
+	return nil, lastErr
+}
+
+// attemptContext budgets one attempt. The attempt is cut short only when
+// someone could use the time saved: another candidate is waiting, or the
+// caller set a deadline that must be split across the remaining attempts.
+func (p *Pool) attemptContext(ctx context.Context, deadline time.Time, hasDeadline bool, poolSize, attemptsLeft int) (context.Context, context.CancelFunc) {
+	if poolSize <= 1 && !hasDeadline {
+		return ctx, nil
+	}
+	per := p.cfg.AttemptTimeout
+	if hasDeadline {
+		if budget := time.Until(deadline) / time.Duration(attemptsLeft); budget < per {
+			per = budget
+		}
+	}
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	return context.WithTimeout(ctx, per)
+}
+
+// rememberGood stores a full/cached OK response for later stale serving.
+func (p *Pool) rememberGood(service string, req *broker.Request, resp *broker.Response) {
+	if p.stale == nil || resp.Status != broker.StatusOK {
+		return
+	}
+	if resp.Fidelity != qos.FidelityFull && resp.Fidelity != qos.FidelityCached {
+		return
+	}
+	p.stale.Put(staleKey(service, req.Payload), resp.Payload)
+}
+
+// noteFailure records a member failure for /poolz and counts the failover
+// when another attempt follows.
+func (p *Pool) noteFailure(m *poolMember, err error, willFailover bool) {
+	m.mu.Lock()
+	m.failures++
+	if willFailover {
+		m.failovers++
+	}
+	m.lastErr = err.Error()
+	m.mu.Unlock()
+	if willFailover {
+		p.countFailover()
+	}
+}
+
+func (p *Pool) countFailover() { count(p.failovers) }
+
+func count(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Status merges lease state (from the registry) with routing health (from
+// the pool's members) into /poolz rows.
+func (p *Pool) Status() []registry.PoolView {
+	rows := make(map[string][]registry.PoolView) // addr → lease rows
+	if reg := p.registry(); reg != nil {
+		for _, v := range reg.Snapshot() {
+			rows[v.Addr] = append(rows[v.Addr], v)
+		}
+	}
+	p.mu.Lock()
+	members := make([]*poolMember, 0, len(p.members))
+	for _, m := range p.members {
+		members = append(members, m)
+	}
+	p.mu.Unlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].addr < members[j].addr })
+
+	var out []registry.PoolView
+	seen := make(map[string]bool)
+	for _, m := range members {
+		seen[m.addr] = true
+		state := m.breaker.State()
+		m.mu.Lock()
+		failures, failovers, lastErr := m.failures, m.failovers, m.lastErr
+		m.mu.Unlock()
+		leases := rows[m.addr]
+		if len(leases) == 0 && m.static {
+			leases = []registry.PoolView{{Addr: m.addr, Service: "*", Source: "static", State: "live"}}
+		}
+		for _, v := range leases {
+			if m.static && v.Source == "" {
+				v.Source = "static"
+			}
+			if state != resilience.StateClosed {
+				v.State = v.State + "/" + state.String()
+			}
+			v.Failures = failures
+			v.Failovers = failovers
+			v.LastError = lastErr
+			out = append(out, v)
+		}
+	}
+	// Lease rows for members the pool has not routed to yet (or tombstones).
+	for addr, leases := range rows {
+		if seen[addr] {
+			continue
+		}
+		out = append(out, leases...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Addr < out[j].Addr
+	})
+	return out
+}
+
+// Close releases every member client. The registry, if any, belongs to the
+// caller and is not closed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	members := make([]*poolMember, 0, len(p.members))
+	for _, m := range p.members {
+		members = append(members, m)
+	}
+	p.mu.Unlock()
+	var err error
+	for _, m := range members {
+		m.mu.Lock()
+		cli := m.cli
+		m.cli = nil
+		m.mu.Unlock()
+		if cli != nil {
+			if cerr := cli.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// poolStatusBody renders /poolz rows as text.
+func poolStatusBody(rows []registry.PoolView) []byte {
+	var b strings.Builder
+	b.WriteString("broker pool\n")
+	if len(rows) == 0 {
+		b.WriteString("  (no members)\n")
+		return []byte(b.String())
+	}
+	for _, v := range rows {
+		state := "cool"
+		if v.Hot {
+			state = "hot"
+		}
+		fmt.Fprintf(&b, "  service=%s addr=%s source=%s state=%s ttl=%s renewals=%d outstanding=%d/%d queue=%d %s failures=%d failovers=%d",
+			v.Service, v.Addr, v.Source, v.State, v.TTLRemaining.Round(time.Millisecond),
+			v.Renewals, v.Outstanding, v.Threshold, v.QueueLen, state, v.Failures, v.Failovers)
+		if v.LastError != "" {
+			fmt.Fprintf(&b, " last_error=%q", v.LastError)
+		}
+		b.WriteString("\n")
+	}
+	return []byte(b.String())
+}

@@ -1,0 +1,271 @@
+package frontend
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/registry"
+	"servicebroker/internal/resilience"
+	"servicebroker/internal/wire"
+)
+
+// poolGateway spins up one broker+gateway member answering for "db".
+func poolGateway(t *testing.T, tag string) *broker.Gateway {
+	t.Helper()
+	b, err := broker.New(&backend.DelayConnector{ServiceName: tag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() })
+	g, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// fastPool builds a pool with failover-friendly timings for tests.
+func fastPool(t *testing.T, cfg PoolConfig) *Pool {
+	t.Helper()
+	if cfg.AttemptTimeout == 0 {
+		cfg.AttemptTimeout = 100 * time.Millisecond
+	}
+	cfg.WireOpts = append(cfg.WireOpts, wire.WithRetransmit(25*time.Millisecond), wire.WithAttempts(2))
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestPoolFailsOverToLiveMember(t *testing.T) {
+	g1 := poolGateway(t, "one")
+	g2 := poolGateway(t, "two")
+	// Lease loads pin the order: the soon-dead g1 looks idle, so it is
+	// tried first and the request must fail over to g2.
+	reg := registry.New(registry.Config{})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: g1.Addr().String(),
+		TTL: time.Hour, Load: broker.LoadReport{Service: "db", Outstanding: 0, Threshold: 16}})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: g2.Addr().String(),
+		TTL: time.Hour, Load: broker.LoadReport{Service: "db", Outstanding: 8, Threshold: 16}})
+	m := metrics.NewRegistry()
+	p := fastPool(t, PoolConfig{Registry: reg, Metrics: m})
+
+	// Kill member one. A premium request must fail over and succeed.
+	if err := g1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := p.Do(ctx, "db", &broker.Request{Payload: []byte("x"), Class: qos.Class1})
+	if err != nil {
+		t.Fatalf("premium request failed despite a live member: %v", err)
+	}
+	if resp.Status != broker.StatusOK {
+		t.Fatalf("status = %v, want OK", resp.Status)
+	}
+	if m.Counter("pool_failovers").Value() == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+func TestPoolPrefersIdleMemberFromLeaseLoad(t *testing.T) {
+	// Registry says member A is hot and member B idle: B must be tried
+	// first. A is a dead address, so reaching the backend at all proves the
+	// order (if A were tried first the call would still succeed via
+	// failover, but the failover counter would show it).
+	gB := poolGateway(t, "idle")
+	deadA := "127.0.0.1:1" // reserved port, nothing listens
+
+	reg := registry.New(registry.Config{})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: deadA, TTL: time.Minute,
+		Load: broker.LoadReport{Service: "db", Outstanding: 16, Threshold: 16, Hot: true}})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: gB.Addr().String(), TTL: time.Minute,
+		Load: broker.LoadReport{Service: "db", Outstanding: 0, Threshold: 16}})
+
+	m := metrics.NewRegistry()
+	p := fastPool(t, PoolConfig{Registry: reg, Metrics: m})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := p.Do(ctx, "db", &broker.Request{Payload: []byte("x"), Class: qos.Class1})
+	if err != nil || resp.Status != broker.StatusOK {
+		t.Fatalf("resp=%+v err=%v", resp, err)
+	}
+	if got := m.Counter("pool_failovers").Value(); got != 0 {
+		t.Fatalf("health-weighted selection tried the hot/dead member first (%d failovers)", got)
+	}
+}
+
+func TestPoolStaleFallbackForLowClassesOnly(t *testing.T) {
+	g := poolGateway(t, "one")
+	p := fastPool(t, PoolConfig{Gateways: []string{g.Addr().String()},
+		Metrics: metrics.NewRegistry(),
+		Breaker: resilience.BreakerConfig{FailureThreshold: 1000}}) // keep breaker out of this test
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Seed the stale cache with a good answer.
+	if _, err := p.Do(ctx, "db", &broker.Request{Payload: []byte("q1"), Class: qos.Class3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Low class: stale serve at FidelityLow.
+	downCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	resp, err := p.Do(downCtx, "db", &broker.Request{Payload: []byte("q1"), Class: qos.Class3})
+	if err != nil {
+		t.Fatalf("low class got error instead of stale serve: %v", err)
+	}
+	if resp.Fidelity != qos.FidelityLow || resp.Status != broker.StatusOK {
+		t.Fatalf("stale serve = status %v fidelity %v, want OK/low", resp.Status, resp.Fidelity)
+	}
+
+	// Premium: an explicit error — never a silent stale answer.
+	downCtx2, cancel3 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel3()
+	if _, err := p.Do(downCtx2, "db", &broker.Request{Payload: []byte("q1"), Class: qos.Class1}); err == nil {
+		t.Fatal("premium request served despite the whole pool being down")
+	}
+}
+
+func TestPoolBreakerEjectsFailingMember(t *testing.T) {
+	g1 := poolGateway(t, "one")
+	g2 := poolGateway(t, "two")
+	// Pin the selection order via lease loads: the (about to be dead) g1
+	// looks idle, the live g2 looks busier, so every attempt starts at g1
+	// until its breaker opens.
+	reg := registry.New(registry.Config{})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: g1.Addr().String(),
+		TTL: time.Hour, Load: broker.LoadReport{Service: "db", Outstanding: 0, Threshold: 16}})
+	reg.Apply(registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: g2.Addr().String(),
+		TTL: time.Hour, Load: broker.LoadReport{Service: "db", Outstanding: 8, Threshold: 16}})
+	m := metrics.NewRegistry()
+	p := fastPool(t, PoolConfig{
+		Registry: reg,
+		Metrics:  m,
+		Breaker:  resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour},
+	})
+	if err := g1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drive enough premium traffic to trip member one's breaker.
+	for i := 0; i < 4; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if _, err := p.Do(ctx, "db", &broker.Request{Payload: []byte("x"), Class: qos.Class1}); err != nil {
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+		cancel()
+	}
+	// With the breaker open, requests go straight to member two: failovers
+	// stop accumulating.
+	before := m.Counter("pool_failovers").Value()
+	for i := 0; i < 3; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if _, err := p.Do(ctx, "db", &broker.Request{Payload: []byte("x"), Class: qos.Class1}); err != nil {
+			t.Fatalf("request after trip failed: %v", err)
+		}
+		cancel()
+	}
+	if after := m.Counter("pool_failovers").Value(); after != before {
+		t.Fatalf("open breaker did not eject the dead member (failovers %d → %d)", before, after)
+	}
+	// /poolz rows must carry the breaker state.
+	var sawOpen bool
+	for _, v := range p.Status() {
+		if v.Addr == g1.Addr().String() && v.State == "live/open" {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("pool status missing open-breaker member: %+v", p.Status())
+	}
+}
+
+func TestListenerExpiresStaleLoads(t *testing.T) {
+	clock := struct{ now time.Time }{now: time.Unix(1_700_000_000, 0)}
+	now := &clock.now
+	l, err := NewListener("127.0.0.1:0", WithLoadTTL(time.Second), withClock(func() time.Time { return *now }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	l.Record(broker.LoadReport{Service: "db", Outstanding: 3, Threshold: 16})
+	if _, ok := l.Load("db"); !ok {
+		t.Fatal("fresh report withheld")
+	}
+	*now = now.Add(2 * time.Second)
+	if _, ok := l.Load("db"); ok {
+		t.Fatal("stale report still served to admission control")
+	}
+	entries := l.Entries()
+	if len(entries) != 1 || !entries[0].Stale || entries[0].Age != 2*time.Second {
+		t.Fatalf("entries = %+v, want one stale 2s-old row", entries)
+	}
+
+	// A fresh report revives the service.
+	l.Record(broker.LoadReport{Service: "db", Outstanding: 1, Threshold: 16})
+	if _, ok := l.Load("db"); !ok {
+		t.Fatal("revived report withheld")
+	}
+}
+
+func TestListenerDispatchesLeaseCommands(t *testing.T) {
+	reg := registry.New(registry.Config{})
+	l, err := NewListener("127.0.0.1:0", WithRegistry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	conn, err := net.Dial("udp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	cmd := registry.Command{Verb: registry.VerbRegister, Service: "db", Addr: "127.0.0.1:7101",
+		TTL: time.Minute, Load: broker.LoadReport{Service: "db", Outstanding: 5, Threshold: 16}}
+	if _, err := conn.Write([]byte(registry.FormatCommand(cmd))); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if ms := reg.Members("db"); len(ms) == 1 && ms[0].Addr == "127.0.0.1:7101" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease command never reached the registry")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The piggybacked load also feeds the admission table.
+	if r, ok := l.Load("db"); !ok || r.Outstanding != 5 {
+		t.Fatalf("piggybacked load not recorded: %+v ok=%v", r, ok)
+	}
+	// LOAD reports still work on the same socket.
+	if _, err := conn.Write([]byte("LOAD db 7 16 0 cool")); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if r, ok := l.Load("db"); ok && r.Outstanding == 7 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("LOAD report lost after registry attach")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

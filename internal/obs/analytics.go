@@ -77,6 +77,7 @@ func (s *Server) pages() []pageInfo {
 		{"/metrics", "Prometheus-style exposition of every mounted metrics registry"},
 		{"/tracez", "recent completed traces with per-stage latency breakdowns"},
 		{"/loadz", "live broker load reports (outstanding, threshold, queue, hot)"},
+		{"/poolz", "broker-pool membership: lease state, health, and failover counters"},
 		{"/breakerz", "per-replica circuit-breaker states"},
 		{"/limitz", "adaptive admission-limit snapshots"},
 		{"/hotz", "hot keys: top-k frequency, hit ratio, latency, and workload skew"},

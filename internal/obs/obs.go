@@ -7,7 +7,10 @@
 //	/healthz  liveness probe
 //	/tracez   recent completed traces with per-stage latency breakdowns,
 //	          filterable by service and QoS class
-//	/loadz    live broker.LoadReport lines from registered load sources
+//	/loadz    live broker.LoadReport lines from registered load sources,
+//	          with age and staleness when the source stamps arrival times
+//	/poolz    broker-pool membership from registered pool sources: lease
+//	          state, TTLs, piggybacked loads, and failover counters
 //	/breakerz per-replica circuit-breaker states from registered breaker
 //	          sources (state, consecutive failures, totals, last transition)
 //	/limitz   adaptive admission-limit snapshots from registered limit
@@ -43,6 +46,7 @@ import (
 	"servicebroker/internal/cache"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
+	"servicebroker/internal/registry"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
@@ -52,6 +56,25 @@ import (
 // process registers one source per hosted broker (or one returning all of
 // them); the centralized front end can register its listener's view.
 type LoadSource func() []broker.LoadReport
+
+// AgedLoad is one /loadz row with freshness information: a front-end
+// listener knows when each report arrived and whether it has outlived the
+// load TTL (the broker stopped reporting — stale rows are shown for
+// diagnosis but no longer steer admission).
+type AgedLoad struct {
+	Report broker.LoadReport
+	Age    time.Duration
+	Stale  bool
+}
+
+// AgedLoadSource supplies age-stamped load reports for /loadz (the
+// centralized front end's listener view).
+type AgedLoadSource func() []AgedLoad
+
+// PoolSource supplies broker-pool membership rows for /poolz: lease state
+// merged with per-member routing health from a frontend pool or a bare
+// registry.
+type PoolSource func() []registry.PoolView
 
 // BreakerSource supplies per-replica circuit-breaker snapshots for /breakerz.
 // A brokerd process registers one source per broker with breakers enabled.
@@ -71,6 +94,8 @@ type Server struct {
 	mounts   []mount
 	rec      *trace.Recorder
 	sources  []LoadSource
+	aged     []AgedLoadSource
+	pools    []namedPoolSource
 	breakers []namedBreakerSource
 	limits   []namedLimitSource
 	hotkeys  []namedHotKeySource
@@ -99,6 +124,11 @@ type namedLimitSource struct {
 	src     LimitSource
 }
 
+type namedPoolSource struct {
+	name string
+	src  PoolSource
+}
+
 // New returns an admin server with all endpoints registered.
 func New() *Server {
 	s := &Server{mux: http.NewServeMux(), start: time.Now()}
@@ -108,6 +138,7 @@ func New() *Server {
 	s.mux.HandleFunc("/buildz", s.handleBuildz)
 	s.mux.HandleFunc("/tracez", s.handleTracez)
 	s.mux.HandleFunc("/loadz", s.handleLoadz)
+	s.mux.HandleFunc("/poolz", s.handlePoolz)
 	s.mux.HandleFunc("/breakerz", s.handleBreakerz)
 	s.mux.HandleFunc("/limitz", s.handleLimitz)
 	s.mux.HandleFunc("/seriesz", s.handleSeriesz)
@@ -195,6 +226,28 @@ func (s *Server) AddLoadSource(src LoadSource) {
 	}
 	s.mu.Lock()
 	s.sources = append(s.sources, src)
+	s.mu.Unlock()
+}
+
+// AddAgedLoadSource registers an age-stamped /loadz supplier. Rows carry
+// their age and a "stale" marker once the report outlives the load TTL.
+func (s *Server) AddAgedLoadSource(src AgedLoadSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.aged = append(s.aged, src)
+	s.mu.Unlock()
+}
+
+// AddPoolSource registers a /poolz supplier under a display name (typically
+// the deployment model or front-end instance).
+func (s *Server) AddPoolSource(name string, src PoolSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.pools = append(s.pools, namedPoolSource{name: name, src: src})
 	s.mu.Unlock()
 }
 
@@ -578,21 +631,72 @@ func (s *Server) handleLimitz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleLoadz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	sources := append([]LoadSource(nil), s.sources...)
+	aged := append([]AgedLoadSource(nil), s.aged...)
 	s.mu.Unlock()
 
-	var reports []broker.LoadReport
+	// Plain sources render as ageless rows; aged sources add freshness.
+	var rows []AgedLoad
 	for _, src := range sources {
-		reports = append(reports, src()...)
+		for _, lr := range src() {
+			rows = append(rows, AgedLoad{Report: lr, Age: -1})
+		}
 	}
-	sort.Slice(reports, func(i, j int) bool { return reports[i].Service < reports[j].Service })
+	for _, src := range aged {
+		rows = append(rows, src()...)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Report.Service < rows[j].Report.Service })
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if len(sources) == 0 {
+	if len(sources) == 0 && len(aged) == 0 {
 		fmt.Fprintln(w, "loadz: no load sources configured")
 		return
 	}
-	for _, lr := range reports {
-		fmt.Fprintf(w, "service=%s outstanding=%d threshold=%d queue=%d hot=%v\n",
+	for _, row := range rows {
+		lr := row.Report
+		fmt.Fprintf(w, "service=%s outstanding=%d threshold=%d queue=%d hot=%v",
 			lr.Service, lr.Outstanding, lr.Threshold, lr.QueueLen, lr.Hot)
+		if row.Age >= 0 {
+			fmt.Fprintf(w, " age=%s", row.Age.Round(time.Millisecond))
+			if row.Stale {
+				fmt.Fprint(w, " stale")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// --- /poolz ---------------------------------------------------------------
+
+func (s *Server) handlePoolz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	pools := append([]namedPoolSource(nil), s.pools...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(pools) == 0 {
+		fmt.Fprintln(w, "poolz: no pool sources configured")
+		return
+	}
+	sort.SliceStable(pools, func(i, j int) bool { return pools[i].name < pools[j].name })
+	for _, np := range pools {
+		views := np.src()
+		if len(views) == 0 {
+			fmt.Fprintf(w, "pool=%s (no members)\n", np.name)
+			continue
+		}
+		for _, v := range views {
+			state := "cool"
+			if v.Hot {
+				state = "hot"
+			}
+			fmt.Fprintf(w, "pool=%s service=%s addr=%s source=%s state=%s ttl=%s renewals=%d outstanding=%d/%d queue=%d %s failures=%d failovers=%d",
+				np.name, v.Service, v.Addr, v.Source, v.State,
+				v.TTLRemaining.Round(time.Millisecond), v.Renewals,
+				v.Outstanding, v.Threshold, v.QueueLen, state, v.Failures, v.Failovers)
+			if v.LastError != "" {
+				fmt.Fprintf(w, " last_error=%q", v.LastError)
+			}
+			fmt.Fprintln(w)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"servicebroker/internal/cache"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
+	"servicebroker/internal/registry"
 	"servicebroker/internal/resilience"
 	"servicebroker/internal/trace"
 )
@@ -171,6 +172,53 @@ func TestLoadzEndpoint(t *testing.T) {
 	want := "service=db outstanding=5 threshold=10 queue=2 hot=true\nservice=mail outstanding=1 threshold=8 queue=0 hot=false\n"
 	if body != want {
 		t.Errorf("loadz = %q, want %q", body, want)
+	}
+}
+
+func TestLoadzAgedRows(t *testing.T) {
+	s := New()
+	s.AddAgedLoadSource(func() []AgedLoad {
+		return []AgedLoad{
+			{Report: broker.LoadReport{Service: "db", Outstanding: 3, Threshold: 16}, Age: 1200 * time.Millisecond},
+			{Report: broker.LoadReport{Service: "mail", Outstanding: 0, Threshold: 8}, Age: 20 * time.Second, Stale: true},
+		}
+	})
+	body := get(t, s.Handler(), "/loadz")
+	for _, want := range []string{
+		"service=db outstanding=3 threshold=16 queue=0 hot=false age=1.2s\n",
+		"service=mail outstanding=0 threshold=8 queue=0 hot=false age=20s stale\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("loadz missing %q, got:\n%s", want, body)
+		}
+	}
+}
+
+func TestPoolzEndpoint(t *testing.T) {
+	s := New()
+	body := get(t, s.Handler(), "/poolz")
+	if !strings.Contains(body, "no pool sources") {
+		t.Errorf("want placeholder, got:\n%s", body)
+	}
+
+	s.AddPoolSource("frontend", func() []registry.PoolView {
+		return []registry.PoolView{
+			{Service: "db", Addr: "127.0.0.1:7101", Source: "lease", State: "live",
+				TTLRemaining: 2500 * time.Millisecond, Renewals: 4, Outstanding: 3, Threshold: 16, QueueLen: 1},
+			{Service: "db", Addr: "127.0.0.1:7102", Source: "static", State: "live/open",
+				Hot: true, Failures: 5, Failovers: 2, LastError: "dial refused"},
+		}
+	})
+	s.AddPoolSource("empty", func() []registry.PoolView { return nil })
+	body = get(t, s.Handler(), "/poolz")
+	for _, want := range []string{
+		"pool=frontend service=db addr=127.0.0.1:7101 source=lease state=live ttl=2.5s renewals=4 outstanding=3/16 queue=1 cool failures=0 failovers=0\n",
+		"pool=frontend service=db addr=127.0.0.1:7102 source=static state=live/open ttl=0s renewals=0 outstanding=0/0 queue=0 hot failures=5 failovers=2 last_error=\"dial refused\"\n",
+		"pool=empty (no members)\n",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("poolz missing %q, got:\n%s", want, body)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"servicebroker/internal/broker"
+)
+
+func TestParseCommandHardening(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want Command
+	}{
+		{
+			name: "register",
+			line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool",
+			ok:   true,
+			want: Command{
+				Verb: VerbRegister, Service: "search", Addr: "127.0.0.1:7101",
+				TTL:  3 * time.Second,
+				Load: broker.LoadReport{Service: "search", Outstanding: 4, Threshold: 16, QueueLen: 2},
+			},
+		},
+		{
+			name: "renew hot",
+			line: "RENEW search 127.0.0.1:7101 250 16 16 9 hot",
+			ok:   true,
+			want: Command{
+				Verb: VerbRenew, Service: "search", Addr: "127.0.0.1:7101",
+				TTL:  250 * time.Millisecond,
+				Load: broker.LoadReport{Service: "search", Outstanding: 16, Threshold: 16, QueueLen: 9, Hot: true},
+			},
+		},
+		{
+			name: "deregister",
+			line: "DEREGISTER search 127.0.0.1:7101",
+			ok:   true,
+			want: Command{Verb: VerbDeregister, Service: "search", Addr: "127.0.0.1:7101"},
+		},
+		{
+			name: "ipv6 addr",
+			line: "REGISTER search [::1]:7101 3000 0 16 0 cool",
+			ok:   true,
+			want: Command{
+				Verb: VerbRegister, Service: "search", Addr: "[::1]:7101",
+				TTL:  3 * time.Second,
+				Load: broker.LoadReport{Service: "search", Threshold: 16},
+			},
+		},
+		{name: "empty", line: ""},
+		{name: "unknown verb", line: "LOAD search 1 16 0 cool"},
+		{name: "lowercase verb", line: "register search 127.0.0.1:7101 3000 0 16 0 cool"},
+		{name: "missing field", line: "REGISTER search 127.0.0.1:7101 3000 0 16 cool"},
+		{name: "extra field", line: "REGISTER search 127.0.0.1:7101 3000 0 16 0 cool x"},
+		{name: "deregister extra field", line: "DEREGISTER search 127.0.0.1:7101 cool"},
+		{name: "addr without port", line: "REGISTER search 127.0.0.1 3000 0 16 0 cool"},
+		{name: "addr trailing colon", line: "REGISTER search 127.0.0.1: 3000 0 16 0 cool"},
+		{name: "addr non-numeric port", line: "REGISTER search 127.0.0.1:x 3000 0 16 0 cool"},
+		{name: "addr too long", line: "REGISTER search " + strings.Repeat("a", maxMemberAddr) + ":1 3000 0 16 0 cool"},
+		{name: "service too long", line: "REGISTER " + strings.Repeat("s", maxServiceName+1) + " 127.0.0.1:7101 3000 0 16 0 cool"},
+		{name: "service control bytes", line: "REGISTER s\x01vc 127.0.0.1:7101 3000 0 16 0 cool"},
+		{name: "ttl zero", line: "REGISTER search 127.0.0.1:7101 0 0 16 0 cool"},
+		{name: "ttl below floor", line: "REGISTER search 127.0.0.1:7101 9 0 16 0 cool"},
+		{name: "ttl above cap", line: "REGISTER search 127.0.0.1:7101 600001 0 16 0 cool"},
+		{name: "ttl negative", line: "REGISTER search 127.0.0.1:7101 -3000 0 16 0 cool"},
+		{name: "ttl signed", line: "REGISTER search 127.0.0.1:7101 +3000 0 16 0 cool"},
+		{name: "counter negative", line: "REGISTER search 127.0.0.1:7101 3000 -1 16 0 cool"},
+		{name: "counter huge", line: "REGISTER search 127.0.0.1:7101 3000 1073741825 16 0 cool"},
+		{name: "counter float", line: "REGISTER search 127.0.0.1:7101 3000 1.5 16 0 cool"},
+		{name: "bad state", line: "REGISTER search 127.0.0.1:7101 3000 0 16 0 warm"},
+		{name: "oversized line", line: "REGISTER search 127.0.0.1:7101 3000 0 16 0 cool" + strings.Repeat(" ", maxCommandLine)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseCommand(tc.line)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("ParseCommand(%q): unexpected error %v", tc.line, err)
+				}
+				if got != tc.want {
+					t.Fatalf("ParseCommand(%q) = %+v, want %+v", tc.line, got, tc.want)
+				}
+			} else if err == nil {
+				t.Fatalf("ParseCommand(%q) accepted garbage: %+v", tc.line, got)
+			}
+		})
+	}
+}
+
+func TestFormatCommandRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{Verb: VerbRegister, Service: "search", Addr: "127.0.0.1:7101", TTL: 3 * time.Second,
+			Load: broker.LoadReport{Service: "search", Outstanding: 4, Threshold: 16, QueueLen: 2, Hot: true}},
+		{Verb: VerbRenew, Service: "cart", Addr: "[::1]:9", TTL: MinTTL,
+			Load: broker.LoadReport{Service: "cart", Threshold: 1}},
+		{Verb: VerbDeregister, Service: "cart", Addr: "10.0.0.2:7102"},
+	}
+	for _, c := range cmds {
+		line := FormatCommand(c)
+		got, err := ParseCommand(line)
+		if err != nil {
+			t.Fatalf("ParseCommand(FormatCommand(%+v)) = %q: %v", c, line, err)
+		}
+		if got != c {
+			t.Fatalf("round trip: got %+v, want %+v (line %q)", got, c, line)
+		}
+	}
+}
+
+// FuzzParseCommand checks the parser never panics and that every accepted
+// command survives a format/parse round trip unchanged.
+func FuzzParseCommand(f *testing.F) {
+	f.Add("REGISTER search 127.0.0.1:7101 3000 4 16 2 cool")
+	f.Add("RENEW search [::1]:7101 250 16 16 9 hot")
+	f.Add("DEREGISTER search 127.0.0.1:7101")
+	f.Add("REGISTER s :1 10 0 0 0 cool")
+	f.Add("LOAD search 1 16 0 cool")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		c, err := ParseCommand(line)
+		if err != nil {
+			return
+		}
+		again, err := ParseCommand(FormatCommand(c))
+		if err != nil {
+			t.Fatalf("re-parse of formatted %+v failed: %v", c, err)
+		}
+		if again != c {
+			t.Fatalf("round trip mismatch: %+v != %+v", again, c)
+		}
+	})
+}

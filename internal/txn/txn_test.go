@@ -84,6 +84,113 @@ func TestAbort(t *testing.T) {
 	}
 }
 
+// A backend failure mid-transaction aborts it; a retry under the same ID is
+// a fresh transaction (implicit re-creation), not a resumption — the step
+// monotonicity clock restarts with it.
+func TestStepFailureMidTransaction(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.Begin("order-7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe("order-7", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Observe("order-7", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Step 2's backend access fails; the broker aborts the transaction.
+	if err := tr.Abort("order-7"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ActiveCount() != 0 {
+		t.Fatal("aborted transaction still active")
+	}
+	completed, aborted := tr.Stats()
+	if completed != 0 || aborted != 1 {
+		t.Fatalf("stats = %d, %d; want 0, 1", completed, aborted)
+	}
+	// The client retries from step 1 under the same ID: tracked as new.
+	s, err := tr.Observe("order-7", 1)
+	if err != nil {
+		t.Fatalf("retry after abort rejected: %v", err)
+	}
+	if s.Step != 1 || s.Accesses != 1 {
+		t.Fatalf("retry state = %+v, want fresh step 1 with 1 access", s)
+	}
+}
+
+// An access retransmitted after its transaction finished must not resurrect
+// completed state at an earlier step and then trip monotonicity for the
+// retried flow — it re-creates the transaction at whatever step it carries.
+func TestObserveAfterCompleteRecreates(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("t", 3)
+	if err := tr.Complete("t"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := tr.Observe("t", 2)
+	if err != nil {
+		t.Fatalf("post-complete observe rejected: %v", err)
+	}
+	if s.Step != 2 || s.Accesses != 1 {
+		t.Fatalf("recreated state = %+v", s)
+	}
+}
+
+// Duplicate completion (e.g. a retried completion callback after the first
+// one's response was lost) must error without double-counting, and must not
+// let an already-completed transaction also score as aborted.
+func TestDuplicateCompletion(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("t")
+	if err := tr.Complete("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Complete("t"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("duplicate complete err = %v, want ErrUnknownTxn", err)
+	}
+	if err := tr.Abort("t"); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("abort after complete err = %v, want ErrUnknownTxn", err)
+	}
+	completed, aborted := tr.Stats()
+	if completed != 1 || aborted != 0 {
+		t.Fatalf("stats = %d, %d; want 1, 0", completed, aborted)
+	}
+}
+
+// Racing completions for one transaction: exactly one wins, the rest get
+// ErrUnknownTxn, and the completed counter moves by exactly one.
+func TestConcurrentDuplicateCompletion(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin("t")
+	const racers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = tr.Complete("t")
+		}(i)
+	}
+	wg.Wait()
+	wins := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			wins++
+		case !errors.Is(err, ErrUnknownTxn):
+			t.Errorf("racer %d: err = %v, want nil or ErrUnknownTxn", i, err)
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d completions won, want exactly 1", wins)
+	}
+	if completed, _ := tr.Stats(); completed != 1 {
+		t.Fatalf("completed = %d, want 1", completed)
+	}
+}
+
 func TestLookupCopies(t *testing.T) {
 	tr := NewTracker()
 	tr.Observe("t", 1)

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestClientSurvivesServerCrashRestart pins the failover-critical property
+// of the client socket: a server crash (socket closed → ICMP port
+// unreachable → ECONNREFUSED surfacing on the connected client socket) must
+// not kill the reader goroutine. The same client must work again, without
+// re-dialing, once a server rebinds the port.
+func TestClientSurvivesServerCrashRestart(t *testing.T) {
+	echo := func(_ context.Context, _ net.Addr, req *Message) *Message {
+		return &Message{Status: StatusOK, Payload: req.Payload}
+	}
+	srv, err := NewServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	cli, err := Dial(addr, WithRetransmit(30*time.Millisecond), WithAttempts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Call(ctx, &Message{Service: "s", Payload: []byte("a")}); err != nil {
+		t.Fatalf("call before crash: %v", err)
+	}
+
+	// Crash: close the server socket. Calls while down must fail (send
+	// refused or timeout) but must not wedge the client.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	downCtx, downCancel := context.WithTimeout(context.Background(), time.Second)
+	if _, err := cli.Call(downCtx, &Message{Service: "s", Payload: []byte("b")}); err == nil {
+		t.Fatal("call succeeded against a dead server")
+	}
+	downCancel()
+
+	// Restart on the same port. Rebinding can briefly race the just-closed
+	// socket, so retry the bind for a moment.
+	var srv2 *Server
+	for deadline := time.Now().Add(2 * time.Second); ; {
+		srv2, err = NewServer(addr, echo)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer srv2.Close()
+
+	// The original client — same socket, no re-dial — must recover. Allow a
+	// few calls in case stale ICMP errors are still queued on the socket.
+	var lastErr error
+	for i := 0; i < 20; i++ {
+		callCtx, callCancel := context.WithTimeout(context.Background(), time.Second)
+		resp, err := cli.Call(callCtx, &Message{Service: "s", Payload: []byte("c")})
+		callCancel()
+		if err == nil {
+			if string(resp.Payload) != "c" {
+				t.Fatalf("bad echo after restart: %q", resp.Payload)
+			}
+			return
+		}
+		lastErr = err
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never recovered after server restart: %v", lastErr)
+}

@@ -40,16 +40,27 @@ const dedupWindow = 4096
 // port). Close must be called to release the socket and stop the serving
 // goroutines.
 func NewServer(addr string, handler Handler) (*Server, error) {
-	if handler == nil {
-		return nil, errors.New("wire: nil handler")
-	}
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
 	}
+	s, err := NewServerConn(conn, handler)
+	if err != nil {
+		conn.Close()
+	}
+	return s, err
+}
+
+// NewServerConn starts a datagram server on an already-bound PacketConn.
+// The chaos harness uses this to interpose netsim.PacketConn fault gates
+// between the server and the real socket; Close closes pc.
+func NewServerConn(pc net.PacketConn, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("wire: nil handler")
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		conn:    conn,
+		conn:    pc,
 		handler: handler,
 		dedup:   make(map[string][]byte),
 		cancel:  cancel,
@@ -257,7 +268,23 @@ func (c *Client) readLoop() {
 	for {
 		n, err := c.conn.Read(buf)
 		if err != nil {
-			return
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			// Transient read errors must not kill the reader. On Linux a
+			// connected UDP socket surfaces ICMP port-unreachable as
+			// ECONNREFUSED on Read after the peer dies; one such error per
+			// lost datagram is expected while a broker is down, and the same
+			// socket works again once the peer rebinds its port. Exiting here
+			// would leave every future Call waiting on a response nobody
+			// reads.
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
 		}
 		m, err := Decode(buf[:n])
 		if err != nil || m.Type != TypeResponse {
