@@ -125,8 +125,9 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 		return fmt.Errorf("unknown kind %q", kind)
 	}
 
+	var adminSrv *obs.Server
 	if admin != "" {
-		adminSrv := obs.New()
+		adminSrv = obs.New()
 		adminSrv.MountRegistry("backend."+kind+".", reg)
 		store := tsdb.New(0)
 		store.Mount("backend."+kind+".", reg)
@@ -146,6 +147,11 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 	slog.Info("serving", "kind", kind, "addr", boundAddr)
 	wait()
 	slog.Info("shutting down")
+	if adminSrv != nil {
+		// /healthz answers "draining" (503 + Retry-After) while in-flight
+		// work finishes, so scrapers see an intentional shutdown.
+		adminSrv.SetDraining(true)
+	}
 	return shutdown()
 }
 

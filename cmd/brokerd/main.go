@@ -63,6 +63,7 @@ import (
 	"servicebroker/internal/backend"
 	"servicebroker/internal/broker"
 	"servicebroker/internal/cluster"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/frontend"
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
@@ -194,6 +195,7 @@ func run(cfg config) error {
 			Seed:          cfg.traceSeed,
 		}),
 	)
+	var events *fleet.Log
 	if cfg.admin != "" {
 		adminSrv = obs.New()
 		adminSrv.SetRecorder(tracer)
@@ -201,6 +203,10 @@ func run(cfg config) error {
 		store = tsdb.New(cfg.seriesPoints)
 		store.Mount("", traceReg)
 		adminSrv.SetTSDB(store)
+		// Every hosted broker shares one event timeline: limit cuts, breaker
+		// flips, SLO transitions, and drains all land on /eventz.
+		events = fleet.NewLog(0, traceReg)
+		adminSrv.SetEventLog(events)
 	}
 
 	brokers := make(map[string]*broker.Broker, len(cfg.services))
@@ -273,11 +279,25 @@ func run(cfg config) error {
 			if cfg.classes < len(objectives) {
 				objectives = objectives[:cfg.classes]
 			}
-			opts = append(opts, broker.WithSLO(slo.Config{
+			sloCfg := slo.Config{
 				Objectives: objectives,
 				FastWindow: cfg.sloFast,
 				SlowWindow: cfg.sloSlow,
-			}))
+			}
+			if events != nil {
+				service := name
+				sloCfg.OnTransition = func(class int, from, to string) {
+					events.Publish(fleet.Event{
+						Kind:    fleet.KindSLOTransition,
+						Service: service,
+						Detail:  fmt.Sprintf("class %d alert state %s -> %s", class, from, to),
+					})
+				}
+			}
+			opts = append(opts, broker.WithSLO(sloCfg))
+		}
+		if events != nil {
+			opts = append(opts, broker.WithFleetEvents(events))
 		}
 		if tracer != nil {
 			opts = append(opts, broker.WithTracer(tracer))
@@ -368,32 +388,9 @@ func run(cfg config) error {
 	}
 	defer gw.Close()
 
-	// Lease registration: advertise each hosted service at the front end.
-	// The deferred Close runs before the gateway's, so DEREGISTER goes out
-	// while the advertised address is still answering.
-	if cfg.registerTo != "" {
-		var registrars []*registry.Registrar
-		defer func() {
-			for _, r := range registrars {
-				r.Close()
-			}
-		}()
-		for name, b := range brokers {
-			r, err := registry.NewRegistrar(registry.RegistrarConfig{
-				Service: name,
-				Addr:    gw.Addr().String(),
-				Target:  cfg.registerTo,
-				TTL:     cfg.leaseTTL,
-				Load:    b.Load,
-			})
-			if err != nil {
-				return fmt.Errorf("registrar %s: %w", name, err)
-			}
-			registrars = append(registrars, r)
-		}
-		slog.Info("lease registration up", "target", cfg.registerTo, "ttl", cfg.leaseTTL)
-	}
-
+	// The admin plane starts before lease registration so each REGISTER can
+	// advertise its admin address for fleet federation scraping.
+	var adminAddr string
 	if adminSrv != nil {
 		adminSrv.AddLoadSource(func() []broker.LoadReport {
 			reports := make([]broker.LoadReport, 0, len(brokers))
@@ -406,7 +403,35 @@ func run(cfg config) error {
 			return err
 		}
 		defer adminSrv.Close()
-		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
+		adminAddr = adminSrv.Addr().String()
+		slog.Info("admin endpoint up", "addr", adminAddr)
+	}
+
+	// Lease registration: advertise each hosted service at the front end.
+	// The deferred Close runs before the gateway's, so DEREGISTER goes out
+	// while the advertised address is still answering.
+	if cfg.registerTo != "" {
+		var registrars []*registry.Registrar
+		defer func() {
+			for _, r := range registrars {
+				r.Close()
+			}
+		}()
+		for name, b := range brokers {
+			r, err := registry.NewRegistrar(registry.RegistrarConfig{
+				Service:   name,
+				Addr:      gw.Addr().String(),
+				Target:    cfg.registerTo,
+				TTL:       cfg.leaseTTL,
+				Load:      b.Load,
+				AdminAddr: adminAddr,
+			})
+			if err != nil {
+				return fmt.Errorf("registrar %s: %w", name, err)
+			}
+			registrars = append(registrars, r)
+		}
+		slog.Info("lease registration up", "target", cfg.registerTo, "ttl", cfg.leaseTTL)
 	}
 	if store != nil {
 		store.Start(cfg.sampleEvery)
@@ -426,6 +451,11 @@ func run(cfg config) error {
 	// accepted request's response reaches the client; the reporters push one
 	// final load report on the way out.
 	slog.Info("shutting down: draining", "timeout", cfg.drainTimeout)
+	if adminSrv != nil {
+		// /healthz flips to "draining" (503 + Retry-After) so fleet scrapers
+		// and load balancers see an intentional shutdown, not a crash.
+		adminSrv.SetDraining(true)
+	}
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	for name, b := range brokers {

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/frontend"
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
@@ -73,18 +74,19 @@ func main() {
 		drainTO     = flag.Duration("drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
 		hotkeys     = flag.Int("hotkeys", 0, "track the top-N hottest request payloads for /hotz (0 disables)")
 		sloOn       = flag.Bool("slo", false, "evaluate per-class SLO burn rates over client-observed latency for /sloz")
+		fleetScrape = flag.Duration("fleet-scrape", fleet.DefaultScrapeInterval, "fleet federation scrape interval for lease-discovered member admin planes (with -admin and -registry)")
 	)
 	flag.Var(&routes, "route", "route spec pattern=service (repeatable)")
 	flag.Parse()
 
 	sampler := &trace.Sampler{SlowThreshold: *traceSlow, Fraction: *traceSample, Seed: *traceSeed}
-	if err := run(*model, *addr, *gateway, *listenAddr, *registryOn, *registryLsn, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO, *hotkeys, *sloOn); err != nil {
+	if err := run(*model, *addr, *gateway, *listenAddr, *registryOn, *registryLsn, *maxClients, routes, *admin, sampler, *sampleEvery, *drainTO, *hotkeys, *sloOn, *fleetScrape); err != nil {
 		slog.Error("frontend failed", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(model, addr, gateway, listenAddr string, registryOn bool, registryListen string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration, hotkeys int, sloOn bool) error {
+func run(model, addr, gateway, listenAddr string, registryOn bool, registryListen string, maxClients int, routeSpecs routeFlags, admin string, sampler *trace.Sampler, sampleEvery, drainTimeout time.Duration, hotkeys int, sloOn bool, fleetScrape time.Duration) error {
 	if gateway == "" {
 		return fmt.Errorf("-gateway is required")
 	}
@@ -126,10 +128,14 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 
 	// startAdmin mounts the front end's registry, trace recorder, pool view,
 	// and (when available) age-stamped listener loads on an obs server when
-	// -admin is set; it returns a cleanup (possibly no-op).
-	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder), poolSrc obs.PoolSource, agedSrc obs.AgedLoadSource) (func(), error) {
+	// -admin is set; it returns the server (nil when the admin plane is off,
+	// for the shutdown path's SetDraining) and a cleanup (possibly no-op).
+	// enableFleet and fleetMembers wire the federation plane: pool and
+	// registry events feed /eventz, and lease-discovered members' admin
+	// planes are scraped into /fleetz and the federated /metrics section.
+	startAdmin := func(reg *metrics.Registry, enableTracing func(*trace.Recorder), poolSrc obs.PoolSource, agedSrc obs.AgedLoadSource, enableFleet func(*fleet.Log), fleetMembers func() []fleet.MemberInfo) (*obs.Server, func(), error) {
 		if admin == "" {
-			return func() {}, nil
+			return nil, func() {}, nil
 		}
 		adminSrv := obs.New()
 		adminSrv.AddPoolSource("frontend", poolSrc)
@@ -169,14 +175,52 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 				return breaching, true
 			})
 		}
+		// Fleet observability: the pool and registry publish failover,
+		// breaker, and lease events into a shared timeline, and a federator
+		// scrapes every lease-discovered member's admin plane.
+		events := fleet.NewLog(0, anaReg)
+		enableFleet(events)
+		adminSrv.SetEventLog(events)
+		var fed *fleet.Federator
+		if registryOn {
+			fleetReg := metrics.NewRegistry()
+			fed = fleet.NewFederator(fleet.FederatorConfig{
+				Discover: fleetMembers,
+				Interval: fleetScrape,
+				Metrics:  fleetReg,
+				Events:   events,
+			})
+			adminSrv.SetFederator(fed)
+			adminSrv.MountRegistry("", fleetReg)
+			// Federation health on /graphz: pool size as the federator sees
+			// it, and cumulative scrape failures.
+			members := fleetReg.Gauge("fleet_members")
+			scrapeErrs := fleetReg.Counter("fleet_scrape_errors_total")
+			store.AddProbe("fleet_members", func() (float64, bool) {
+				return float64(members.Value()), true
+			})
+			store.AddProbe("fleet_scrape_errors_total", func() (float64, bool) {
+				return float64(scrapeErrs.Value()), true
+			})
+			fed.Start()
+		}
 		adminSrv.SetTSDB(store)
 		store.Start(sampleEvery)
 		if err := adminSrv.Start(admin); err != nil {
+			if fed != nil {
+				fed.Close()
+			}
 			store.Close()
-			return nil, err
+			return nil, nil, err
 		}
 		slog.Info("admin endpoint up", "addr", adminSrv.Addr().String())
-		return func() { adminSrv.Close(); store.Close() }, nil
+		return adminSrv, func() {
+			if fed != nil {
+				fed.Close()
+			}
+			adminSrv.Close()
+			store.Close()
+		}, nil
 	}
 
 	switch model {
@@ -196,7 +240,7 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 			agedSrc = agedLoads(l.Entries)
 			slog.Info("lease listener up", "addr", l.Addr())
 		}
-		stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing, d.PoolStatus, agedSrc)
+		adminSrv, stopAdmin, err := startAdmin(d.Metrics(), d.EnableTracing, d.PoolStatus, agedSrc, d.EnableFleet, d.FleetMembers)
 		if err != nil {
 			return err
 		}
@@ -207,6 +251,9 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 			"pool", "http://"+d.Addr()+"/poolz")
 		wait()
 		slog.Info("shutting down: draining", "timeout", drainTimeout)
+		if adminSrv != nil {
+			adminSrv.SetDraining(true)
+		}
 		drain(d.Drain, drainTimeout)
 		return nil
 
@@ -221,7 +268,7 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 			c.EnableRegistry()
 			slog.Info("lease registration enabled on load listener", "addr", c.ListenerAddr())
 		}
-		stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing, c.PoolStatus, agedLoads(c.LoadEntries))
+		adminSrv, stopAdmin, err := startAdmin(c.Metrics(), c.EnableTracing, c.PoolStatus, agedLoads(c.LoadEntries), c.EnableFleet, c.FleetMembers)
 		if err != nil {
 			return err
 		}
@@ -233,6 +280,9 @@ func run(model, addr, gateway, listenAddr string, registryOn bool, registryListe
 			"load_listener", c.ListenerAddr())
 		wait()
 		slog.Info("shutting down: draining", "timeout", drainTimeout)
+		if adminSrv != nil {
+			adminSrv.SetDraining(true)
+		}
 		drain(c.Drain, drainTimeout)
 		return nil
 

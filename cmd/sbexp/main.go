@@ -39,7 +39,7 @@ import (
 var knownExperiments = []string{
 	"all", "fig7", "fig7a", "fig9", "fig10",
 	"table1", "table2", "table3", "table4",
-	"ablations", "obs", "overload", "hotkey", "failover",
+	"ablations", "obs", "overload", "hotkey", "failover", "fleet",
 }
 
 func main() {
@@ -186,6 +186,13 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 
 	if exp == "all" || exp == "failover" {
 		if err := runFailover(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
+	if exp == "all" || exp == "fleet" {
+		if err := runFleetOverhead(ctx, quick); err != nil {
 			return err
 		}
 		sections.Inc()
@@ -341,6 +348,36 @@ func runTraceOverhead(ctx context.Context, quick bool) error {
 		return err
 	}
 	const benchFile = "BENCH_trace_overhead.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
+}
+
+// runFleetOverhead benchmarks the fleet federation plane's cost on the
+// Figure 9 access path (no scraper vs a federator sweeping the member's
+// admin plane during load) and writes BENCH_fleet_overhead.json in the
+// working directory.
+func runFleetOverhead(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultFleetOverheadConfig(quick)
+	fmt.Printf("running fleet federation overhead benchmark (records=%d, %d requests/mode, concurrency=%d, scrape every %v)...\n",
+		cfg.Records, cfg.Requests, cfg.Concurrency, cfg.ScrapeInterval)
+	res, err := experiments.RunFleetOverhead(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.FleetOverheadMode{res.Off, res.Federated} {
+		fmt.Printf("  %-10s mean=%9.0fµs p95=%9.0fµs overhead=%+5.2f%%\n",
+			m.Name, m.MeanMicros, m.P95Micros, m.OverheadPct)
+	}
+	fmt.Printf("  federator: scrapes=%d errors=%d federated series=%d\n\n",
+		res.Scrapes, res.ScrapeErrors, res.FederatedSeries)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_fleet_overhead.json"
 	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

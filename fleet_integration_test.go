@@ -1,0 +1,328 @@
+package servicebroker
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
+	"servicebroker/internal/frontend"
+	"servicebroker/internal/httpserver"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/registry"
+	"servicebroker/internal/trace"
+)
+
+// fleetMember is one pool member the way brokerd deploys it: a traced broker
+// behind a gateway, a lease registrar advertising the member's admin-plane
+// address, and the admin plane itself for the federator to scrape. The
+// backend sits behind a FaultConnector so a test can make the member answer
+// error status without killing it.
+type fleetMember struct {
+	t     *testing.T
+	fault *backend.FaultConnector
+	b     *broker.Broker
+	addr  string
+
+	mu    sync.Mutex
+	gw    *broker.Gateway
+	rgr   *registry.Registrar
+	admin *obs.Server
+}
+
+func newFleetMember(t *testing.T, service string) *fleetMember {
+	t.Helper()
+	fault := &backend.FaultConnector{Inner: &backend.DelayConnector{ServiceName: service, ProcessTime: time.Millisecond}}
+	rec := trace.NewRecorder(trace.WithExport(256))
+	b, err := broker.New(fault, broker.WithTracer(rec), broker.WithThreshold(64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{service: b})
+	if err != nil {
+		b.Close()
+		t.Fatal(err)
+	}
+	admin := obs.New()
+	admin.MountRegistry("broker."+service+".", b.Metrics())
+	admin.SetRecorder(rec)
+	if err := admin.Start("127.0.0.1:0"); err != nil {
+		gw.Close()
+		b.Close()
+		t.Fatal(err)
+	}
+	m := &fleetMember{t: t, fault: fault, b: b, gw: gw, admin: admin, addr: gw.Addr().String()}
+	t.Cleanup(m.close)
+	return m
+}
+
+func (m *fleetMember) adminAddr() string { return m.admin.Addr().String() }
+
+func (m *fleetMember) register(service, target string, ttl time.Duration) {
+	m.t.Helper()
+	rgr, err := registry.NewRegistrar(registry.RegistrarConfig{
+		Service:   service,
+		Addr:      m.addr,
+		Target:    target,
+		TTL:       ttl,
+		Interval:  ttl / 3,
+		Load:      m.b.Load,
+		AdminAddr: m.adminAddr(),
+	})
+	if err != nil {
+		m.t.Fatal(err)
+	}
+	m.mu.Lock()
+	m.rgr = rgr
+	m.mu.Unlock()
+}
+
+// crash kills the member like a process death: renewals stop without a
+// deregister, the gateway socket closes, and the admin plane stops answering
+// the federator's scrapes.
+func (m *fleetMember) crash() {
+	m.mu.Lock()
+	gw, rgr, admin := m.gw, m.rgr, m.admin
+	m.gw, m.rgr, m.admin = nil, nil, nil
+	m.mu.Unlock()
+	if rgr != nil {
+		rgr.Abandon()
+	}
+	if gw != nil {
+		gw.Close()
+	}
+	if admin != nil {
+		admin.Close()
+	}
+}
+
+func (m *fleetMember) close() {
+	m.crash()
+	m.b.Close()
+}
+
+// TestFleetObservability drives the federation plane end to end: three
+// lease-registered members scraped by a frontend-hosted federator, a forced
+// failover producing one stitched /tracez tree with spans from two brokers,
+// a member crash marking it stale on /fleetz within one lease TTL, and
+// /eventz carrying the lease expiry and the breaker-open with the failing
+// request's trace ID.
+func TestFleetObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	const (
+		service  = "db"
+		leaseTTL = 2 * time.Second
+	)
+
+	members := []*fleetMember{newFleetMember(t, service), newFleetMember(t, service), newFleetMember(t, service)}
+
+	fe, err := frontend.NewDistributed("127.0.0.1:0",
+		members[0].addr,
+		[]frontend.Route{{Pattern: "/db", Service: service, DefaultClass: qos.Class3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	lsn, err := fe.EnableRegistry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	fe.EnableTracing(rec)
+	events := fleet.NewLog(0, nil)
+	fe.EnableFleet(events)
+
+	// The frontend's admin plane, wired the way cmd/frontend wires it: the
+	// trace recorder, the event timeline, and a lease-driven federator.
+	adminSrv := obs.New()
+	adminSrv.SetRecorder(rec)
+	adminSrv.SetEventLog(events)
+	fleetReg := metrics.NewRegistry()
+	fed := fleet.NewFederator(fleet.FederatorConfig{
+		Discover:   fe.FleetMembers,
+		Interval:   100 * time.Millisecond,
+		StaleAfter: 300 * time.Millisecond,
+		Metrics:    fleetReg,
+		Events:     events,
+	})
+	defer fed.Close()
+	adminSrv.SetFederator(fed)
+	if err := adminSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer adminSrv.Close()
+	fed.Start()
+
+	for _, m := range members {
+		m.register(service, lsn.Addr(), leaseTTL)
+	}
+
+	page := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + adminSrv.Addr().String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	waitPage := func(path, desc string, timeout time.Duration, ok func(string) bool) string {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		for {
+			body := page(path)
+			if ok(body) {
+				return body
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never showed %s; last:\n%s", path, desc, body)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+
+	// All three members join the fleet view live.
+	waitPage("/fleetz", "3 live members", 5*time.Second, func(b string) bool {
+		return strings.Count(b, "state=live") >= 3 && strings.Contains(b, "fleet: 3 members")
+	})
+
+	cli := httpserver.NewClient(fe.Addr(), httpserver.WithPersistent(1))
+	defer cli.Close()
+	premium := func(q string) {
+		t.Helper()
+		resp, err := cli.Get("/db", map[string]string{"q": q, "qos": "1"})
+		if err != nil {
+			t.Fatalf("premium request failed: %v", err)
+		}
+		if resp.Status != 200 || resp.Header["x-broker-status"] != "ok" {
+			t.Fatalf("premium request = %d %s %q, want 200 ok",
+				resp.Status, resp.Header["x-broker-status"], resp.Body)
+		}
+	}
+	premium("warm")
+
+	// With traffic flowing, the next scrape merges every member's series
+	// under broker= labels and sums them into broker="fleet" rollups.
+	metricsBody := waitPage("/metrics", "fleet rollup series", 5*time.Second, func(b string) bool {
+		return strings.Contains(b, `broker="fleet"`)
+	})
+	for _, m := range members {
+		if !strings.Contains(metricsBody, fmt.Sprintf("fleet_member_up{broker=%q} 1", m.addr)) {
+			t.Fatalf("federated /metrics missing live marker for %s:\n%.2000s", m.addr, metricsBody)
+		}
+	}
+
+	// --- (a) forced failover stitches one tree from two brokers -------------
+	// The idle pool picks the lowest address first; make that member answer
+	// error status (backend down, member alive) so the request fails over
+	// with the failed member's spans still on the trace.
+	first := members[0]
+	for _, m := range members[1:] {
+		if m.addr < first.addr {
+			first = m
+		}
+	}
+	first.fault.SetDown(true)
+	premium("stitched")
+	first.fault.SetDown(false)
+
+	tracez := waitPage("/tracez", "a stitched failover tree", 5*time.Second, func(b string) bool {
+		return findStitchedTrace(b, first.addr) != ""
+	})
+	block := findStitchedTrace(tracez, first.addr)
+	if !strings.Contains(block, "stage=failover") {
+		t.Fatalf("stitched trace missing the failover hop:\n%s", block)
+	}
+
+	// --- (b) a killed member marks stale within one lease TTL ---------------
+	victim := first
+	killedAt := time.Now()
+	victim.crash()
+	waitPage("/fleetz", "killed member stale", leaseTTL, func(b string) bool {
+		for _, line := range strings.Split(b, "\n") {
+			if strings.Contains(line, "member="+victim.addr) && strings.Contains(line, "state=stale") {
+				return true
+			}
+		}
+		return false
+	})
+	if elapsed := time.Since(killedAt); elapsed > leaseTTL {
+		t.Fatalf("stale marking took %v, want within one lease TTL (%v)", elapsed, leaseTTL)
+	}
+
+	// Premium traffic through the crash: every request fails over, and the
+	// repeated failures open the dead member's pool breaker.
+	crashUntil := time.Now().Add(leaseTTL + time.Second)
+	for time.Now().Before(crashUntil) {
+		premium("failover")
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// --- (c) /eventz carries the lease expiry and the traced breaker-open ---
+	waitPage("/eventz", "lease expiry and breaker open for the crashed member", 5*time.Second, func(b string) bool {
+		var sawExpiry, sawBreaker bool
+		for _, line := range strings.Split(b, "\n") {
+			if !strings.Contains(line, "member="+victim.addr) {
+				continue
+			}
+			if strings.Contains(line, "kind=lease_expired") {
+				sawExpiry = true
+			}
+			if strings.Contains(line, "kind=breaker_open") && strings.Contains(line, " trace=") {
+				sawBreaker = true
+			}
+		}
+		return sawExpiry && sawBreaker
+	})
+
+	// The fleet gauges track the scrape health the whole time.
+	if got := fleetReg.Gauge("fleet_members_stale").Value(); got < 1 {
+		t.Fatalf("fleet_members_stale = %d, want >= 1", got)
+	}
+	if got := fleetReg.Counter("fleet_scrapes_total").Value(); got == 0 {
+		t.Fatal("federator never scraped")
+	}
+}
+
+// findStitchedTrace returns the first /tracez block whose spans carry
+// broker attributions from failedAddr plus at least one other broker.
+func findStitchedTrace(body, failedAddr string) string {
+	var block strings.Builder
+	brokers := map[string]bool{}
+	flush := func() string {
+		if brokers[failedAddr] && len(brokers) >= 2 {
+			return block.String()
+		}
+		return ""
+	}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "trace ") {
+			if b := flush(); b != "" {
+				return b
+			}
+			block.Reset()
+			brokers = map[string]bool{}
+		}
+		block.WriteString(line)
+		block.WriteString("\n")
+		if i := strings.Index(line, " broker="); i >= 0 && strings.HasPrefix(line, "  stage=") {
+			rest := line[i+len(" broker="):]
+			if j := strings.IndexByte(rest, ' '); j >= 0 {
+				rest = rest[:j]
+			}
+			brokers[rest] = true
+		}
+	}
+	return flush()
+}

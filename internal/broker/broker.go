@@ -26,6 +26,7 @@ import (
 	"servicebroker/internal/backend"
 	"servicebroker/internal/cache"
 	"servicebroker/internal/cluster"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/loadbalance"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
@@ -100,6 +101,11 @@ type Response struct {
 	// back on the wire (gateway Client only). The caller merges them into its
 	// own trace so /tracez shows the cross-process tree.
 	RemoteSpans []trace.Span
+	// Broker identifies the gateway that answered (gateway Client only,
+	// normally its UDP listen address): the stitching identity that lets a
+	// failed-over request's spans from several pool members merge into one
+	// trace. Empty when the server predates identity stamping.
+	Broker string
 	// RetryAfter is the backpressure hint on StatusShed responses: how long
 	// the client should wait before retrying. Zero means no hint.
 	RetryAfter time.Duration
@@ -142,6 +148,9 @@ type Broker struct {
 	// workload analytics (WithHotKeys) and per-class SLOs (WithSLO)
 	hotkeys *sketch.Tracker
 	sloEng  *slo.Engine
+
+	// fleet event timeline (WithFleetEvents); nil-safe, may stay nil
+	events *fleet.Log
 
 	hotFrac   float64
 	hotNotify func(LoadReport)
@@ -380,6 +389,17 @@ func WithMetrics(reg *metrics.Registry) Option {
 	})
 }
 
+// WithFleetEvents publishes the broker's operational transitions — AIMD
+// admission-limit cuts, backend-replica breaker opens/closes, drain
+// start/stop — into the fleet event timeline l (surfaced on /eventz). A
+// single log is typically shared by every broker in the process.
+func WithFleetEvents(l *fleet.Log) Option {
+	return optionFunc(func(b *Broker) error {
+		b.events = l
+		return nil
+	})
+}
+
 // WithTracer records one trace per handled request into rec, annotating the
 // queue, cache, cluster, and backend stages plus the drop decision. A single
 // recorder is typically shared by every broker in the process so /tracez can
@@ -554,7 +574,20 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 		b.limiter = limiter
 		gauge := b.reg.Gauge("limit_current")
 		gauge.Set(int64(limiter.Limit()))
-		limiter.OnChange(func(n int) { gauge.Set(int64(n)) })
+		prev := limiter.Limit()
+		limiter.OnChange(func(n int) {
+			gauge.Set(int64(n))
+			// A downward move is a multiplicative AIMD cut — a congestion
+			// signal worth a timeline entry; additive raises are routine.
+			if n < prev {
+				b.events.Publish(fleet.Event{
+					Kind:    fleet.KindLimitCut,
+					Service: b.name,
+					Detail:  fmt.Sprintf("admission limit cut %d -> %d", prev, n),
+				})
+			}
+			prev = n
+		})
 	}
 
 	if b.resCfg != nil {
@@ -564,7 +597,7 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 			// Breaker state is mirrored into the registry so /metrics
 			// shows it: gauge value 0 = closed, 1 = half-open, 2 = open.
 			b.replicas.EnableBreakers(b.resCfg.Breaker,
-				func(replica int, _ string, _, to resilience.State) {
+				func(replica int, name string, from, to resilience.State) {
 					b.reg.Gauge(fmt.Sprintf("breaker_state_replica_%d", replica)).Set(int64(to))
 					if to == resilience.StateOpen {
 						b.reg.Counter("breaker_opens_total").Inc()
@@ -573,6 +606,20 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 						if b.limiter != nil {
 							b.limiter.Overload()
 						}
+						b.events.Publish(fleet.Event{
+							Kind:    fleet.KindBreakerOpen,
+							Service: b.name,
+							Member:  name,
+							Detail:  fmt.Sprintf("backend replica %d breaker opened (%s -> %s)", replica, from, to),
+						})
+					}
+					if from == resilience.StateHalfOpen && to == resilience.StateClosed {
+						b.events.Publish(fleet.Event{
+							Kind:    fleet.KindBreakerClose,
+							Service: b.name,
+							Member:  name,
+							Detail:  fmt.Sprintf("backend replica %d probe succeeded, breaker closed", replica),
+						})
 					}
 				})
 		}
@@ -1162,6 +1209,10 @@ func (b *Broker) Drain(ctx context.Context) error {
 	b.mu.Lock()
 	b.draining = true
 	b.mu.Unlock()
+	b.events.Publish(fleet.Event{
+		Kind: fleet.KindDrainStart, Service: b.name,
+		Detail: "drain started: shedding new requests, finishing accepted work",
+	})
 	tick := time.NewTicker(2 * time.Millisecond)
 	defer tick.Stop()
 	for {
@@ -1169,10 +1220,18 @@ func (b *Broker) Drain(ctx context.Context) error {
 		idle := b.outstanding == 0
 		b.mu.Unlock()
 		if idle {
+			b.events.Publish(fleet.Event{
+				Kind: fleet.KindDrainStop, Service: b.name,
+				Detail: "drain finished: no work outstanding",
+			})
 			return nil
 		}
 		select {
 		case <-ctx.Done():
+			b.events.Publish(fleet.Event{
+				Kind: fleet.KindDrainStop, Service: b.name,
+				Detail: "drain deadline passed with work still outstanding",
+			})
 			return ctx.Err()
 		case <-tick.C:
 		}

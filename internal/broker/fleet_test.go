@@ -1,0 +1,86 @@
+// Tests for the broker's fleet event hooks (WithFleetEvents): drain
+// brackets and breaker transitions must land on the event timeline.
+package broker_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
+	"servicebroker/internal/loadbalance"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/resilience"
+)
+
+func TestBrokerDrainPublishesFleetEvents(t *testing.T) {
+	events := fleet.NewLog(8, nil)
+	b, err := broker.New(&backend.DelayConnector{ServiceName: "db"},
+		broker.WithFleetEvents(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if err := b.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap := events.Snapshot(0) // newest first
+	if len(snap) != 2 || snap[1].Kind != fleet.KindDrainStart || snap[0].Kind != fleet.KindDrainStop {
+		t.Fatalf("drain events = %+v, want drain_start then drain_stop", snap)
+	}
+}
+
+func TestBrokerBreakerPublishesFleetEvents(t *testing.T) {
+	faults := faultyReplicas(3)
+	events := fleet.NewLog(64, nil)
+	b, err := broker.New(nil,
+		broker.WithReplicas(loadbalance.LeastOutstanding{}, 2, connectors(faults)...),
+		broker.WithResilience(resilience.Config{
+			Retry:   resilience.RetryConfig{MaxAttempts: 4, BaseDelay: time.Millisecond},
+			Breaker: resilience.BreakerConfig{FailureThreshold: 3, Cooldown: 50 * time.Millisecond},
+		}),
+		broker.WithFleetEvents(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	faults[0].SetDown(true)
+	for i := 0; i < 10; i++ {
+		if resp := b.Handle(context.Background(), &broker.Request{Payload: []byte("q"), Class: qos.Class1, NoCache: true}); resp.Status != broker.StatusOK {
+			t.Fatalf("request %d = %+v", i, resp)
+		}
+	}
+	var sawOpen bool
+	for _, e := range events.Snapshot(0) {
+		if e.Kind == fleet.KindBreakerOpen {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Fatalf("no breaker_open event: %+v", events.Snapshot(0))
+	}
+
+	// Recovery: the half-open probe's success must publish breaker_close.
+	faults[0].SetDown(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.Handle(context.Background(), &broker.Request{Payload: []byte("q"), Class: qos.Class1, NoCache: true})
+		var sawClose bool
+		for _, e := range events.Snapshot(0) {
+			if e.Kind == fleet.KindBreakerClose {
+				sawClose = true
+			}
+		}
+		if sawClose {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no breaker_close event after recovery: %+v", events.Snapshot(0))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

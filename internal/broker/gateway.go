@@ -20,9 +20,10 @@ import (
 // several per-service brokers; requests route on the message's Service
 // field.
 type Gateway struct {
-	mu      sync.Mutex
-	brokers map[string]*Broker
-	server  *wire.Server
+	mu       sync.Mutex
+	brokers  map[string]*Broker
+	server   *wire.Server
+	identity string
 }
 
 // NewGateway starts a gateway on addr ("127.0.0.1:0" for ephemeral) serving
@@ -44,6 +45,7 @@ func NewGateway(addr string, brokers map[string]*Broker) (*Gateway, error) {
 		return nil, err
 	}
 	g.server = srv
+	g.identity = srv.Addr().String()
 	return g, nil
 }
 
@@ -66,7 +68,27 @@ func NewGatewayConn(pc net.PacketConn, brokers map[string]*Broker) (*Gateway, er
 		return nil, err
 	}
 	g.server = srv
+	g.identity = srv.Addr().String()
 	return g, nil
+}
+
+// SetIdentity overrides the identity stamped on responses for clients that
+// set wire.FlagBrokerIdentity. The default — the gateway's UDP listen
+// address — matches how frontend pools address members, which is what makes
+// stitched traces line up with /poolz and /fleetz rows; override it only
+// when the advertised address differs from the bound one (NAT, 0.0.0.0
+// binds).
+func (g *Gateway) SetIdentity(id string) {
+	g.mu.Lock()
+	g.identity = id
+	g.mu.Unlock()
+}
+
+// Identity reports the identity stamped on responses.
+func (g *Gateway) Identity() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.identity
 }
 
 // Addr returns the gateway's UDP address.
@@ -132,6 +154,12 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 		if t, ok := b.Tracer().TakeExport(trace.ID(m.TraceID)); ok {
 			out.Spans = exportSpans(t.Spans)
 		}
+	}
+	// Identity stamp (cross-broker stitching): tell the caller which pool
+	// member answered, so a failed-over request's span exports attribute to
+	// the right broker in the stitched /tracez tree.
+	if m.Flags&wire.FlagBrokerIdentity != 0 {
+		out.BrokerID = g.Identity()
 	}
 	return out
 }
@@ -211,9 +239,11 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		m.Flags |= wire.FlagNoCache
 	}
 	if req.TraceID != 0 {
-		// Ask the broker to ship its spans home on the response. Servers
-		// that predate span export ignore the bit.
-		m.Flags |= wire.FlagSpanExport
+		// Ask the broker to ship its spans home on the response, stamped
+		// with its identity so a pool can stitch spans from several members
+		// into one trace. Servers that predate span export or identity
+		// stamping ignore the bits.
+		m.Flags |= wire.FlagSpanExport | wire.FlagBrokerIdentity
 	}
 	// Declare shed/retry-after support; servers that predate backpressure
 	// ignore the bit and we only ever see pre-v4 statuses from them.
@@ -222,7 +252,7 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{Fidelity: out.Fidelity, Payload: out.Payload, RemoteSpans: importSpans(out.Spans)}
+	resp := &Response{Fidelity: out.Fidelity, Payload: out.Payload, Broker: out.BrokerID, RemoteSpans: importSpans(out.Spans, out.BrokerID)}
 	switch out.Status {
 	case wire.StatusOK:
 		resp.Status = StatusOK
@@ -239,18 +269,20 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 }
 
 // importSpans converts wire spans back to trace spans for merging into the
-// caller's trace.
-func importSpans(spans []wire.Span) []trace.Span {
+// caller's trace, tagging each with the identity of the broker that
+// recorded it.
+func importSpans(spans []wire.Span, brokerID string) []trace.Span {
 	if len(spans) == 0 {
 		return nil
 	}
 	out := make([]trace.Span, 0, len(spans))
 	for _, sp := range spans {
 		out = append(out, trace.Span{
-			Stage: trace.Stage(sp.Stage),
-			Note:  sp.Note,
-			Start: time.Unix(0, sp.Start),
-			End:   time.Unix(0, sp.End),
+			Stage:  trace.Stage(sp.Stage),
+			Note:   sp.Note,
+			Broker: brokerID,
+			Start:  time.Unix(0, sp.Start),
+			End:    time.Unix(0, sp.End),
 		})
 	}
 	return out

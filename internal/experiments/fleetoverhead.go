@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
+	"servicebroker/internal/metrics"
+	"servicebroker/internal/obs"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/sqldb"
+	"servicebroker/internal/workload"
+)
+
+// FleetOverheadConfig parameterizes the federation-overhead benchmark: the
+// Figure 9 access path (wire client → UDP gateway → broker → SQL backend)
+// driven at fixed concurrency while a fleet federator scrapes the broker's
+// admin plane, so the scrape cost can be stated as a percentage of the
+// unfederated mean. The admin plane rides a separate HTTP socket, so the
+// expectation is near-zero interference with the UDP wire path — this
+// benchmark is the check on that claim.
+type FleetOverheadConfig struct {
+	// Records is the fixture size; the scan query visits every row.
+	Records int
+	// Requests per mode (after warmup).
+	Requests int
+	// Concurrency is the closed-loop client count.
+	Concurrency int
+	// ScrapeInterval is the federator sweep period during the federated
+	// mode — deliberately much tighter than the production default so the
+	// measured overhead is an upper bound.
+	ScrapeInterval time.Duration
+	// Warmup requests run before each measured mode and are discarded.
+	Warmup int
+}
+
+// DefaultFleetOverheadConfig returns the benchmark defaults; quick shrinks
+// the fixture and request budget for a fast pass.
+func DefaultFleetOverheadConfig(quick bool) FleetOverheadConfig {
+	cfg := FleetOverheadConfig{
+		Records:        8000,
+		Requests:       400,
+		Concurrency:    4,
+		ScrapeInterval: 10 * time.Millisecond,
+		Warmup:         32,
+	}
+	if quick {
+		cfg.Records = 2000
+		cfg.Requests = 120
+		cfg.Warmup = 12
+	}
+	return cfg
+}
+
+// FleetOverheadMode is one measured configuration.
+type FleetOverheadMode struct {
+	Name        string  `json:"name"`
+	Requests    int     `json:"requests"`
+	MeanMicros  float64 `json:"mean_us"`
+	P95Micros   float64 `json:"p95_us"`
+	OverheadPct float64 `json:"overhead_pct"` // vs the unfederated mean
+}
+
+// FleetOverheadResult is the full benchmark output, serialized to
+// BENCH_fleet_overhead.json by sbexp.
+type FleetOverheadResult struct {
+	Records          int               `json:"records"`
+	Concurrency      int               `json:"concurrency"`
+	ScrapeIntervalMs float64           `json:"scrape_interval_ms"`
+	Off              FleetOverheadMode `json:"off"`
+	Federated        FleetOverheadMode `json:"federated"`
+	// Scrapes and ScrapeErrors report the federation activity during the
+	// federated mode, proving the scraper actually ran while load flowed.
+	Scrapes      int64 `json:"scrapes"`
+	ScrapeErrors int64 `json:"scrape_errors"`
+	// FederatedSeries counts the broker="..." samples in one federated
+	// /metrics render at the end of the run.
+	FederatedSeries int `json:"federated_series"`
+}
+
+// RunFleetOverhead measures end-to-end request latency through the deployed
+// broker path twice: once with only the member's admin plane serving (no
+// scraper), and once with a fleet federator sweeping the member's /metrics
+// at ScrapeInterval throughout the load. The delta is the federation
+// overhead on the wire path.
+func RunFleetOverhead(ctx context.Context, cfg FleetOverheadConfig) (*FleetOverheadResult, error) {
+	if cfg.Records < 1 || cfg.Requests < 1 || cfg.Concurrency < 1 || cfg.ScrapeInterval <= 0 {
+		return nil, fmt.Errorf("experiments: bad fleet overhead parameters %+v", cfg)
+	}
+
+	engine := sqldb.NewEngine()
+	if err := sqldb.LoadRecords(engine, cfg.Records); err != nil {
+		return nil, err
+	}
+	db, err := sqldb.NewServer(engine, "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	query := []byte("SELECT id, name, score FROM records WHERE score BETWEEN 100 AND 140 AND name LIKE 'record-%'")
+
+	// One broker + gateway + admin plane shared by both modes: the member
+	// side is identical, only the scraper differs.
+	b, err := broker.New(&backend.SQLConnector{Addr: db.Addr().String()},
+		broker.WithThreshold(64, 3),
+		broker.WithWorkers(cfg.Concurrency),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	gw, err := broker.NewGateway("127.0.0.1:0", map[string]*broker.Broker{"db": b})
+	if err != nil {
+		return nil, err
+	}
+	defer gw.Close()
+	adminSrv := obs.New()
+	adminSrv.MountRegistry("broker.db.", b.Metrics())
+	if err := adminSrv.Start("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	defer adminSrv.Close()
+
+	cli, err := broker.DialGateway(gw.Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	do := func(ctx context.Context) error {
+		resp, err := cli.Do(ctx, "db", &broker.Request{Payload: query, Class: qos.Class1, NoCache: true})
+		if err != nil {
+			return err
+		}
+		if resp.Status != broker.StatusOK {
+			return fmt.Errorf("status %v: %v", resp.Status, resp.Err)
+		}
+		return nil
+	}
+
+	runMode := func(name string) (*FleetOverheadMode, error) {
+		for i := 0; i < cfg.Warmup; i++ {
+			if err := do(ctx); err != nil {
+				return nil, fmt.Errorf("%s warmup: %w", name, err)
+			}
+		}
+		res, err := workload.ClosedLoop{Concurrency: cfg.Concurrency, Requests: cfg.Requests}.Run(ctx,
+			func(ctx context.Context, _, _ int) (qos.Fidelity, error) {
+				if err := do(ctx); err != nil {
+					return 0, err
+				}
+				return qos.FidelityFull, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		return &FleetOverheadMode{
+			Name:       name,
+			Requests:   cfg.Requests,
+			MeanMicros: float64(res.Latency.Mean()) / float64(time.Microsecond),
+			P95Micros:  float64(res.Latency.Quantile(0.95)) / float64(time.Microsecond),
+		}, nil
+	}
+
+	off, err := runMode("off")
+	if err != nil {
+		return nil, err
+	}
+
+	// Federated mode: a scraper sweeps the member's admin plane at
+	// ScrapeInterval for the whole measured run.
+	fleetReg := metrics.NewRegistry()
+	member := gw.Addr().String()
+	fed := fleet.NewFederator(fleet.FederatorConfig{
+		Discover: func() []fleet.MemberInfo {
+			return []fleet.MemberInfo{{Name: member, AdminAddr: adminSrv.Addr().String()}}
+		},
+		Interval: cfg.ScrapeInterval,
+		Metrics:  fleetReg,
+	})
+	fed.ScrapeOnce(ctx)
+	fed.Start()
+	federated, err := runMode("federated")
+	fed.Close()
+	if err != nil {
+		return nil, err
+	}
+
+	if off.MeanMicros > 0 {
+		federated.OverheadPct = (federated.MeanMicros - off.MeanMicros) / off.MeanMicros * 100
+	}
+
+	var merged strings.Builder
+	fed.WriteMetrics(&merged, map[string]bool{})
+	series := 0
+	for _, line := range strings.Split(merged.String(), "\n") {
+		if strings.Contains(line, `broker="`+member+`"`) {
+			series++
+		}
+	}
+
+	view := fleetReg.View()
+	return &FleetOverheadResult{
+		Records:          cfg.Records,
+		Concurrency:      cfg.Concurrency,
+		ScrapeIntervalMs: float64(cfg.ScrapeInterval) / float64(time.Millisecond),
+		Off:              *off,
+		Federated:        *federated,
+		Scrapes:          view.Counters["fleet_scrapes_total"],
+		ScrapeErrors:     view.Counters["fleet_scrape_errors_total"],
+		FederatedSeries:  series,
+	}, nil
+}

@@ -1,0 +1,402 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"servicebroker/internal/metrics"
+)
+
+// MemberInfo identifies one scrape target: a pool member's stitching
+// identity (normally its gateway address, matching the broker= labels and
+// /tracez span tags) and the admin-plane HTTP address to scrape.
+type MemberInfo struct {
+	Name      string
+	AdminAddr string
+}
+
+// MemberStatus is one row of the federator's view, rendered on /fleetz.
+type MemberStatus struct {
+	Name      string
+	AdminAddr string
+	// Stale reports that the member's admin plane has not answered within
+	// the staleness horizon; its last good exposition is still served,
+	// marked fleet_member_up 0.
+	Stale bool
+	// LastGood is when the member last answered a scrape; zero when it
+	// never has.
+	LastGood time.Time
+	// LastError is the most recent scrape failure; empty when the last
+	// scrape succeeded.
+	LastError string
+	// Build is the first line of the member's /buildz, fetched on the
+	// first successful sweep (version/vcs identification).
+	Build string
+	// Series counts the parsed samples in the member's last good
+	// exposition.
+	Series int
+}
+
+// Federator defaults.
+const (
+	DefaultScrapeInterval = 2 * time.Second
+	DefaultScrapeTimeout  = time.Second
+)
+
+// FederatorConfig parameterizes a Federator.
+type FederatorConfig struct {
+	// Discover returns the current member set each sweep: lease-discovered
+	// members plus static configuration. The federation layer stays
+	// dependency-free — the daemon composes this from its registry.
+	Discover func() []MemberInfo
+	// Interval between scrape sweeps; zero means DefaultScrapeInterval.
+	Interval time.Duration
+	// Timeout bounds one member's scrape; zero means DefaultScrapeTimeout
+	// (and never more than Interval, so one hung member cannot stall the
+	// sweep past its period).
+	Timeout time.Duration
+	// StaleAfter is how long after its last good scrape a member is marked
+	// stale; zero means 3×Interval (one lost scrape is noise, three is an
+	// outage).
+	StaleAfter time.Duration
+	// Metrics, when set, receives fleet_members / fleet_members_stale
+	// gauges and fleet_scrapes_total / fleet_scrape_errors_total counters —
+	// federation health observable on /graphz like everything else.
+	Metrics *metrics.Registry
+	// Events, when set, receives member_stale / member_live transitions.
+	Events *Log
+	// Client overrides the scrape HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+}
+
+// memberCache is the federator's bookkeeping for one member.
+type memberCache struct {
+	info     MemberInfo
+	fams     []promFamily
+	series   int
+	lastGood time.Time
+	lastErr  string
+	stale    bool
+	build    string
+	missing  int // sweeps since Discover stopped returning it
+}
+
+// Federator periodically scrapes every member's admin plane and caches the
+// last good answer, so the fleet view tolerates members mid-crash: a member
+// that stops answering is marked stale (fleet_member_up 0, /fleetz row,
+// member_stale event) while its last exposition keeps serving — the scrape
+// never blocks on a dead member and never blanks the fleet view.
+type Federator struct {
+	cfg    FederatorConfig
+	client *http.Client
+
+	mu      sync.Mutex
+	members map[string]*memberCache
+	closed  bool
+	done    chan struct{}
+
+	gaugeMembers *metrics.Gauge
+	gaugeStale   *metrics.Gauge
+	scrapes      *metrics.Counter
+	scrapeErrors *metrics.Counter
+}
+
+// forgetAfterSweeps is how many sweeps a member missing from Discover is
+// retained (stale) before the federator forgets it entirely. Lease
+// tombstones age out of discovery well before an operator finishes looking
+// at an incident, so the fleet view holds rows a little longer.
+const forgetAfterSweeps = 30
+
+// NewFederator builds a Federator. Call Start to begin sweeping, or
+// ScrapeOnce from tests.
+func NewFederator(cfg FederatorConfig) *Federator {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultScrapeInterval
+	}
+	if cfg.Timeout <= 0 || cfg.Timeout > cfg.Interval {
+		cfg.Timeout = DefaultScrapeTimeout
+		if cfg.Timeout > cfg.Interval {
+			cfg.Timeout = cfg.Interval
+		}
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 3 * cfg.Interval
+	}
+	f := &Federator{
+		cfg:     cfg,
+		client:  cfg.Client,
+		members: make(map[string]*memberCache),
+		done:    make(chan struct{}),
+	}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	if m := cfg.Metrics; m != nil {
+		f.gaugeMembers = m.Gauge("fleet_members")
+		f.gaugeStale = m.Gauge("fleet_members_stale")
+		f.scrapes = m.Counter("fleet_scrapes_total")
+		f.scrapeErrors = m.Counter("fleet_scrape_errors_total")
+	}
+	return f
+}
+
+// Start launches the background sweep loop.
+func (f *Federator) Start() {
+	go func() {
+		t := time.NewTicker(f.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.done:
+				return
+			case <-t.C:
+				f.ScrapeOnce(context.Background())
+			}
+		}
+	}()
+}
+
+// Close stops the sweep loop. Idempotent.
+func (f *Federator) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	close(f.done)
+}
+
+// ScrapeOnce runs one sweep: refresh the member set from Discover, scrape
+// every member concurrently (each bounded by the scrape timeout), fold the
+// results into the cache, and update staleness. Safe to call directly from
+// tests or a handler that wants fresh data.
+func (f *Federator) ScrapeOnce(ctx context.Context) {
+	targets := f.refreshMembers()
+
+	type result struct {
+		name  string
+		body  string
+		build string
+		err   error
+	}
+	results := make(chan result, len(targets))
+	for _, t := range targets {
+		go func(t MemberInfo, wantBuild bool) {
+			body, err := f.fetch(ctx, t.AdminAddr, "/metrics")
+			r := result{name: t.Name, body: body, err: err}
+			if err == nil && wantBuild {
+				if build, berr := f.fetch(ctx, t.AdminAddr, "/buildz"); berr == nil {
+					if i := strings.IndexByte(build, '\n'); i >= 0 {
+						build = build[:i]
+					}
+					r.build = strings.TrimSpace(build)
+				}
+			}
+			results <- r
+		}(t, f.needsBuild(t.Name))
+	}
+	now := time.Now()
+	for range targets {
+		r := <-results
+		f.fold(r.name, r.body, r.build, r.err, now)
+	}
+	f.sweepStale(now)
+}
+
+// refreshMembers folds Discover's current answer into the cache and returns
+// the scrape targets. Members Discover stopped returning (expired leases)
+// are retained stale for a grace period so /fleetz shows the loss instead
+// of silently dropping the row.
+func (f *Federator) refreshMembers() []MemberInfo {
+	var discovered []MemberInfo
+	if f.cfg.Discover != nil {
+		discovered = f.cfg.Discover()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	seen := make(map[string]bool, len(discovered))
+	for _, info := range discovered {
+		if info.Name == "" || info.AdminAddr == "" || seen[info.Name] {
+			continue
+		}
+		seen[info.Name] = true
+		mc, ok := f.members[info.Name]
+		if !ok {
+			mc = &memberCache{info: info}
+			f.members[info.Name] = mc
+		}
+		mc.info = info
+		mc.missing = 0
+	}
+	targets := make([]MemberInfo, 0, len(f.members))
+	for name, mc := range f.members {
+		if !seen[name] {
+			mc.missing++
+			if mc.missing > forgetAfterSweeps {
+				delete(f.members, name)
+				continue
+			}
+			continue // not scraped: its lease is gone, let it go stale
+		}
+		targets = append(targets, mc.info)
+	}
+	return targets
+}
+
+// needsBuild reports whether the member's /buildz line is still unknown.
+func (f *Federator) needsBuild(name string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mc := f.members[name]
+	return mc != nil && mc.build == ""
+}
+
+// fetch GETs one admin page with the scrape timeout applied.
+func (f *Federator) fetch(ctx context.Context, adminAddr, page string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+adminAddr+page, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fleet: %s%s answered %d", adminAddr, page, resp.StatusCode)
+	}
+	return string(body), nil
+}
+
+// fold records one scrape outcome.
+func (f *Federator) fold(name, body, build string, err error, now time.Time) {
+	count(f.scrapes)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mc := f.members[name]
+	if mc == nil {
+		return
+	}
+	if err != nil {
+		mc.lastErr = err.Error()
+		count(f.scrapeErrors)
+		return
+	}
+	fams := parseProm(body)
+	series := 0
+	for _, fam := range fams {
+		series += len(fam.samples)
+	}
+	mc.fams, mc.series, mc.lastGood, mc.lastErr = fams, series, now, ""
+	if build != "" {
+		mc.build = build
+	}
+	if mc.stale {
+		mc.stale = false
+		f.cfg.Events.Publish(Event{Kind: KindMemberLive, Member: name, Detail: "admin plane answering again"})
+	}
+}
+
+// sweepStale updates staleness markers and the fleet gauges after a sweep.
+func (f *Federator) sweepStale(now time.Time) {
+	f.mu.Lock()
+	var total, stale int64
+	var newlyStale []string
+	for name, mc := range f.members {
+		total++
+		if !mc.stale && now.Sub(mc.lastGood) > f.cfg.StaleAfter {
+			mc.stale = true
+			newlyStale = append(newlyStale, name)
+		}
+		if mc.stale {
+			stale++
+		}
+	}
+	f.mu.Unlock()
+	if f.gaugeMembers != nil {
+		f.gaugeMembers.Set(total)
+		f.gaugeStale.Set(stale)
+	}
+	for _, name := range newlyStale {
+		f.cfg.Events.Publish(Event{Kind: KindMemberStale, Member: name, Detail: "admin plane stopped answering scrapes"})
+	}
+}
+
+// Members returns the fleet view rows, sorted by member name.
+func (f *Federator) Members() []MemberStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]MemberStatus, 0, len(f.members))
+	for _, mc := range f.members {
+		out = append(out, MemberStatus{
+			Name:      mc.info.Name,
+			AdminAddr: mc.info.AdminAddr,
+			Stale:     mc.stale,
+			LastGood:  mc.lastGood,
+			LastError: mc.lastErr,
+			Build:     mc.build,
+			Series:    mc.series,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetrics appends the federated section of a /metrics exposition:
+// per-member up/staleness markers, every member's cached samples under
+// broker="name" labels, and broker="fleet" sum rollups. seen carries family
+// names already typed by the caller's local section and is updated in
+// place, keeping the merged document free of duplicate TYPE lines.
+func (f *Federator) WriteMetrics(b *strings.Builder, seen map[string]bool) {
+	f.mu.Lock()
+	members := make([]memberExposition, 0, len(f.members))
+	type upRow struct {
+		name string
+		up   float64
+	}
+	ups := make([]upRow, 0, len(f.members))
+	for name, mc := range f.members {
+		up := 1.0
+		if mc.stale {
+			up = 0
+		}
+		ups = append(ups, upRow{name: name, up: up})
+		if len(mc.fams) == 0 {
+			continue
+		}
+		members = append(members, memberExposition{name: name, fams: mc.fams})
+	}
+	f.mu.Unlock()
+	if len(ups) == 0 {
+		return
+	}
+	sort.Slice(ups, func(i, j int) bool { return ups[i].name < ups[j].name })
+	if !seen["fleet_member_up"] {
+		b.WriteString("# TYPE fleet_member_up gauge\n")
+		seen["fleet_member_up"] = true
+	}
+	for _, u := range ups {
+		fmt.Fprintf(b, "fleet_member_up%s %s\n", brokerLabel(u.name, ""), formatValue(u.up))
+	}
+	writeFederated(b, members, seen)
+}
+
+func count(c *metrics.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}

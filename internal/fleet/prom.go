@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSample is one parsed exposition line: a sample name (which for
+// histograms carries the _bucket/_sum/_count suffix), its raw label body
+// (the text inside the braces, without a broker label), and its value.
+type promSample struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// promFamily groups the samples of one metric family together with its TYPE.
+type promFamily struct {
+	name    string
+	typ     string // counter | gauge | histogram | untyped
+	samples []promSample
+}
+
+// parseProm parses a Prometheus text exposition into families. It is
+// deliberately forgiving: unparseable lines are skipped (a member mid-crash
+// may ship a truncated body, and federation must keep the rest), HELP lines
+// and exemplars are dropped, and samples that appear before any TYPE line
+// land in an untyped family of their own name.
+func parseProm(body string) []promFamily {
+	fams := make(map[string]*promFamily)
+	var order []string
+	family := func(name string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, typ: "untyped"}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	var current *promFamily
+	for _, line := range strings.Split(body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				current = family(fields[2])
+				current.typ = fields[3]
+			}
+			continue
+		}
+		name, labels, value, ok := parsePromSample(line)
+		if !ok {
+			continue
+		}
+		f := current
+		// A sample belongs to the current family only when its name extends
+		// the family name (histogram suffixes); anything else starts its own.
+		if f == nil || !strings.HasPrefix(name, f.name) {
+			f = family(name)
+		}
+		f.samples = append(f.samples, promSample{name: name, labels: labels, value: value})
+	}
+	out := make([]promFamily, 0, len(order))
+	for _, name := range order {
+		out = append(out, *fams[name])
+	}
+	return out
+}
+
+// parsePromSample splits one sample line into name, raw label body, and
+// value, dropping any trailing exemplar ("# {...} v") or timestamp.
+func parsePromSample(line string) (name, labels string, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 && i < strings.IndexByte(line+" ", ' ') {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return "", "", 0, false
+		}
+		name, labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp <= 0 {
+			return "", "", 0, false
+		}
+		name, rest = line[:sp], line[sp:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return "", "", 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, false
+	}
+	return name, labels, v, true
+}
+
+// formatValue renders a float the way Prometheus expects (shortest
+// round-trippable form; integers stay integral).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// brokerLabel renders a sample's label body with broker="name" injected
+// first, preserving the member's own labels after it.
+func brokerLabel(name, labels string) string {
+	if labels == "" {
+		return fmt.Sprintf("{broker=%q}", name)
+	}
+	return fmt.Sprintf("{broker=%q,%s}", name, labels)
+}
+
+// memberExposition pairs one member's identity with its last good parse.
+type memberExposition struct {
+	name string
+	fams []promFamily
+}
+
+// writeFederated renders the federated section of /metrics: every member's
+// samples labeled broker="<member>", followed by broker="fleet" rollups
+// summing identical series across members (valid for counters, gauges, and
+// histogram component samples alike — they are all numeric and
+// dimensionally aligned). seen carries family names whose # TYPE line the
+// caller already emitted (the local, unfederated section); it is updated as
+// families are written so no family is typed twice.
+func writeFederated(b *strings.Builder, members []memberExposition, seen map[string]bool) {
+	// Collect the union of family names, then emit them in sorted order with
+	// members sorted by name inside each family: deterministic output for
+	// tests and diffable scrapes.
+	type slot struct {
+		fam   promFamily
+		byMem map[string][]promSample
+	}
+	slots := make(map[string]*slot)
+	var names []string
+	for _, m := range members {
+		for _, f := range m.fams {
+			s, ok := slots[f.name]
+			if !ok {
+				s = &slot{fam: promFamily{name: f.name, typ: f.typ}, byMem: make(map[string][]promSample)}
+				slots[f.name] = s
+				names = append(names, f.name)
+			}
+			if s.fam.typ == "untyped" && f.typ != "untyped" {
+				s.fam.typ = f.typ
+			}
+			s.byMem[m.name] = append(s.byMem[m.name], f.samples...)
+		}
+	}
+	sort.Strings(names)
+	memNames := make([]string, 0, len(members))
+	for _, m := range members {
+		memNames = append(memNames, m.name)
+	}
+	sort.Strings(memNames)
+
+	for _, famName := range names {
+		s := slots[famName]
+		if !seen[famName] {
+			fmt.Fprintf(b, "# TYPE %s %s\n", famName, s.fam.typ)
+			seen[famName] = true
+		}
+		// rollup accumulates fleet sums keyed by (sample name, labels).
+		type seriesKey struct{ name, labels string }
+		rollup := make(map[seriesKey]float64)
+		var rollOrder []seriesKey
+		for _, mem := range memNames {
+			for _, sp := range s.byMem[mem] {
+				fmt.Fprintf(b, "%s%s %s\n", sp.name, brokerLabel(mem, sp.labels), formatValue(sp.value))
+				k := seriesKey{sp.name, sp.labels}
+				if _, ok := rollup[k]; !ok {
+					rollOrder = append(rollOrder, k)
+				}
+				rollup[k] += sp.value
+			}
+		}
+		sort.Slice(rollOrder, func(i, j int) bool {
+			if rollOrder[i].name != rollOrder[j].name {
+				return rollOrder[i].name < rollOrder[j].name
+			}
+			return rollOrder[i].labels < rollOrder[j].labels
+		})
+		for _, k := range rollOrder {
+			fmt.Fprintf(b, "%s%s %s\n", k.name, brokerLabel("fleet", k.labels), formatValue(rollup[k]))
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
@@ -164,15 +165,18 @@ func tracedCall(rec *trace.Recorder, ana analytics, cli caller, service string, 
 	}
 	start := time.Now()
 	span := tr.StartSpan(trace.StageWire)
-	resp, err := cli.Do(context.Background(), service, req)
+	// Carry the active trace down into the pool so its failover loop can
+	// record StageFailover hops on the same tree the remote spans merge into.
+	resp, err := cli.Do(trace.NewContext(context.Background(), tr), service, req)
 	span.End()
 	wire := time.Since(start)
 	if resp != nil {
 		// Merge the broker-side spans shipped back on the response so the
 		// front end's /tracez shows the whole cross-process tree (wire →
-		// queue → cache/cluster/backend → retry).
+		// queue → cache/cluster/backend → retry), attributed to the pool
+		// member that recorded them.
 		for _, sp := range resp.RemoteSpans {
-			tr.Span(sp.Stage, sp.Start, sp.End, sp.Note)
+			tr.RemoteSpan(sp.Stage, sp.Start, sp.End, sp.Note, sp.Broker)
 		}
 	}
 	ana.observe(string(req.Payload), req.Class, resp, err, wire)
@@ -222,6 +226,7 @@ type Distributed struct {
 	rec  *trace.Recorder
 	ana  analytics
 
+	events      *fleet.Log
 	registry    *registry.Registry
 	regListener *Listener
 }
@@ -263,7 +268,7 @@ func (d *Distributed) EnableRegistry(listenAddr string) (*Listener, error) {
 	if d.registry != nil {
 		return d.regListener, nil
 	}
-	reg := registry.New(registry.Config{Metrics: d.reg, Logger: slog.Default()})
+	reg := registry.New(registry.Config{Metrics: d.reg, Logger: slog.Default(), Events: d.events})
 	l, err := NewListener(listenAddr, WithRegistry(reg))
 	if err != nil {
 		reg.Close()
@@ -279,6 +284,28 @@ func (d *Distributed) EnableRegistry(listenAddr string) (*Listener, error) {
 // PoolStatus returns the routing pool's /poolz rows (lease state merged
 // with per-member routing health).
 func (d *Distributed) PoolStatus() []registry.PoolView { return d.pool.Status() }
+
+// EnableFleet wires the fleet event timeline: the routing pool publishes
+// failover, breaker, and stale-serve events into l, and (once discovery is
+// enabled) the registry publishes lease lifecycle events. Order-independent
+// with EnableRegistry.
+func (d *Distributed) EnableFleet(l *fleet.Log) {
+	d.events = l
+	d.pool.SetEvents(l)
+	if d.registry != nil {
+		d.registry.SetEvents(l)
+	}
+}
+
+// FleetMembers returns the lease-discovered pool members that advertised an
+// admin plane — the Discover feed for a fleet.Federator. Nil before
+// EnableRegistry.
+func (d *Distributed) FleetMembers() []fleet.MemberInfo {
+	if d.registry == nil {
+		return nil
+	}
+	return d.registry.FleetMembers()
+}
 
 // Addr returns the web server's address.
 func (d *Distributed) Addr() string { return d.srv.Addr().String() }
@@ -370,6 +397,7 @@ type Centralized struct {
 	rec      *trace.Recorder
 	ana      analytics
 
+	events   *fleet.Log
 	registry *registry.Registry
 }
 
@@ -423,7 +451,7 @@ func (c *Centralized) EnableRegistry() *registry.Registry {
 	if c.registry != nil {
 		return c.registry
 	}
-	reg := registry.New(registry.Config{Metrics: c.reg, Logger: slog.Default()})
+	reg := registry.New(registry.Config{Metrics: c.reg, Logger: slog.Default(), Events: c.events})
 	reg.Start(registryReconcileInterval)
 	c.listener.AttachRegistry(reg)
 	c.registry = reg
@@ -434,6 +462,25 @@ func (c *Centralized) EnableRegistry() *registry.Registry {
 // PoolStatus returns the routing pool's /poolz rows (lease state merged
 // with per-member routing health).
 func (c *Centralized) PoolStatus() []registry.PoolView { return c.pool.Status() }
+
+// EnableFleet wires the fleet event timeline (see Distributed.EnableFleet).
+func (c *Centralized) EnableFleet(l *fleet.Log) {
+	c.events = l
+	c.pool.SetEvents(l)
+	if c.registry != nil {
+		c.registry.SetEvents(l)
+	}
+}
+
+// FleetMembers returns the lease-discovered pool members that advertised an
+// admin plane — the Discover feed for a fleet.Federator. Nil before
+// EnableRegistry.
+func (c *Centralized) FleetMembers() []fleet.MemberInfo {
+	if c.registry == nil {
+		return nil
+	}
+	return c.registry.FleetMembers()
+}
 
 // Addr returns the web server's address.
 func (c *Centralized) Addr() string { return c.srv.Addr().String() }

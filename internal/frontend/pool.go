@@ -11,10 +11,12 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/cache"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/qos"
 	"servicebroker/internal/registry"
 	"servicebroker/internal/resilience"
+	"servicebroker/internal/trace"
 	"servicebroker/internal/wire"
 )
 
@@ -46,6 +48,11 @@ type PoolConfig struct {
 	// low-fidelity classes when every member is down; zero means 256,
 	// negative disables stale serving.
 	StaleEntries int
+	// Events, when set, receives fleet timeline entries for routing
+	// decisions: failovers, breaker transitions, stale serves — each linked
+	// to the triggering request's trace ID when it was traced. Nil disables
+	// event publishing (every Log method is nil-safe).
+	Events *fleet.Log
 }
 
 // DefaultAttemptTimeout caps one member attempt during failover.
@@ -85,6 +92,7 @@ type Pool struct {
 	mu      sync.Mutex
 	members map[string]*poolMember
 	closed  bool
+	events  *fleet.Log
 
 	failovers   *metrics.Counter
 	staleServed *metrics.Counter
@@ -102,7 +110,7 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.AttemptTimeout <= 0 {
 		cfg.AttemptTimeout = DefaultAttemptTimeout
 	}
-	p := &Pool{cfg: cfg, members: make(map[string]*poolMember)}
+	p := &Pool{cfg: cfg, members: make(map[string]*poolMember), events: cfg.Events}
 	if n := cfg.StaleEntries; n >= 0 {
 		if n == 0 {
 			n = 256
@@ -138,6 +146,23 @@ func (p *Pool) registry() *registry.Registry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.cfg.Registry
+}
+
+// SetEvents attaches (or replaces) the fleet event log the pool publishes
+// routing decisions into; the deployment models call this when fleet
+// observability is enabled after the pool is built.
+func (p *Pool) SetEvents(l *fleet.Log) {
+	p.mu.Lock()
+	p.events = l
+	p.mu.Unlock()
+}
+
+// eventLog reads the fleet event log under the lock. The result may be nil;
+// every Log method is nil-safe.
+func (p *Pool) eventLog() *fleet.Log {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.events
 }
 
 // member returns (creating if needed) the bookkeeping entry for addr.
@@ -278,14 +303,21 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 	}
 	deadline, hasDeadline := ctx.Deadline()
 
+	// act annotates the caller's trace (when there is one) with the pool's
+	// routing decisions: every failover hop becomes a StageFailover span so
+	// the stitched cross-broker tree shows where and why the request moved.
+	act := trace.FromContext(ctx)
+	traceID := uint64(req.TraceID)
+
 	var lastErr error
 	var lastResp *broker.Response
 	for i := 0; i < maxAttempts; i++ {
 		cand := cands[i]
+		attemptStart := time.Now()
 		cli, err := p.clientFor(cand.member)
 		if err != nil {
 			lastErr = err
-			p.noteFailure(cand.member, err, i < maxAttempts-1)
+			p.noteFailure(cand.member, err, i < maxAttempts-1, act, traceID, service, attemptStart)
 			continue
 		}
 		acquired := false
@@ -306,7 +338,9 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 			err = fmt.Errorf("frontend: pool attempt to %s: %w", cand.member.addr, context.DeadlineExceeded)
 		}
 		if acquired {
+			before := cand.member.breaker.State()
 			cand.member.breaker.Done(err)
+			p.noteBreaker(cand.member, before, service, traceID, err)
 		}
 		if err == nil {
 			if resp.Status == broker.StatusError && i < maxAttempts-1 {
@@ -315,13 +349,24 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 				// member may do better.
 				lastResp, lastErr = resp, nil
 				p.countFailover()
+				// Keep the failed member's spans on the stitched tree: the
+				// trace shows what that broker did before the request moved.
+				for _, sp := range resp.RemoteSpans {
+					act.RemoteSpan(sp.Stage, sp.Start, sp.End, sp.Note, sp.Broker)
+				}
+				act.Span(trace.StageFailover, attemptStart, time.Now(),
+					fmt.Sprintf("from=%s status=error", cand.member.addr))
+				p.eventLog().Publish(fleet.Event{
+					Kind: fleet.KindFailover, Service: service, Member: cand.member.addr,
+					Detail: "member answered error status", TraceID: traceID,
+				})
 				continue
 			}
 			p.rememberGood(service, req, resp)
 			return resp, nil
 		}
 		lastErr = err
-		p.noteFailure(cand.member, err, i < maxAttempts-1)
+		p.noteFailure(cand.member, err, i < maxAttempts-1, act, traceID, service, attemptStart)
 		if ctx.Err() != nil {
 			break // the caller's own deadline/cancellation: stop failing over
 		}
@@ -334,6 +379,11 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 	if !premium && p.stale != nil {
 		if payload, ok := p.stale.GetStale(staleKey(service, req.Payload)); ok {
 			count(p.staleServed)
+			act.Span(trace.StageFailover, time.Now(), time.Now(), "stale-serve: pool exhausted, answering from last-good cache")
+			p.eventLog().Publish(fleet.Event{
+				Kind: fleet.KindStaleServe, Service: service,
+				Detail: "pool exhausted, served last-good response at low fidelity", TraceID: traceID,
+			})
 			return &broker.Response{Status: broker.StatusOK, Fidelity: qos.FidelityLow, Payload: payload}, nil
 		}
 	}
@@ -373,9 +423,9 @@ func (p *Pool) rememberGood(service string, req *broker.Request, resp *broker.Re
 	p.stale.Put(staleKey(service, req.Payload), resp.Payload)
 }
 
-// noteFailure records a member failure for /poolz and counts the failover
-// when another attempt follows.
-func (p *Pool) noteFailure(m *poolMember, err error, willFailover bool) {
+// noteFailure records a member failure for /poolz, counts the failover when
+// another attempt follows, and annotates the trace/timeline with the hop.
+func (p *Pool) noteFailure(m *poolMember, err error, willFailover bool, act *trace.Active, traceID uint64, service string, attemptStart time.Time) {
 	m.mu.Lock()
 	m.failures++
 	if willFailover {
@@ -385,6 +435,42 @@ func (p *Pool) noteFailure(m *poolMember, err error, willFailover bool) {
 	m.mu.Unlock()
 	if willFailover {
 		p.countFailover()
+		act.Span(trace.StageFailover, attemptStart, time.Now(),
+			fmt.Sprintf("from=%s err=%v", m.addr, err))
+		p.eventLog().Publish(fleet.Event{
+			Kind: fleet.KindFailover, Service: service, Member: m.addr,
+			Detail: err.Error(), TraceID: traceID,
+		})
+	}
+}
+
+// noteBreaker publishes a fleet event when a Done call moved the member's
+// breaker across the open/closed boundary, linking the opening event to the
+// trace whose failure tripped it.
+func (p *Pool) noteBreaker(m *poolMember, before resilience.State, service string, traceID uint64, err error) {
+	events := p.eventLog()
+	if events == nil {
+		return
+	}
+	after := m.breaker.State()
+	if after == before {
+		return
+	}
+	switch {
+	case after == resilience.StateOpen && before != resilience.StateOpen:
+		detail := "consecutive failures reached threshold"
+		if err != nil {
+			detail = err.Error()
+		}
+		events.Publish(fleet.Event{
+			Kind: fleet.KindBreakerOpen, Service: service, Member: m.addr,
+			Detail: detail, TraceID: traceID,
+		})
+	case after == resilience.StateClosed && before != resilience.StateClosed:
+		events.Publish(fleet.Event{
+			Kind: fleet.KindBreakerClose, Service: service, Member: m.addr,
+			Detail: "probe succeeded, member restored",
+		})
 	}
 }
 

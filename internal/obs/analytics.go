@@ -69,6 +69,8 @@ type pageInfo struct {
 func (s *Server) pages() []pageInfo {
 	s.mu.Lock()
 	store := s.store
+	events := s.events
+	federator := s.federator
 	s.mu.Unlock()
 	out := []pageInfo{
 		{"/", "this index: every mounted admin page with a one-line description"},
@@ -89,6 +91,12 @@ func (s *Server) pages() []pageInfo {
 			pageInfo{"/seriesz", "raw time-series snapshots as JSON"},
 			pageInfo{"/graphz", "SVG charts over the recorded time series"},
 		)
+	}
+	if events != nil {
+		out = append(out, pageInfo{"/eventz", "fleet event timeline: lease churn, breaker flips, limit cuts, drains"})
+	}
+	if federator != nil {
+		out = append(out, pageInfo{"/fleetz", "fleet topology: pool members with scrape freshness, staleness, and builds"})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out

@@ -19,6 +19,10 @@
 //	          with rates, hit ratios, p95 latency, and estimated Zipf skew)
 //	/sloz     per-QoS-class SLO state from registered engines (burn rates,
 //	          error budgets, alert state, per-stage budget attribution)
+//	/fleetz   fleet topology from a wired federator: every pool member with
+//	          scrape freshness, staleness, build, plus lease/breaker context
+//	/eventz   bounded fleet event timeline (lease churn, breaker flips, AIMD
+//	          cuts, SLO transitions, drains) with trace-ID links
 //	/         an index of every mounted page with one-line descriptions
 //	/debug/pprof/...  the standard net/http/pprof handlers
 //
@@ -44,6 +48,7 @@ import (
 
 	"servicebroker/internal/broker"
 	"servicebroker/internal/cache"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/metrics"
 	"servicebroker/internal/overload"
 	"servicebroker/internal/registry"
@@ -90,17 +95,20 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	mu       sync.Mutex
-	mounts   []mount
-	rec      *trace.Recorder
-	sources  []LoadSource
-	aged     []AgedLoadSource
-	pools    []namedPoolSource
-	breakers []namedBreakerSource
-	limits   []namedLimitSource
-	hotkeys  []namedHotKeySource
-	slos     []namedSLOSource
-	store    *tsdb.Store
+	mu        sync.Mutex
+	mounts    []mount
+	rec       *trace.Recorder
+	sources   []LoadSource
+	aged      []AgedLoadSource
+	pools     []namedPoolSource
+	breakers  []namedBreakerSource
+	limits    []namedLimitSource
+	hotkeys   []namedHotKeySource
+	slos      []namedSLOSource
+	store     *tsdb.Store
+	events    *fleet.Log
+	federator *fleet.Federator
+	draining  bool
 
 	srv *http.Server
 	ln  net.Listener
@@ -145,6 +153,8 @@ func New() *Server {
 	s.mux.HandleFunc("/graphz", s.handleGraphz)
 	s.mux.HandleFunc("/hotz", s.handleHotz)
 	s.mux.HandleFunc("/sloz", s.handleSloz)
+	s.mux.HandleFunc("/eventz", s.handleEventz)
+	s.mux.HandleFunc("/fleetz", s.handleFleetz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -315,7 +325,18 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if draining {
+		// Distinguish an intentional graceful shutdown from a crash: probes
+		// should retry elsewhere, not page anyone.
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -345,16 +366,34 @@ func (s *Server) handleBuildz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	mounts := append([]mount(nil), s.mounts...)
+	fed := s.federator
 	s.mu.Unlock()
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
+	seen := make(map[string]bool)
 	for _, m := range mounts {
 		v := m.view
 		if v == nil {
 			v = m.reg.View
 		}
-		WriteProm(&b, m.prefix, v())
+		view := v()
+		WriteProm(&b, m.prefix, view)
+		// Record locally emitted family names so the federated section never
+		// repeats a # TYPE line (duplicate metadata is a parse error for
+		// strict OpenMetrics consumers).
+		for name := range view.Counters {
+			seen[PromName(m.prefix+name)] = true
+		}
+		for name := range view.Gauges {
+			seen[PromName(m.prefix+name)] = true
+		}
+		for name := range view.Histograms {
+			seen[PromName(m.prefix+name)] = true
+		}
+	}
+	if fed != nil {
+		fed.WriteMetrics(&b, seen)
 	}
 	if b.Len() == 0 {
 		b.WriteString("# no metrics registries mounted\n")
@@ -482,6 +521,9 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w)
 		for _, sp := range t.Spans {
 			fmt.Fprintf(w, "  stage=%s dur=%s", sp.Stage, trace.FormatDuration(sp.Duration()))
+			if sp.Broker != "" {
+				fmt.Fprintf(w, " broker=%s", sp.Broker)
+			}
 			if sp.Note != "" {
 				fmt.Fprintf(w, " note=%q", sp.Note)
 			}

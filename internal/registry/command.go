@@ -10,13 +10,16 @@
 // frontend.Listener wire format (strict parse, reject-don't-clamp, fuzzed
 // like parseReport):
 //
-//	REGISTER   <service> <addr> <ttl_ms> <outstanding> <threshold> <queuelen> <hot|cool>
-//	RENEW      <service> <addr> <ttl_ms> <outstanding> <threshold> <queuelen> <hot|cool>
+//	REGISTER   <service> <addr> <ttl_ms> <outstanding> <threshold> <queuelen> <hot|cool> [admin=<addr>]
+//	RENEW      <service> <addr> <ttl_ms> <outstanding> <threshold> <queuelen> <hot|cool> [admin=<addr>]
 //	DEREGISTER <service> <addr>
 //
 // REGISTER and RENEW piggyback the broker's current load summary so the
 // front end's health-weighted member selection always works from data no
-// older than one renewal interval, with no separate reporting channel.
+// older than one renewal interval, with no separate reporting channel. The
+// optional trailing admin=<host:port> field advertises the member's admin
+// HTTP plane so a fleet federator can scrape /metrics and /buildz without
+// separate configuration; lines without it parse exactly as before.
 package registry
 
 import (
@@ -69,6 +72,10 @@ type Command struct {
 	// Load is the load summary piggybacked on REGISTER/RENEW (Service is
 	// filled from the command); zero for DEREGISTER.
 	Load broker.LoadReport
+	// AdminAddr optionally advertises the member's admin-plane HTTP address
+	// (the trailing "admin=<host:port>" field on REGISTER/RENEW) for fleet
+	// federation scraping. Empty when the member runs no admin plane.
+	AdminAddr string
 }
 
 // Bounds the parser enforces. Registration shares the listener's
@@ -97,9 +104,13 @@ func FormatCommand(c Command) string {
 	if c.Load.Hot {
 		state = "hot"
 	}
-	return fmt.Sprintf("%s %s %s %d %d %d %d %s",
+	line := fmt.Sprintf("%s %s %s %d %d %d %d %s",
 		c.Verb, c.Service, c.Addr, c.TTL/time.Millisecond,
 		c.Load.Outstanding, c.Load.Threshold, c.Load.QueueLen, state)
+	if c.AdminAddr != "" {
+		line += " admin=" + c.AdminAddr
+	}
+	return line
 }
 
 // parseCounter decodes one non-negative bounded integer field, refusing
@@ -169,11 +180,13 @@ func ParseCommand(line string) (Command, error) {
 		return Command{}, fmt.Errorf("registry: unknown verb %q", fields[0])
 	}
 
+	// REGISTER/RENEW take exactly 8 fields, or 9 with the optional trailing
+	// admin=<addr>; DEREGISTER takes exactly 3.
 	want := 8
 	if c.Verb == VerbDeregister {
 		want = 3
 	}
-	if len(fields) != want {
+	if len(fields) != want && !(c.Verb != VerbDeregister && len(fields) == want+1) {
 		return Command{}, fmt.Errorf("registry: bad %s command %q (want %d fields, got %d)",
 			c.Verb, line, want, len(fields))
 	}
@@ -214,6 +227,13 @@ func ParseCommand(line string) (Command, error) {
 		c.Load.Hot = false
 	default:
 		return Command{}, fmt.Errorf("registry: bad state %q", fields[7])
+	}
+	if len(fields) == 9 {
+		v, ok := strings.CutPrefix(fields[8], "admin=")
+		if !ok || !validAddr(v) {
+			return Command{}, fmt.Errorf("registry: bad admin address %q", fields[8])
+		}
+		c.AdminAddr = v
 	}
 	return c, nil
 }

@@ -51,6 +51,33 @@ func TestParseCommandHardening(t *testing.T) {
 				Load: broker.LoadReport{Service: "search", Threshold: 16},
 			},
 		},
+		{
+			name: "register with admin",
+			line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool admin=127.0.0.1:9101",
+			ok:   true,
+			want: Command{
+				Verb: VerbRegister, Service: "search", Addr: "127.0.0.1:7101",
+				TTL:       3 * time.Second,
+				Load:      broker.LoadReport{Service: "search", Outstanding: 4, Threshold: 16, QueueLen: 2},
+				AdminAddr: "127.0.0.1:9101",
+			},
+		},
+		{
+			name: "renew with ipv6 admin",
+			line: "RENEW search 127.0.0.1:7101 250 16 16 9 hot admin=[::1]:9101",
+			ok:   true,
+			want: Command{
+				Verb: VerbRenew, Service: "search", Addr: "127.0.0.1:7101",
+				TTL:       250 * time.Millisecond,
+				Load:      broker.LoadReport{Service: "search", Outstanding: 16, Threshold: 16, QueueLen: 9, Hot: true},
+				AdminAddr: "[::1]:9101",
+			},
+		},
+		{name: "admin missing prefix", line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool 127.0.0.1:9101"},
+		{name: "admin bad addr", line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool admin=127.0.0.1"},
+		{name: "admin empty", line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool admin="},
+		{name: "admin on deregister", line: "DEREGISTER search 127.0.0.1:7101 admin=127.0.0.1:9101"},
+		{name: "two admin fields", line: "REGISTER search 127.0.0.1:7101 3000 4 16 2 cool admin=127.0.0.1:9101 admin=127.0.0.1:9102"},
 		{name: "empty", line: ""},
 		{name: "unknown verb", line: "LOAD search 1 16 0 cool"},
 		{name: "lowercase verb", line: "register search 127.0.0.1:7101 3000 0 16 0 cool"},
@@ -97,6 +124,9 @@ func TestFormatCommandRoundTrip(t *testing.T) {
 			Load: broker.LoadReport{Service: "search", Outstanding: 4, Threshold: 16, QueueLen: 2, Hot: true}},
 		{Verb: VerbRenew, Service: "cart", Addr: "[::1]:9", TTL: MinTTL,
 			Load: broker.LoadReport{Service: "cart", Threshold: 1}},
+		{Verb: VerbRegister, Service: "search", Addr: "127.0.0.1:7101", TTL: 3 * time.Second,
+			Load:      broker.LoadReport{Service: "search", Outstanding: 1, Threshold: 16},
+			AdminAddr: "127.0.0.1:9101"},
 		{Verb: VerbDeregister, Service: "cart", Addr: "10.0.0.2:7102"},
 	}
 	for _, c := range cmds {
@@ -117,6 +147,8 @@ func FuzzParseCommand(f *testing.F) {
 	f.Add("REGISTER search 127.0.0.1:7101 3000 4 16 2 cool")
 	f.Add("RENEW search [::1]:7101 250 16 16 9 hot")
 	f.Add("DEREGISTER search 127.0.0.1:7101")
+	f.Add("REGISTER search 127.0.0.1:7101 3000 4 16 2 cool admin=127.0.0.1:9101")
+	f.Add("RENEW search 127.0.0.1:7101 250 16 16 9 hot admin=[::1]:9101")
 	f.Add("REGISTER s :1 10 0 0 0 cool")
 	f.Add("LOAD search 1 16 0 cool")
 	f.Add("")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/metrics"
 )
 
@@ -27,6 +28,10 @@ type Member struct {
 	Renewals int
 	// Load is the summary piggybacked on the latest REGISTER/RENEW.
 	Load broker.LoadReport
+	// AdminAddr is the admin-plane HTTP address the member advertised on
+	// its latest REGISTER/RENEW (the optional admin= field), so a fleet
+	// federator can scrape it. Empty when the member advertises none.
+	AdminAddr string
 }
 
 // PoolView is one row of pool state as rendered on /poolz. It merges lease
@@ -70,6 +75,10 @@ type Config struct {
 	// TombstoneFor bounds how long an expired member is remembered (for
 	// rejoin detection and /poolz display). Zero means 1 minute.
 	TombstoneFor time.Duration
+	// Events, when set, receives fleet timeline entries for every
+	// membership transition (join, rejoin, expiry, leave). Nil disables
+	// event publishing (every Log method is nil-safe).
+	Events *fleet.Log
 }
 
 // Registry tracks lease-based pool membership for every service a front
@@ -127,6 +136,15 @@ func New(cfg Config) *Registry {
 	return r
 }
 
+// SetEvents attaches (or replaces) the fleet event log membership
+// transitions publish into; the deployment models call this when fleet
+// observability is enabled after the registry is built.
+func (r *Registry) SetEvents(l *fleet.Log) {
+	r.mu.Lock()
+	r.cfg.Events = l
+	r.mu.Unlock()
+}
+
 // Apply folds one parsed command into the membership table.
 func (r *Registry) Apply(cmd Command) {
 	now := r.cfg.Clock()
@@ -158,6 +176,9 @@ func (r *Registry) admit(cmd Command, now time.Time) {
 		m.LastSeen = now
 		m.Expires = now.Add(cmd.TTL)
 		m.Load = cmd.Load
+		if cmd.AdminAddr != "" {
+			m.AdminAddr = cmd.AdminAddr
+		}
 		if cmd.Verb == VerbRenew {
 			m.Renewals++
 			count(r.renewals)
@@ -183,14 +204,17 @@ func (r *Registry) admit(cmd Command, now time.Time) {
 		LastSeen:   now,
 		Expires:    now.Add(cmd.TTL),
 		Load:       cmd.Load,
+		AdminAddr:  cmd.AdminAddr,
 	}
 	delete(r.tombstones[cmd.Service], cmd.Addr)
 	count(r.registrations)
 	if rejoin {
 		count(r.rejoins)
 		r.logf("broker rejoined pool", cmd.Service, cmd.Addr)
+		r.event(fleet.KindLeaseRejoin, cmd.Service, cmd.Addr, "lease re-established after gap")
 	} else {
 		r.logf("broker joined pool", cmd.Service, cmd.Addr)
+		r.event(fleet.KindLeaseJoin, cmd.Service, cmd.Addr, "first lease for this member")
 	}
 	r.updatePoolSize()
 }
@@ -211,6 +235,7 @@ func (r *Registry) withdraw(cmd Command, now time.Time) {
 	r.tombstone(cmd.Service, cmd.Addr, now)
 	count(r.deregs)
 	r.logf("broker left pool", cmd.Service, cmd.Addr)
+	r.event(fleet.KindLeaseLeave, cmd.Service, cmd.Addr, "member deregistered (graceful shutdown)")
 	r.updatePoolSize()
 }
 
@@ -234,6 +259,7 @@ func (r *Registry) Reconcile() int {
 			expired++
 			count(r.expirations)
 			r.logf("broker lease expired", service, addr)
+			r.event(fleet.KindLeaseExpired, service, addr, "lease lapsed without renewal")
 		}
 		if len(svc) == 0 {
 			delete(r.members, service)
@@ -273,6 +299,34 @@ func (r *Registry) Members(service string) []Member {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
 	return out
+}
+
+// FleetMembers returns every live member that advertised an admin-plane
+// address, as federator member infos (Name is the gateway address, matching
+// /poolz rows and /tracez broker tags). It is the natural Discover hook for
+// a fleet.Federator: membership follows the leases with no extra config.
+func (r *Registry) FleetMembers() []fleet.MemberInfo {
+	now := r.cfg.Clock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []fleet.MemberInfo
+	for _, svc := range r.members {
+		for _, m := range svc {
+			if m.AdminAddr != "" && now.Before(m.Expires) {
+				out = append(out, fleet.MemberInfo{Name: m.Addr, AdminAddr: m.AdminAddr})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	// A member hosting several services appears once per service in the
+	// table; collapse duplicates (same gateway, same admin plane).
+	dedup := out[:0]
+	for i, m := range out {
+		if i == 0 || m != out[i-1] {
+			dedup = append(dedup, m)
+		}
+	}
+	return dedup
 }
 
 // Snapshot returns every row the registry knows about — live members and
@@ -404,6 +458,12 @@ func (r *Registry) logf(msg, service, addr string) {
 	if r.cfg.Logger != nil {
 		r.cfg.Logger.Info(msg, "service", service, "addr", addr)
 	}
+}
+
+// event publishes one membership transition onto the fleet timeline.
+// Publish never blocks, so calling under r.mu is safe.
+func (r *Registry) event(kind fleet.Kind, service, addr, detail string) {
+	r.cfg.Events.Publish(fleet.Event{Kind: kind, Service: service, Member: addr, Detail: detail})
 }
 
 func count(c *metrics.Counter) {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"servicebroker/internal/broker"
+	"servicebroker/internal/fleet"
 	"servicebroker/internal/metrics"
 )
 
@@ -129,6 +130,63 @@ func TestRegistryLateRenewAfterLapseCountsExpiryAndRejoin(t *testing.T) {
 	}
 	if got := len(r.Members("search")); got != 1 {
 		t.Fatalf("members after late renew = %d, want 1", got)
+	}
+}
+
+func TestRegistryFleetMembers(t *testing.T) {
+	clock := newFakeClock()
+	r := reg(clock, nil)
+
+	// A member without an admin plane never appears in the fleet view.
+	r.Apply(registerCmd("search", "127.0.0.1:7101", time.Second))
+	withAdmin := registerCmd("search", "127.0.0.1:7102", time.Second)
+	withAdmin.AdminAddr = "127.0.0.1:9102"
+	r.Apply(withAdmin)
+	got := r.FleetMembers()
+	if len(got) != 1 || got[0].Name != "127.0.0.1:7102" || got[0].AdminAddr != "127.0.0.1:9102" {
+		t.Fatalf("FleetMembers = %+v, want only 7102 with its admin addr", got)
+	}
+
+	// The same gateway serving two services dedupes to one scrape target.
+	dup := registerCmd("cart", "127.0.0.1:7102", time.Second)
+	dup.AdminAddr = "127.0.0.1:9102"
+	r.Apply(dup)
+	if got = r.FleetMembers(); len(got) != 1 {
+		t.Fatalf("duplicate admin addr not collapsed: %+v", got)
+	}
+
+	// Lapsed leases drop out without waiting for Reconcile.
+	clock.Advance(time.Second)
+	if got = r.FleetMembers(); len(got) != 0 {
+		t.Fatalf("lapsed lease still scraped: %+v", got)
+	}
+}
+
+func TestRegistryPublishesLeaseEvents(t *testing.T) {
+	clock := newFakeClock()
+	r := reg(clock, nil)
+	events := fleet.NewLog(16, nil)
+	r.SetEvents(events)
+
+	r.Apply(registerCmd("search", "127.0.0.1:7101", time.Second))
+	clock.Advance(2 * time.Second)
+	r.Reconcile()
+	r.Apply(registerCmd("search", "127.0.0.1:7101", time.Second))
+	r.Apply(Command{Verb: VerbDeregister, Service: "search", Addr: "127.0.0.1:7101"})
+
+	// Snapshot is newest first.
+	var kinds []fleet.Kind
+	for _, e := range events.Snapshot(0) {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []fleet.Kind{fleet.KindLeaseLeave, fleet.KindLeaseRejoin, fleet.KindLeaseExpired, fleet.KindLeaseJoin}
+	if len(kinds) != len(want) {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event kinds = %v, want %v", kinds, want)
+		}
 	}
 }
 

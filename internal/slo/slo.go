@@ -104,6 +104,12 @@ type Config struct {
 	PageBurn float64
 	// Logger receives state-transition records (default slog.Default()).
 	Logger *slog.Logger
+	// OnTransition, when set, is invoked on every alert-state change with the
+	// class and the state names (ok/warning/page). Daemons use it to feed the
+	// fleet event timeline. Called synchronously from Status with an internal
+	// lock held: it must return quickly and must not call back into the
+	// engine.
+	OnTransition func(class int, from, to string)
 	// Metrics, when set, receives slo_* gauges on every evaluation.
 	Metrics *metrics.Registry
 	// Clock overrides the time source for deterministic tests.
@@ -405,6 +411,9 @@ func (e *Engine) Status() Status {
 					"fast_burn", fastBurn,
 					"slow_burn", slowBurn,
 				)
+				if e.cfg.OnTransition != nil {
+					e.cfg.OnTransition(int(c), prev.String(), next.String())
+				}
 				r.since = now
 			}
 			r.state = next

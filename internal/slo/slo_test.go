@@ -245,3 +245,45 @@ func TestDefaultObjectivesTightenWithPriority(t *testing.T) {
 		}
 	}
 }
+
+func TestOnTransitionCallback(t *testing.T) {
+	now := time.Unix(10000, 0)
+	type transition struct {
+		class    int
+		from, to string
+	}
+	var seen []transition
+	e := New(Config{
+		Objectives: objs(),
+		FastWindow: 2 * time.Second,
+		SlowWindow: 8 * time.Second,
+		Resolution: 200 * time.Millisecond,
+		Clock:      func() time.Time { return now },
+		OnTransition: func(class int, from, to string) {
+			seen = append(seen, transition{class, from, to})
+		},
+	})
+
+	// Burn class 3 into page, then recover it.
+	for i := 0; i < 200; i++ {
+		e.Record(qos.Class3, 10*time.Millisecond, false)
+		now = now.Add(50 * time.Millisecond)
+	}
+	e.Status()
+	for i := 0; i < 200; i++ {
+		e.Record(qos.Class3, 10*time.Millisecond, true)
+		now = now.Add(50 * time.Millisecond)
+	}
+	e.Status()
+
+	if len(seen) < 2 {
+		t.Fatalf("transitions = %+v, want at least degrade + recover", seen)
+	}
+	first, last := seen[0], seen[len(seen)-1]
+	if first.class != 3 || first.from != "ok" {
+		t.Fatalf("first transition = %+v, want class 3 leaving ok", first)
+	}
+	if last.class != 3 || last.to != "ok" {
+		t.Fatalf("last transition = %+v, want class 3 back to ok", last)
+	}
+}

@@ -22,6 +22,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strconv"
@@ -31,6 +32,27 @@ import (
 
 	"servicebroker/internal/metrics"
 )
+
+// ctxKey keys the Active carried through a context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying a, so layers below the one that started
+// the trace (the frontend pool's failover loop, notably) can annotate it
+// without threading an explicit parameter through every signature.
+func NewContext(ctx context.Context, a *Active) context.Context {
+	if a == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, a)
+}
+
+// FromContext returns the Active carried by ctx, or nil when the request is
+// untraced. All Active methods are nil-safe, so callers may annotate the
+// result unconditionally.
+func FromContext(ctx context.Context) *Active {
+	a, _ := ctx.Value(ctxKey{}).(*Active)
+	return a
+}
 
 // ID is a 64-bit trace identifier. The zero value means "no trace" and is
 // never returned by NewID.
@@ -96,6 +118,11 @@ const (
 	// StageRetry covers one backoff wait between failed backend attempts;
 	// its note carries the upcoming attempt number and the causing error.
 	StageRetry Stage = "retry"
+	// StageFailover covers the frontend pool's hop from a failed member to
+	// the next candidate; its note carries the failed member's address and
+	// the error that caused the hop, so a stitched cross-broker trace shows
+	// where and why the request moved.
+	StageFailover Stage = "failover"
 )
 
 // Span is one timed stage within a trace.
@@ -103,9 +130,14 @@ type Span struct {
 	Stage Stage
 	// Note carries a stage-specific annotation ("hit", "miss", a drop
 	// reason, a batch size, ...). May be empty.
-	Note  string
-	Start time.Time
-	End   time.Time
+	Note string
+	// Broker identifies the pool member whose recorder produced the span,
+	// for spans merged from a remote broker's wire export — the identity
+	// that lets /tracez stitch a failed-over request's attempts on several
+	// brokers into one tree. Empty for locally recorded spans.
+	Broker string
+	Start  time.Time
+	End    time.Time
 }
 
 // Duration returns the span's elapsed time.
@@ -353,6 +385,18 @@ func (a *Active) Span(stage Stage, start, end time.Time, note string) {
 	}
 	a.mu.Lock()
 	a.t.Spans = append(a.t.Spans, Span{Stage: stage, Note: note, Start: start, End: end})
+	a.mu.Unlock()
+}
+
+// RemoteSpan records one completed stage imported from a remote broker's
+// span export, tagged with that broker's identity so /tracez can attribute
+// it when a failed-over request's trace merges spans from several members.
+func (a *Active) RemoteSpan(stage Stage, start, end time.Time, note, broker string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.t.Spans = append(a.t.Spans, Span{Stage: stage, Note: note, Broker: broker, Start: start, End: end})
 	a.mu.Unlock()
 }
 

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentityFrameRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:     TypeResponse,
+		ID:       44,
+		Service:  "db",
+		Status:   StatusOK,
+		TraceID:  0xdecafbad,
+		Payload:  []byte("row-1"),
+		BrokerID: "127.0.0.1:9001",
+		Spans: []Span{
+			{Stage: "queue", Start: 1, End: 2},
+			{Stage: "backend", Note: "replica 0", Start: 2, End: 9},
+		},
+		RetryAfterMs: 250,
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionIdentity {
+		t.Fatalf("identity frame version = %d, want %d", frame[2], codecVersionIdentity)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BrokerID != m.BrokerID {
+		t.Fatalf("BrokerID = %q, want %q", got.BrokerID, m.BrokerID)
+	}
+	if got.RetryAfterMs != m.RetryAfterMs || len(got.Spans) != 2 || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("identity frame round trip mismatch: %+v", got)
+	}
+}
+
+// A message without a broker identity must never pay for the v5 layout:
+// older peers only understand the version their decoder was built for.
+func TestEmptyBrokerIDKeepsLowerVersion(t *testing.T) {
+	m := &Message{Type: TypeResponse, ID: 1, Service: "db", TraceID: 3}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] >= codecVersionIdentity {
+		t.Fatalf("identity-less frame version = %d, want < %d", frame[2], codecVersionIdentity)
+	}
+}
+
+func TestEncodeRejectsOversizedBrokerID(t *testing.T) {
+	m := &Message{Type: TypeResponse, TraceID: 1, BrokerID: strings.Repeat("x", maxStringLen+1)}
+	if _, err := Encode(m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestIdentityFrameTruncation(t *testing.T) {
+	m := &Message{
+		Type:     TypeResponse,
+		ID:       3,
+		Service:  "mail",
+		TraceID:  42,
+		Payload:  []byte("LIST"),
+		BrokerID: "10.0.0.2:7411",
+		Spans:    []Span{{Stage: "backend", Start: 20, End: 400}},
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFrame", cut, len(frame), err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Property: any broker identity round-trips exactly, alongside spans and the
+// retry trailer it shares the v5 tail with.
+func TestIdentityRoundTripProperty(t *testing.T) {
+	f := func(traceID uint64, brokerID string, retryMs uint32, payload []byte) bool {
+		if len(brokerID) > 256 || len(payload) > 4096 {
+			return true
+		}
+		m := &Message{Type: TypeResponse, ID: 1, Service: "db",
+			TraceID: traceID, Payload: payload,
+			BrokerID: brokerID, RetryAfterMs: retryMs}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.BrokerID == brokerID && got.RetryAfterMs == retryMs &&
+			got.TraceID == traceID && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -98,6 +98,13 @@ type Message struct {
 	// selects a version-4 frame, which a server only sends to clients that
 	// set FlagBackpressure.
 	RetryAfterMs uint32
+	// BrokerID identifies the gateway that produced a response (responses
+	// only, normally its UDP listen address) so a frontend pool that failed
+	// over can stitch span exports from several brokers into one trace.
+	// Empty means unidentified and encodes in the pre-existing frame
+	// layouts; nonempty selects a version-5 frame, which a server only
+	// sends to clients that set FlagBrokerIdentity.
+	BrokerID string
 	// Payload is the service-specific query or result body.
 	Payload []byte
 }
@@ -129,6 +136,14 @@ const FlagSpanExport uint8 = 1 << 1
 // how old and new peers keep interoperating.
 const FlagBackpressure uint8 = 1 << 2
 
+// FlagBrokerIdentity asks the server to stamp its identity on the response
+// (a version-5 frame) so the caller can attribute merged spans to the pool
+// member that produced them. A server that predates identity stamping
+// simply ignores the bit, and a server never sends a v5 frame to a client
+// that did not ask for one — which is how old and new peers keep
+// interoperating.
+const FlagBrokerIdentity uint8 = 1 << 3
+
 const (
 	magic0 = 'S'
 	magic1 = 'B'
@@ -147,6 +162,12 @@ const (
 	// nonzero RetryAfterMs, which a server only does for clients that set
 	// FlagBackpressure.
 	codecVersionRetry = 4
+	// codecVersionIdentity appends a length-prefixed broker identity string
+	// after the retry-after trailer (and always carries both the span block
+	// and the trailer, possibly count 0 / value 0). Only emitted when the
+	// message carries a nonempty BrokerID, which a server only does for
+	// clients that set FlagBrokerIdentity.
+	codecVersionIdentity = 5
 	// headerSize is the fixed-size version-1 prefix before variable-length
 	// fields.
 	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
@@ -168,17 +189,21 @@ const (
 //	txnIDLen[2] txnID[...] payloadLen[4] payload[...]
 //	{spanCount[2] (stageLen[2] stage[...] noteLen[2] note[...]
 //	 start[8] end[8])* when version >= 3}
-//	{retryAfterMs[4] when version == 4}
+//	{retryAfterMs[4] when version >= 4}
+//	{brokerIDLen[2] brokerID[...] when version >= 5}
 //
 // Version 1 frames carry no trace ID and decode with TraceID == 0; version 2
 // frames append the 8-byte trace ID to the fixed header; version 3 frames
 // additionally append a span block after the payload; version 4 frames
 // append a retry-after trailer after the span block (always present in v4,
-// count 0 when there are no spans). Encode picks the layout from the
-// message: no trace ID → v1, trace ID → v2, spans → v3, retry-after → v4. A
-// message without spans or a retry hint therefore round-trips byte-for-byte
-// through the layouts old peers understand, and v3/v4 frames only ever reach
-// peers that asked for them via FlagSpanExport/FlagBackpressure.
+// count 0 when there are no spans); version 5 frames append a broker
+// identity string after the retry-after trailer (both span block and
+// trailer always present in v5, possibly empty/zero). Encode picks the
+// layout from the message: no trace ID → v1, trace ID → v2, spans → v3,
+// retry-after → v4, broker identity → v5. A message without spans, a retry
+// hint, or an identity therefore round-trips byte-for-byte through the
+// layouts old peers understand, and v3/v4/v5 frames only ever reach peers
+// that asked for them via FlagSpanExport/FlagBackpressure/FlagBrokerIdentity.
 
 // Encoding and decoding errors.
 var (
@@ -232,7 +257,19 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 		}
 		tailBytes = 4
 	}
-	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes + tailBytes
+	idBytes := 0
+	if m.BrokerID != "" {
+		if len(m.BrokerID) > maxStringLen {
+			return nil, fmt.Errorf("%w: broker id %d bytes", ErrFrameTooLarge, len(m.BrokerID))
+		}
+		version, fixed = codecVersionIdentity, headerSizeTraced
+		if spanBytes == 0 {
+			spanBytes = 2 // v5 always carries the span block, count 0 here
+		}
+		tailBytes = 4 // v5 always carries the retry-after trailer, 0 here
+		idBytes = 2 + len(m.BrokerID)
+	}
+	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes + tailBytes + idBytes
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
@@ -269,8 +306,12 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(sp.End))
 		}
 	}
-	if version == codecVersionRetry {
+	if version >= codecVersionRetry {
 		buf = binary.BigEndian.AppendUint32(buf, m.RetryAfterMs)
+	}
+	if version >= codecVersionIdentity {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.BrokerID)))
+		buf = append(buf, m.BrokerID...)
 	}
 	return buf, nil
 }
@@ -284,7 +325,7 @@ func Decode(buf []byte) (*Message, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if buf[2] < codecVersion || buf[2] > codecVersionRetry {
+	if buf[2] < codecVersion || buf[2] > codecVersionIdentity {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
 	m := &Message{
@@ -343,12 +384,20 @@ func Decode(buf []byte) (*Message, error) {
 		if err != nil {
 			return nil, err
 		}
-		if buf[2] == codecVersionRetry {
+		if buf[2] >= codecVersionRetry {
 			if len(tail) < 4 {
 				return nil, fmt.Errorf("%w: truncated retry-after trailer", ErrBadFrame)
 			}
 			m.RetryAfterMs = binary.BigEndian.Uint32(tail)
 			tail = tail[4:]
+		}
+		if buf[2] >= codecVersionIdentity {
+			id, rest, err := readString(tail)
+			if err != nil {
+				return nil, err
+			}
+			m.BrokerID = id
+			tail = rest
 		}
 		if len(tail) != 0 {
 			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(tail))
