@@ -1,13 +1,17 @@
 // Command backendd runs one backend server of the kind the service-broker
 // testbed uses: the SQL database, the LDAP-style directory, the mail
-// service, or a bounded-processing-time CGI web server.
+// service, a bounded-processing-time CGI web server, or the supply-chain
+// effect store (HOLD/RELEASE/PURCHASE/GET with a mutation counter — the
+// exactly-once ground truth for transaction-integrity runs, served over
+// HTTP at /supply?cmd=...).
 //
 // Usage:
 //
-//	backendd -kind db   -addr 127.0.0.1:7001 -records 42000
-//	backendd -kind dir  -addr 127.0.0.1:7002
-//	backendd -kind mail -addr 127.0.0.1:7003
-//	backendd -kind cgi  -addr 127.0.0.1:7004 -delay 1s -maxclients 5
+//	backendd -kind db     -addr 127.0.0.1:7001 -records 42000
+//	backendd -kind dir    -addr 127.0.0.1:7002
+//	backendd -kind mail   -addr 127.0.0.1:7003
+//	backendd -kind cgi    -addr 127.0.0.1:7004 -delay 1s -maxclients 5
+//	backendd -kind supply -addr 127.0.0.1:7005
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"servicebroker/internal/backend"
 	"servicebroker/internal/httpserver"
 	"servicebroker/internal/ldapdir"
 	"servicebroker/internal/mailsvc"
@@ -32,7 +37,7 @@ import (
 
 func main() {
 	var (
-		kind       = flag.String("kind", "db", "backend kind: db, dir, mail, cgi")
+		kind       = flag.String("kind", "db", "backend kind: db, dir, mail, cgi, supply")
 		addr       = flag.String("addr", "127.0.0.1:0", "listen address")
 		records    = flag.Int("records", sqldb.PaperRecordCount, "db: fixture row count")
 		handshake  = flag.Duration("handshake", 0, "db: artificial connection handshake cost")
@@ -112,6 +117,40 @@ func run(kind, addr string, records int, handshake, delay time.Duration, maxClie
 			return httpserver.Text(fmt.Sprintf("processed %s after %v", req.Query["q"], delay))
 		})
 		// Graceful stop: finish in-flight CGI work before closing.
+		boundAddr, shutdown = srv.Addr().String(), func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+			defer cancel()
+			if err := srv.Drain(ctx); err != nil {
+				slog.Warn("drain deadline passed with requests still in flight", "err", err)
+			}
+			return srv.Close()
+		}
+
+	case "supply":
+		// The effect store speaks the EffectConnector command language over
+		// HTTP: GET /supply?cmd=HOLD+sku-1+2. Mutations are counted, and
+		// /supply?cmd=GET+<sku> reads state without counting, so an external
+		// harness can audit exactly-once execution end to end.
+		store := &backend.EffectConnector{}
+		session, err := store.Connect(context.Background())
+		if err != nil {
+			return err
+		}
+		srv, err := httpserver.NewServer(addr, httpserver.WithMaxClients(maxClients))
+		if err != nil {
+			return err
+		}
+		srv.Handle("/supply", func(req *httpserver.Request) *httpserver.Response {
+			served.Inc()
+			out, err := session.Do(context.Background(), []byte(req.Query["cmd"]))
+			if err != nil {
+				return httpserver.Error(400, err.Error())
+			}
+			return httpserver.Text(string(out))
+		})
+		srv.Handle("/supply/mutations", func(*httpserver.Request) *httpserver.Response {
+			return httpserver.Text(fmt.Sprintf("mutations=%d holds=%d", store.Mutations(), store.TotalHolds()))
+		})
 		boundAddr, shutdown = srv.Addr().String(), func() error {
 			ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 			defer cancel()

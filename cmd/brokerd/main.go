@@ -5,7 +5,8 @@
 //
 //	name:kind:backendAddr
 //
-// where kind is db, dir, mail, web, or cgi, and backendAddr may list
+// where kind is db, dir, mail, web, cgi, or supply (an in-process
+// effect-counting store for the transaction demo), and backendAddr may list
 // several replica addresses separated by "|" (the broker then balances
 // across them with the least-outstanding policy). Example:
 //
@@ -47,6 +48,16 @@
 // space-saving), surfaced on the admin plane at /hotz; -slo evaluates
 // per-class latency/availability objectives with multi-window burn-rate
 // alerting on /sloz (-slo-fast and -slo-slow size the windows).
+//
+// Transaction integrity (DESIGN.md §14): -txn tracks multi-step transactions
+// per broker and escalates late steps' priority; -txn-ttl sweeps abandoned
+// transactions (aborting them and running their compensations); -idem N arms
+// a bounded idempotency table so retried or failed-over mutating accesses
+// replay their recorded first outcome instead of re-executing (-idem-ttl
+// bounds how long an outcome is held); -txn-journal makes recorded outcomes
+// crash-safe — each service appends to <path>.<service> and a restarted
+// brokerd re-arms its idempotency table from the journal before serving.
+// Active transactions and idempotency accounting appear on /txnz.
 package main
 
 import (
@@ -75,6 +86,7 @@ import (
 	"servicebroker/internal/slo"
 	"servicebroker/internal/trace"
 	"servicebroker/internal/tsdb"
+	"servicebroker/internal/txn"
 )
 
 // exportBuffer bounds the recently finished traces held for span export to
@@ -127,6 +139,11 @@ type config struct {
 	slo             bool
 	sloFast         time.Duration
 	sloSlow         time.Duration
+	txn             bool
+	txnTTL          time.Duration
+	idemCap         int
+	idemTTL         time.Duration
+	txnJournal      string
 }
 
 func main() {
@@ -164,6 +181,11 @@ func main() {
 	flag.BoolVar(&cfg.slo, "slo", false, "evaluate per-class SLO burn rates for /sloz")
 	flag.DurationVar(&cfg.sloFast, "slo-fast", 0, "SLO fast burn window (0 selects the default)")
 	flag.DurationVar(&cfg.sloSlow, "slo-slow", 0, "SLO slow burn window (0 selects 12x the fast window)")
+	flag.BoolVar(&cfg.txn, "txn", false, "track multi-step transactions and escalate late steps' priority")
+	flag.DurationVar(&cfg.txnTTL, "txn-ttl", 0, "abort+compensate transactions idle longer than this (0 disables the abandonment sweep)")
+	flag.IntVar(&cfg.idemCap, "idem", 0, "idempotency-table entries per broker; duplicate tagged accesses replay their first outcome (0 disables, requires -txn)")
+	flag.DurationVar(&cfg.idemTTL, "idem-ttl", 5*time.Minute, "how long a recorded idempotent outcome is held")
+	flag.StringVar(&cfg.txnJournal, "txn-journal", "", "crash-safe outcome journal path prefix; each service appends to <path>.<service> and restores it on startup (requires -idem)")
 	flag.Var(&cfg.services, "service", "broker spec name:kind:addr[|addr...] (repeatable)")
 	flag.Parse()
 
@@ -209,14 +231,27 @@ func run(cfg config) error {
 		adminSrv.SetEventLog(events)
 	}
 
+	if cfg.idemCap > 0 && !cfg.txn {
+		return fmt.Errorf("-idem requires -txn (the table is keyed on transaction id and step)")
+	}
+	if cfg.txnJournal != "" && cfg.idemCap <= 0 {
+		return fmt.Errorf("-txn-journal requires -idem (it persists recorded idempotent outcomes)")
+	}
+
 	brokers := make(map[string]*broker.Broker, len(cfg.services))
 	var reporters []*frontend.Reporter
+	var journals []*txn.Journal
 	defer func() {
 		for _, r := range reporters {
 			r.Close()
 		}
 		for _, b := range brokers {
 			b.Close()
+		}
+		// Journals close after the brokers: a draining worker may still record
+		// an outcome while its broker shuts down.
+		for _, j := range journals {
+			j.Close()
 		}
 	}()
 
@@ -296,6 +331,42 @@ func run(cfg config) error {
 			}
 			opts = append(opts, broker.WithSLO(sloCfg))
 		}
+		if cfg.txn {
+			opts = append(opts, broker.WithTransactions())
+			if cfg.txnTTL > 0 {
+				opts = append(opts, broker.WithTransactionTTL(cfg.txnTTL))
+			}
+			if cfg.idemCap > 0 {
+				if cfg.txnJournal != "" {
+					// Crash-safe idempotency: restore the journal into the
+					// table first (a restarted broker answers replayed keys
+					// without re-executing), then append every newly recorded
+					// outcome.
+					jpath := cfg.txnJournal + "." + name
+					table := txn.NewIdemTable(cfg.idemCap, cfg.idemTTL)
+					restored, err := txn.RestoreTable(jpath, table)
+					if err != nil {
+						return fmt.Errorf("txn journal %s: %w", jpath, err)
+					}
+					journal, err := txn.OpenJournal(jpath, false)
+					if err != nil {
+						return fmt.Errorf("txn journal %s: %w", jpath, err)
+					}
+					journals = append(journals, journal)
+					table.OnRecord(func(key string, out txn.Outcome) {
+						if err := journal.AppendOutcome(key, out); err != nil {
+							slog.Warn("txn journal append failed", "err", err)
+						}
+					})
+					if restored > 0 {
+						slog.Info("idempotency journal restored", "service", name, "outcomes", restored)
+					}
+					opts = append(opts, broker.WithSharedIdempotency(table))
+				} else {
+					opts = append(opts, broker.WithIdempotency(cfg.idemCap, cfg.idemTTL))
+				}
+			}
+		}
 		if events != nil {
 			opts = append(opts, broker.WithFleetEvents(events))
 		}
@@ -320,6 +391,19 @@ func run(cfg config) error {
 			}
 			if cfg.slo {
 				adminSrv.AddSLOSource(name, b.SLOStatus)
+			}
+			if cfg.txn {
+				adminSrv.AddTxnSource(name, func() (obs.TxnStatus, bool) {
+					tr := b.Tracker()
+					if tr == nil {
+						return obs.TxnStatus{}, false
+					}
+					st := obs.TxnStatus{Tracker: tr.Snapshot()}
+					if is, ok := b.IdemStats(); ok {
+						st.Idem, st.HasIdem = is, true
+					}
+					return st, true
+				})
 			}
 		}
 		if store != nil {
@@ -532,6 +616,11 @@ func makeConnector(name, kind, addr string) (backend.Connector, error) {
 		return &backend.MailConnector{Addr: addr}, nil
 	case "web", "cgi":
 		return &backend.WebConnector{Addr: addr, ServiceName: name}, nil
+	case "supply":
+		// The supply-chain effect store lives in the broker process (addr is
+		// conventionally "mem"); its mutations are the exactly-once ground
+		// truth for the transaction-integrity demo.
+		return &backend.EffectConnector{ServiceName: name}, nil
 	default:
 		return nil, fmt.Errorf("unknown backend kind %q", kind)
 	}

@@ -8,7 +8,11 @@
 //	pattern=service
 //
 // The handler forwards the "q" query parameter as the broker payload and
-// reads the QoS class from the "qos" parameter. Example:
+// reads the QoS class from the "qos" parameter. Multi-step transactions tag
+// requests with "txn" and "step" (the broker escalates late steps under
+// overload), and a mutating step adds an "idem" idempotency key so a retried
+// or failed-over delivery replays the recorded first outcome instead of
+// re-executing (DESIGN.md §14). Example:
 //
 //	frontend -model distributed -addr 127.0.0.1:8080 \
 //	         -gateway 127.0.0.1:6000 -route /db=db -route /dir=dir

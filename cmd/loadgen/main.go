@@ -12,6 +12,12 @@
 // client-observed latency and error metrics ("client.latency",
 // "client.latency_class_N", "client.errors", per-fidelity counters) so the
 // driver's view of a run and the broker's view can be compared on one scrape.
+//
+// With -txn-steps N every virtual client issues N-step transactions instead
+// of independent requests: consecutive requests share a "txn" id with "step"
+// walking 1..N, and the final (mutating) step carries an "idem" idempotency
+// key — so a -txn broker escalates late steps under overload and suppresses
+// duplicate effects on retry (DESIGN.md §14).
 package main
 
 import (
@@ -53,6 +59,7 @@ func main() {
 	flag.IntVar(&cfg.zipfKeys, "zipf-keys", 1000, "zipf: size of the key universe")
 	flag.BoolVar(&cfg.slo, "slo", false, "evaluate client-side per-class SLO burn rates, served on -admin /sloz")
 	flag.IntVar(&cfg.hotkeys, "hotkeys", 0, "with -zipf: track the top-N hottest sampled keys client-side for -admin /hotz (0 disables)")
+	flag.IntVar(&cfg.txnSteps, "txn-steps", 0, "tag requests as N-step transactions (txn/step query params, idem key on the final step; 0 disables)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {
@@ -72,6 +79,7 @@ type runConfig struct {
 	zipfKeys         int
 	slo              bool
 	hotkeys          int
+	txnSteps         int
 }
 
 // maxBackoff caps how long a retry-after hint can stall one virtual client.
@@ -310,6 +318,19 @@ func run(cfg runConfig) error {
 			}
 			if class >= 1 {
 				q["qos"] = fmt.Sprint(int(class))
+			}
+			if cfg.txnSteps > 0 {
+				// Consecutive requests of one client form one transaction:
+				// step walks 1..N, and the final step is the mutation whose
+				// idempotency key lets the broker suppress duplicate effects
+				// if this client's HTTP retry re-delivers it.
+				step := seq%cfg.txnSteps + 1
+				q["txn"] = fmt.Sprintf("lg-%d-%d-%d", int(class), client, seq/cfg.txnSteps)
+				q["step"] = strconv.Itoa(step)
+				if step == cfg.txnSteps {
+					q["idem"] = "commit"
+				}
+				reg.Counter("txn_tagged").Inc()
 			}
 			start := time.Now()
 			resp, err := getWithRetry(ctx, cli, path, q, reg)

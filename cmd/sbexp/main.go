@@ -14,6 +14,7 @@
 //	sbexp -exp obs                      # tracing-overhead benchmark
 //	sbexp -exp overload                 # static vs adaptive admission ablation
 //	sbexp -exp hotkey                   # hot-key detection under a popularity flip
+//	sbexp -exp txn                      # transaction integrity: escalation + idempotency
 //	sbexp -scale 20ms                   # wall time per paper second
 //	sbexp -quick                        # smaller sweeps for a fast pass
 package main
@@ -39,7 +40,7 @@ import (
 var knownExperiments = []string{
 	"all", "fig7", "fig7a", "fig9", "fig10",
 	"table1", "table2", "table3", "table4",
-	"ablations", "obs", "overload", "hotkey", "failover", "fleet",
+	"ablations", "obs", "overload", "hotkey", "failover", "fleet", "txn",
 }
 
 func main() {
@@ -198,6 +199,13 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "txn" {
+		if err := runTxnIntegrity(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	for _, known := range knownExperiments {
 		if exp == known {
 			return nil
@@ -233,6 +241,42 @@ func runAdaptiveClustering(ctx context.Context, quick bool) error {
 		return err
 	}
 	const benchFile = "BENCH_clustering_adaptive.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
+}
+
+// runTxnIntegrity runs the transaction-integrity ablation (flat baseline vs
+// step escalation + saga compensation + idempotency on the congested
+// three-step purchase, plus duplicate-delivery and wire-overhead sections)
+// and writes BENCH_txn.json in the working directory.
+func runTxnIntegrity(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultTxnIntegrityConfig(quick)
+	fmt.Printf("running transaction integrity ablation (%d purchases, vendor slots=%d, %d duplicated mutations)...\n",
+		cfg.Purchases, cfg.VendorSlots, cfg.DuplicateMutations)
+	res, err := experiments.RunTxnIntegrity(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.TxnIntegrityMode{res.Baseline, res.Integrity} {
+		fmt.Printf("  %-9s late_aborts=%d/%d (rate %.2f) completed=%d compensations=%d orphaned_holds=%d\n",
+			m.Name, m.LateAborts, m.Purchases, m.LateAbortRate, m.Completed,
+			m.CompensationsRun, m.OrphanedHolds)
+		fmt.Printf("  %-9s duplicates: delivered=%d logical=%d backend_mutations=%d suppressed=%d\n",
+			m.Name, m.DuplicatesDelivered, m.LogicalMutations, m.BackendMutations, m.DuplicatesSuppressed)
+	}
+	fmt.Printf("  wire: untagged %dB (v%d, +%.2f%%), tagged %dB (v%d, +%dB), encode %0.fns vs %.0fns\n",
+		res.Wire.UntaggedBytes, res.Wire.UntaggedVersion, res.Wire.UntaggedPct,
+		res.Wire.TaggedBytes, res.Wire.TaggedVersion, res.Wire.TaggedExtra,
+		res.Wire.EncodeUntagged, res.Wire.EncodeTagged)
+	fmt.Println()
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_txn.json"
 	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

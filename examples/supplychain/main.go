@@ -4,10 +4,22 @@
 // 1), then video cards from the other vendors (step 2), then comes back to
 // the monitor vendor again to match and purchase the best models (step 3).
 // If somehow during step 3 the channel to the monitor vendor site is
-// congested, the transaction could abort." Brokers escalate the priority of
-// later steps so nearly complete transactions survive overload.
+// congested, the transaction could abort." This demo shows the three
+// integrity mechanisms working together (DESIGN.md §14):
 //
-//	go run ./examples/supplychain
+//  1. Step escalation — brokers sharing a transaction tracker escalate
+//     later steps' priority, so nearly complete transactions outrank fresh
+//     low-priority traffic and survive overload.
+//
+//  2. Saga compensation — each step that leaves an effect behind registers
+//     a compensation; an aborted transaction runs them in reverse order, so
+//     no inventory hold is orphaned.
+//
+//  3. Idempotent retries — mutating steps carry an idempotency key; a
+//     duplicate delivery (client retry, failover) replays the recorded
+//     first outcome instead of executing the effect twice.
+//
+//     go run ./examples/supplychain
 package main
 
 import (
@@ -32,59 +44,70 @@ func main() {
 }
 
 func run() error {
-	flatAborts, err := runPurchases(false)
+	flat, err := runPurchases(false)
 	if err != nil {
 		return err
 	}
-	escalatedAborts, err := runPurchases(true)
+	saga, err := runPurchases(true)
 	if err != nil {
 		return err
 	}
 	fmt.Println()
 	fmt.Printf("%d purchase transactions against a congested monitor vendor:\n", purchases)
-	fmt.Printf("  without step escalation: %d aborted\n", flatAborts)
-	fmt.Printf("  with step escalation:    %d aborted\n", escalatedAborts)
-	fmt.Println("\nlater transaction steps outrank fresh low-priority traffic, so")
-	fmt.Println("transactions that already did two steps of work are not thrown away.")
+	fmt.Printf("  without integrity: %d aborted, %d inventory holds orphaned, %d duplicate effects\n",
+		flat.aborted, flat.orphaned, flat.duplicates)
+	fmt.Printf("  with integrity:    %d aborted, %d inventory holds orphaned, %d duplicate effects\n",
+		saga.aborted, saga.orphaned, saga.duplicates)
+	fmt.Println("\nlater transaction steps outrank fresh low-priority traffic, aborted")
+	fmt.Println("transactions compensate their holds in reverse order, and retried")
+	fmt.Println("mutations replay their recorded outcome instead of re-executing.")
 	return nil
 }
 
-// runPurchases drives the three-step purchase flow while background
-// traffic congests the monitor vendor, reporting how many transactions
-// abort at step 3.
-func runPurchases(escalate bool) (aborted int, err error) {
+type outcome struct {
+	aborted    int
+	orphaned   int
+	duplicates int64
+}
+
+// runPurchases drives the three-step purchase flow while background traffic
+// congests the monitor vendor. With integrity on, the vendor and warehouse
+// brokers share a transaction tracker, holds register compensations, and the
+// commit is retried through the idempotency table.
+func runPurchases(integrity bool) (out outcome, err error) {
 	// The monitor vendor: a slow, capacity-limited backend.
 	monitorVendor := &backend.DelayConnector{
 		ServiceName:   "monitor-vendor",
 		ProcessTime:   15 * time.Millisecond,
 		MaxConcurrent: 2,
 	}
-	// The video-card vendor: uncongested.
-	cardVendor := &backend.DelayConnector{
-		ServiceName: "card-vendor",
-		ProcessTime: 2 * time.Millisecond,
-	}
+	// The warehouse holds inventory and counts every executed effect.
+	warehouse := &backend.EffectConnector{ServiceName: "warehouse"}
 
-	// Brokers for the two vendors share one transaction tracker, so a step
-	// observed at the card vendor escalates later accesses at the monitor
-	// vendor (the paper's broker-to-broker state exchange).
 	opts := []broker.Option{broker.WithThreshold(6, 3), broker.WithWorkers(2)}
-	cardOpts := []broker.Option{broker.WithThreshold(16, 3)}
-	if escalate {
-		shared := txn.NewTracker()
-		opts = append(opts, broker.WithSharedTransactions(shared))
-		cardOpts = append(cardOpts, broker.WithSharedTransactions(shared))
+	whOpts := []broker.Option{broker.WithThreshold(16, 3)}
+	var tracker *txn.Tracker
+	if integrity {
+		// Brokers for the two services share one transaction tracker, so a
+		// step observed at the warehouse escalates later accesses at the
+		// monitor vendor (the paper's broker-to-broker state exchange), and
+		// the warehouse broker suppresses duplicate effects.
+		tracker = txn.NewTracker()
+		opts = append(opts, broker.WithSharedTransactions(tracker))
+		whOpts = append(whOpts,
+			broker.WithSharedTransactions(tracker),
+			broker.WithIdempotency(1024, time.Minute))
 	}
 	monitors, err := broker.New(monitorVendor, opts...)
 	if err != nil {
-		return 0, err
+		return out, err
 	}
 	defer monitors.Close()
-	cards, err := broker.New(cardVendor, cardOpts...)
+	wh, err := broker.New(warehouse, whOpts...)
 	if err != nil {
-		return 0, err
+		return out, err
 	}
-	defer cards.Close()
+	defer wh.Close()
 
 	ctx := context.Background()
 
@@ -118,50 +141,92 @@ func runPurchases(escalate bool) (aborted int, err error) {
 	}()
 	time.Sleep(20 * time.Millisecond) // let congestion build
 
+	release := func(sku string) func(context.Context) error {
+		return func(ctx context.Context) error {
+			s, err := warehouse.Connect(ctx)
+			if err != nil {
+				return err
+			}
+			defer s.Close()
+			_, err = s.Do(ctx, []byte("RELEASE "+sku+" 1"))
+			return err
+		}
+	}
+
+	var logicalMutations int64
 	for i := 0; i < purchases; i++ {
 		txnID := fmt.Sprintf("purchase-%d", i)
-		// Step 1: browse monitors (low priority; may be shed, retried once).
-		step1 := monitors.Handle(ctx, &broker.Request{
-			Payload: []byte("SELECT monitors"), Class: qos.Class3,
+		sku := fmt.Sprintf("monitor-%d", i)
+		// Step 1: browse monitors (read-only; a drop costs nothing).
+		step1 := wh.Handle(ctx, &broker.Request{
+			Payload: []byte("GET " + sku), Class: qos.Class3,
 			TxnID: txnID, TxnStep: 1, NoCache: true,
 		})
 		if step1.Status == broker.StatusError {
-			return 0, step1.Err
+			return out, step1.Err
 		}
-		// Step 2: pick video cards at the other vendor.
-		step2 := cards.Handle(ctx, &broker.Request{
-			Payload: []byte("SELECT cards"), Class: qos.Class3,
-			TxnID: txnID, TxnStep: 2, NoCache: true,
-		})
-		if step2.Status == broker.StatusError {
-			return 0, step2.Err
+		// Step 2: hold the chosen monitor at the warehouse. The idempotency
+		// key makes the hold safe to retry; the compensation undoes it if
+		// the transaction later aborts. Deliver it twice to simulate a
+		// retransmitted request — exactly one hold must result.
+		for attempt := 0; attempt < 2; attempt++ {
+			step2 := wh.Handle(ctx, &broker.Request{
+				Payload: []byte("HOLD " + sku + " 1"), Class: qos.Class3,
+				TxnID: txnID, TxnStep: 2, IdemKey: "hold", NoCache: true,
+			})
+			if step2.Status != broker.StatusOK {
+				return out, fmt.Errorf("hold %s: %v (%v)", sku, step2.Status, step2.Err)
+			}
 		}
-		// Step 3: return to the congested monitor vendor to purchase. This
-		// is the access the paper protects: dropped here, the whole
-		// transaction aborts.
+		logicalMutations++ // two deliveries, one logical hold
+		if tracker != nil {
+			if err := tracker.RegisterCompensation(txnID, 2, "release-hold", release(sku)); err != nil {
+				return out, err
+			}
+		}
+		// Step 3: return to the congested monitor vendor to match the held
+		// models. This is the access the paper protects: dropped here, the
+		// whole transaction aborts with a hold already placed.
 		step3 := monitors.Handle(ctx, &broker.Request{
-			Payload: []byte("PURCHASE monitors"), Class: qos.Class3,
+			Payload: []byte("MATCH " + sku), Class: qos.Class3,
 			TxnID: txnID, TxnStep: 3, NoCache: true,
 		})
 		switch step3.Status {
 		case broker.StatusError:
-			return 0, step3.Err
-		case broker.StatusDropped:
-			aborted++
-			if tr := monitors.Tracker(); tr != nil {
-				_ = tr.Abort(txnID)
+			return out, step3.Err
+		case broker.StatusOK:
+			commit := wh.Handle(ctx, &broker.Request{
+				Payload: []byte("PURCHASE " + sku + " 1"), Class: qos.Class3,
+				TxnID: txnID, TxnStep: 3, IdemKey: "commit", NoCache: true,
+			})
+			if commit.Status != broker.StatusOK {
+				return out, fmt.Errorf("commit %s: %v (%v)", sku, commit.Status, commit.Err)
+			}
+			logicalMutations++
+			if tracker != nil {
+				_ = tracker.Complete(txnID)
 			}
 		default:
-			if tr := monitors.Tracker(); tr != nil {
-				_ = tr.Complete(txnID)
+			out.aborted++
+			if tracker != nil {
+				// Saga abort: compensations run in reverse registration
+				// order, releasing the hold. Flat mode just walks away.
+				if _, err := tracker.AbortContext(ctx, txnID); err != nil {
+					return out, err
+				}
+				logicalMutations++ // the compensating release
 			}
 		}
 	}
 
-	mode := "flat classes"
-	if escalate {
-		mode = "step escalation"
+	out.orphaned = warehouse.TotalHolds()
+	out.duplicates = warehouse.Mutations() - logicalMutations
+
+	mode := "flat"
+	if integrity {
+		mode = "integrity"
 	}
-	fmt.Printf("[%s] %d/%d transactions aborted at step 3\n", mode, aborted, purchases)
-	return aborted, nil
+	fmt.Printf("[%s] %d/%d aborted at step 3, %d holds orphaned, backend executed %d mutations for %d logical\n",
+		mode, out.aborted, purchases, out.orphaned, warehouse.Mutations(), logicalMutations)
+	return out, nil
 }

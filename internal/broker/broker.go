@@ -48,6 +48,14 @@ type Request struct {
 	TxnID string
 	// TxnStep is the 1-based step within the transaction.
 	TxnStep int
+	// IdemKey names this access's effect within the transaction step. With
+	// WithIdempotency, a (TxnID, TxnStep, IdemKey) triple executes at most
+	// once: retried or failed-over duplicates are answered with the recorded
+	// first outcome instead of re-executing the backend effect. Empty means
+	// the access is not idempotency-protected. Idempotency-keyed requests
+	// bypass the result cache in both directions — a mutation must reach the
+	// backend, and its outcome is not a cacheable query result.
+	IdemKey string
 	// NoCache bypasses the result cache for this request.
 	NoCache bool
 	// TraceID carries the end-to-end trace identifier assigned where the
@@ -143,6 +151,8 @@ type Broker struct {
 	cacheTTL time.Duration
 	batcher  *cluster.Batcher
 	tracker  *txn.Tracker
+	txnTTL   time.Duration
+	idem     *txn.IdemTable
 	contract map[qos.Class]*qos.Contract
 
 	// workload analytics (WithHotKeys) and per-class SLOs (WithSLO)
@@ -197,6 +207,7 @@ type job struct {
 	resp    chan *Response
 	started time.Time
 	tr      *trace.Active // nil when tracing is off
+	ticket  *txn.Ticket   // nil unless the job owns an idempotency slot
 }
 
 // Option configures a Broker.
@@ -345,6 +356,51 @@ func WithSharedTransactions(tracker *txn.Tracker) Option {
 			return errors.New("broker: nil shared tracker")
 		}
 		b.tracker = tracker
+		return nil
+	})
+}
+
+// WithTransactionTTL bounds how long an idle transaction may stay active:
+// a transaction not observed for d is abandoned by the tracker's sweep — its
+// registered compensations run in reverse order and the broker's
+// txn_abandoned_total counter is incremented. Requires WithTransactions or
+// WithSharedTransactions. Without a TTL the active table would grow without
+// bound as clients crash between steps.
+func WithTransactionTTL(d time.Duration) Option {
+	return optionFunc(func(b *Broker) error {
+		if d <= 0 {
+			return errors.New("broker: transaction TTL must be positive")
+		}
+		b.txnTTL = d
+		return nil
+	})
+}
+
+// WithIdempotency attaches a broker-side idempotency table: a request
+// carrying a (TxnID, TxnStep, IdemKey) triple executes its backend effect at
+// most once, and any duplicate — a wire retransmission to another socket, or
+// a frontend pool failing the request over after the first broker crashed
+// post-execution — is answered with the recorded first outcome. capacity ≤ 0
+// selects txn.DefaultIdemCapacity; ttl ≤ 0 keeps outcomes until evicted by
+// capacity.
+func WithIdempotency(capacity int, ttl time.Duration) Option {
+	return optionFunc(func(b *Broker) error {
+		b.idem = txn.NewIdemTable(capacity, ttl)
+		return nil
+	})
+}
+
+// WithSharedIdempotency uses an idempotency table shared with other brokers.
+// Like WithSharedTransactions, this is the paper's brokers "exchanging state
+// information": a pool member that receives the failover re-send of an access
+// another member already executed answers from the shared table instead of
+// re-executing.
+func WithSharedIdempotency(table *txn.IdemTable) Option {
+	return optionFunc(func(b *Broker) error {
+		if table == nil {
+			return errors.New("broker: nil shared idempotency table")
+		}
+		b.idem = table
 		return nil
 	})
 }
@@ -518,6 +574,14 @@ func New(connector backend.Connector, opts ...Option) (*Broker, error) {
 	if b.shareOverrides != nil {
 		b.policy.Shares = b.shareOverrides
 	}
+	if b.txnTTL > 0 {
+		if b.tracker == nil {
+			return nil, errors.New("broker: WithTransactionTTL requires WithTransactions")
+		}
+		b.tracker.SetTTL(b.txnTTL)
+		abandoned := b.reg.Counter("txn_abandoned_total")
+		b.tracker.OnAbandon(func(txn.State) { abandoned.Inc() })
+	}
 
 	// Analytics before the cache: the cache's access hook feeds the tracker.
 	if b.hotkeysCfg != nil {
@@ -689,6 +753,19 @@ func (b *Broker) Tracer() *trace.Recorder { return b.tracer }
 // Tracker returns the transaction tracker (nil unless WithTransactions).
 func (b *Broker) Tracker() *txn.Tracker { return b.tracker }
 
+// Idempotency returns the idempotency table (nil unless WithIdempotency or
+// WithSharedIdempotency). brokerd uses it to attach the journal hook.
+func (b *Broker) Idempotency() *txn.IdemTable { return b.idem }
+
+// IdemStats returns the idempotency table's accounting; ok is false when the
+// broker runs without an idempotency table. The obs /txnz page renders these.
+func (b *Broker) IdemStats() (txn.IdemStats, bool) {
+	if b.idem == nil {
+		return txn.IdemStats{}, false
+	}
+	return b.idem.Stats(), true
+}
+
 // BreakerSnapshots returns the per-replica circuit-breaker states, or nil
 // unless both WithReplicas and WithResilience are configured. The obs admin
 // server's /breakerz page renders these.
@@ -841,15 +918,60 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	b.reg.Counter("requests").Inc()
 	b.reg.Counter(fmt.Sprintf("requests_class_%d", class)).Inc()
 
+	// Idempotency: a keyed access that already executed is answered with its
+	// recorded first outcome; one that is executing right now is coalesced
+	// behind the first execution. Only the caller holding the owner ticket
+	// proceeds into the pipeline, and the worker records or releases the
+	// slot once the disposition is known.
+	var ticket *txn.Ticket
+	idemKeyed := b.idem != nil && req.TxnID != "" && req.IdemKey != ""
+	if idemKeyed {
+		ikey := txn.IdemKey(req.TxnID, req.TxnStep, req.IdemKey)
+		for {
+			out, hit, tk := b.idem.Acquire(ikey)
+			if hit {
+				b.reg.Counter("idem_hits").Inc()
+				tr.SetStatus("ok")
+				tr.SetNote("idempotent replay")
+				tr.Finish()
+				b.sloRecord(class, time.Since(started), true)
+				return &Response{Status: Status(out.Status), Fidelity: out.Fidelity, Payload: out.Payload}
+			}
+			if tk.Owner() {
+				ticket = tk
+				break
+			}
+			// Duplicate of an in-flight first execution: wait for its
+			// outcome rather than racing it to the backend.
+			b.reg.Counter("idem_coalesced").Inc()
+			out, ok, err := tk.Await(ctx)
+			if err != nil {
+				tr.SetStatus("error")
+				tr.Finish()
+				return &Response{Status: StatusError, Err: err}
+			}
+			if ok {
+				tr.SetStatus("ok")
+				tr.SetNote("idempotent coalesce")
+				tr.Finish()
+				b.sloRecord(class, time.Since(started), true)
+				return &Response{Status: Status(out.Status), Fidelity: out.Fidelity, Payload: out.Payload}
+			}
+			// The first execution released without recording (shed or
+			// failed before the effect): re-acquire and run for real.
+		}
+	}
+
 	// Cache: a fresh hit is served immediately without consuming backend
 	// capacity (paper §III, "Caching of query results"). The cache's access
 	// hook is what feeds the hot-key tracker, so key frequency is measured
 	// at the cache: shed/drop fallback lookups count as extra accesses.
+	// Idempotency-keyed accesses are mutations and never served from cache.
 	key := cacheKey(req.Payload)
 	if b.hotkeys != nil && (b.results == nil || req.NoCache) {
 		b.hotkeys.RecordAccess(key, false)
 	}
-	if b.results != nil && !req.NoCache {
+	if b.results != nil && !req.NoCache && !idemKeyed {
 		lookup := tr.StartSpan(trace.StageCache)
 		body, ok := b.results.Get(key)
 		if ok {
@@ -870,7 +992,7 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 
 	// Contract enforcement (loosely coupled services).
 	if c := b.contract[req.Class]; c != nil && !c.Allow() {
-		return b.drop(req, class, key, "contract exceeded", tr, started)
+		return resolveIdem(ticket, b.drop(req, class, key, "contract exceeded", tr, started))
 	}
 
 	// Admission control: the binary forward/drop rule, evaluated at the
@@ -880,15 +1002,15 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.mu.Unlock()
 		tr.SetStatus("error")
 		tr.Finish()
-		return &Response{Status: StatusError, Err: ErrBrokerClosed}
+		return resolveIdem(ticket, &Response{Status: StatusError, Err: ErrBrokerClosed})
 	}
 	if b.draining {
 		b.mu.Unlock()
-		return b.shed(req, class, key, "draining", tr, started)
+		return resolveIdem(ticket, b.shed(req, class, key, "draining", tr, started))
 	}
 	if !b.policy.AdmitAt(class, b.outstanding, b.effectiveThreshold()) {
 		b.mu.Unlock()
-		return b.shed(req, class, key, "threshold exceeded", tr, started)
+		return resolveIdem(ticket, b.shed(req, class, key, "threshold exceeded", tr, started))
 	}
 	b.outstanding++
 	outstanding := b.outstanding
@@ -899,12 +1021,12 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.hotNotify(report)
 	}
 
-	j := &job{ctx: ctx, req: req, class: class, key: key, resp: make(chan *Response, 1), started: time.Now(), tr: tr}
+	j := &job{ctx: ctx, req: req, class: class, key: key, resp: make(chan *Response, 1), started: time.Now(), tr: tr, ticket: ticket}
 	if err := b.queue.Push(class, j); err != nil {
 		b.finishJob()
 		tr.SetStatus("error")
 		tr.Finish()
-		return &Response{Status: StatusError, Err: err}
+		return resolveIdem(ticket, &Response{Status: StatusError, Err: err})
 	}
 	b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
 
@@ -912,10 +1034,28 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 	case resp := <-j.resp:
 		return resp
 	case <-ctx.Done():
-		// The worker will still run the job (resp is buffered) and finish
-		// its trace; the caller just stops waiting.
+		// The worker will still run the job (resp is buffered), finish its
+		// trace, and resolve its idempotency ticket — if the effect executes
+		// after the caller gave up, the outcome is still recorded so the
+		// caller's retry replays it instead of re-executing.
 		return &Response{Status: StatusError, Err: ctx.Err()}
 	}
+}
+
+// resolveIdem settles a job's owned idempotency slot against its final
+// disposition: a full-fidelity success is the effect's recorded outcome;
+// anything else — shed, dropped, stale-served, errored — released the slot
+// without executing, so a retry is allowed to run for real.
+func resolveIdem(ticket *txn.Ticket, resp *Response) *Response {
+	if ticket == nil {
+		return resp
+	}
+	if resp.Status == StatusOK && resp.Fidelity == qos.FidelityFull {
+		ticket.Complete(txn.Outcome{Status: int(resp.Status), Fidelity: resp.Fidelity, Payload: resp.Payload})
+	} else {
+		ticket.Cancel()
+	}
+	return resp
 }
 
 // drop produces the immediate low-fidelity response for a shed request:
@@ -927,7 +1067,7 @@ func (b *Broker) drop(req *Request, class qos.Class, key, reason string, tr *tra
 	tr.SetNote(reason)
 	defer tr.Finish()
 	b.sloRecord(class, time.Since(started), false)
-	if b.results != nil && !req.NoCache {
+	if b.results != nil && !req.NoCache && req.IdemKey == "" {
 		if body, ok := b.results.Get(key); ok {
 			b.reg.Counter("degraded_replies").Inc()
 			return &Response{Status: StatusDropped, Fidelity: qos.FidelityDegraded, Payload: body}
@@ -953,7 +1093,7 @@ func (b *Broker) shed(req *Request, class qos.Class, key, reason string, tr *tra
 	defer tr.Finish()
 	b.sloRecord(class, time.Since(started), false)
 	hint := b.retryAfterHint()
-	if b.results != nil && !req.NoCache {
+	if b.results != nil && !req.NoCache && req.IdemKey == "" {
 		if body, ok := b.results.Get(key); ok {
 			b.reg.Counter("degraded_replies").Inc()
 			return &Response{Status: StatusShed, Fidelity: qos.FidelityDegraded, Payload: body, RetryAfter: hint}
@@ -1014,7 +1154,7 @@ func (b *Broker) evictExpired(j *job, _ qos.Class, wait time.Duration) {
 	j.tr.Span(trace.StageQueue, j.started, time.Now(), "sojourn evicted")
 	b.sloStage(j.class, trace.StageQueue, wait)
 	b.finishJob()
-	j.resp <- b.shed(j.req, j.class, j.key, "sojourn budget exceeded", j.tr, j.started)
+	j.resp <- resolveIdem(j.ticket, b.shed(j.req, j.class, j.key, "sojourn budget exceeded", j.tr, j.started))
 }
 
 // worker pops jobs in priority order and executes them on the backend.
@@ -1042,7 +1182,7 @@ func (b *Broker) worker() {
 				b.limiter.Overload()
 			}
 			b.finishJob()
-			resp := &Response{Status: StatusError, Err: err}
+			resp := resolveIdem(j.ticket, &Response{Status: StatusError, Err: err})
 			b.observeCompletion(j, resp)
 			j.tr.SetStatus("error")
 			j.tr.SetNote("expired in queue")
@@ -1050,7 +1190,7 @@ func (b *Broker) worker() {
 			j.resp <- resp
 			continue
 		}
-		resp := b.execute(j)
+		resp := resolveIdem(j.ticket, b.execute(j))
 		if b.limiter != nil {
 			// Backend access time (retries and clustering wait included) is
 			// the limiter's congestion signal; a stale-cache serve
@@ -1129,7 +1269,9 @@ func (b *Broker) execute(j *job) *Response {
 		b.reg.Counter(fmt.Sprintf("errors_class_%d", j.class)).Inc()
 		// Degradation ladder's last usable rung: answer with the best
 		// data the broker still holds, at low fidelity, before erroring.
-		if b.serveStale && b.results != nil && !j.req.NoCache {
+		// Never for idempotency-keyed mutations — stale data is not an
+		// executed effect.
+		if b.serveStale && b.results != nil && !j.req.NoCache && j.req.IdemKey == "" {
 			if stale, ok := b.results.GetStale(cacheKey(j.req.Payload)); ok {
 				b.reg.Counter("degraded_total").Inc()
 				j.tr.SetNote("stale cache after backend failure: " + err.Error())
@@ -1138,7 +1280,7 @@ func (b *Broker) execute(j *job) *Response {
 		}
 		return &Response{Status: StatusError, Err: err}
 	}
-	if b.results != nil && !j.req.NoCache {
+	if b.results != nil && !j.req.NoCache && j.req.IdemKey == "" {
 		b.results.Put(cacheKey(j.req.Payload), body)
 	}
 	return &Response{Status: StatusOK, Fidelity: qos.FidelityFull, Payload: body}

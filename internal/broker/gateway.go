@@ -125,6 +125,7 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 		Class:   m.Class,
 		TxnID:   m.TxnID,
 		TxnStep: int(m.TxnStep),
+		IdemKey: m.IdemKey,
 		NoCache: m.Flags&wire.FlagNoCache != 0,
 		TraceID: trace.ID(m.TraceID),
 	})
@@ -232,6 +233,7 @@ func (c *Client) Do(ctx context.Context, service string, req *Request) (*Respons
 		Class:   req.Class,
 		TxnID:   req.TxnID,
 		TxnStep: uint16(req.TxnStep),
+		IdemKey: req.IdemKey,
 		Payload: req.Payload,
 		TraceID: uint64(req.TraceID),
 	}

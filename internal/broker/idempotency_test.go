@@ -1,0 +1,255 @@
+package broker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/qos"
+	"servicebroker/internal/txn"
+)
+
+// countingConnector counts executed effects — the ground truth for
+// exactly-once assertions.
+func countingConnector(name string, executions *atomic.Int64) backend.Connector {
+	return &backend.FuncConnector{
+		ServiceName: name,
+		DoFn: func(_ context.Context, payload []byte) ([]byte, error) {
+			n := executions.Add(1)
+			return []byte(fmt.Sprintf("effect %d: %s", n, payload)), nil
+		},
+	}
+}
+
+func idemReq(txnID string, step int, key, payload string) *Request {
+	return &Request{
+		Payload: []byte(payload),
+		Class:   1,
+		TxnID:   txnID,
+		TxnStep: step,
+		IdemKey: key,
+	}
+}
+
+func TestIdempotentReplayReturnsFirstOutcome(t *testing.T) {
+	var executions atomic.Int64
+	b := newBroker(t, countingConnector("db", &executions),
+		WithTransactions(), WithIdempotency(64, 0))
+
+	first := b.Handle(context.Background(), idemReq("t1", 2, "charge", "UPDATE ..."))
+	if first.Status != StatusOK || first.Fidelity != qos.FidelityFull {
+		t.Fatalf("first execution: %+v", first)
+	}
+	// Duplicate delivery (retransmission or failover re-send): same triple.
+	second := b.Handle(context.Background(), idemReq("t1", 2, "charge", "UPDATE ..."))
+	if second.Status != StatusOK {
+		t.Fatalf("replay: %+v", second)
+	}
+	if string(second.Payload) != string(first.Payload) {
+		t.Fatalf("replayed payload %q != first %q", second.Payload, first.Payload)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("backend executed %d times, want exactly 1", executions.Load())
+	}
+	if b.Metrics().Counter("idem_hits").Value() != 1 {
+		t.Fatal("idem_hits not counted")
+	}
+	// A different access key in the same step is a different effect.
+	b.Handle(context.Background(), idemReq("t1", 2, "mail-receipt", "SEND ..."))
+	if executions.Load() != 2 {
+		t.Fatalf("distinct key executed %d times total, want 2", executions.Load())
+	}
+}
+
+func TestIdempotencySharedAcrossBrokers(t *testing.T) {
+	// The pool-failover path: attempt 1 executes at broker A, the answer is
+	// lost, and the frontend re-sends to broker B. With a shared table B
+	// replays A's outcome instead of re-executing.
+	var executions atomic.Int64
+	table := txn.NewIdemTable(64, 0)
+	tracker := txn.NewTracker()
+	a := newBroker(t, countingConnector("db", &executions),
+		WithSharedTransactions(tracker), WithSharedIdempotency(table))
+	bb := newBroker(t, countingConnector("db", &executions),
+		WithSharedTransactions(tracker), WithSharedIdempotency(table))
+
+	r1 := a.Handle(context.Background(), idemReq("t1", 2, "charge", "UPDATE ..."))
+	r2 := bb.Handle(context.Background(), idemReq("t1", 2, "charge", "UPDATE ..."))
+	if r1.Status != StatusOK || r2.Status != StatusOK {
+		t.Fatalf("statuses: %v / %v", r1.Status, r2.Status)
+	}
+	if string(r1.Payload) != string(r2.Payload) {
+		t.Fatalf("failover replay diverged: %q vs %q", r1.Payload, r2.Payload)
+	}
+	if executions.Load() != 1 {
+		t.Fatalf("effect executed %d times across the pool, want 1", executions.Load())
+	}
+}
+
+func TestConcurrentDuplicatesCoalesce(t *testing.T) {
+	var executions atomic.Int64
+	slow := &backend.FuncConnector{
+		ServiceName: "db",
+		DoFn: func(context.Context, []byte) ([]byte, error) {
+			executions.Add(1)
+			time.Sleep(30 * time.Millisecond)
+			return []byte("done"), nil
+		},
+	}
+	b := newBroker(t, slow, WithTransactions(), WithIdempotency(64, 0), WithWorkers(8))
+
+	const dups = 8
+	var wg sync.WaitGroup
+	responses := make([]*Response, dups)
+	wg.Add(dups)
+	for i := 0; i < dups; i++ {
+		go func(i int) {
+			defer wg.Done()
+			responses[i] = b.Handle(context.Background(), idemReq("t1", 1, "hold", "UPDATE ..."))
+		}(i)
+	}
+	wg.Wait()
+	if executions.Load() != 1 {
+		t.Fatalf("concurrent duplicates executed %d times, want 1", executions.Load())
+	}
+	for i, r := range responses {
+		if r.Status != StatusOK || string(r.Payload) != "done" {
+			t.Fatalf("duplicate %d: %+v", i, r)
+		}
+	}
+	if b.Metrics().Counter("idem_coalesced").Value() != dups-1 {
+		t.Fatalf("idem_coalesced = %d, want %d",
+			b.Metrics().Counter("idem_coalesced").Value(), dups-1)
+	}
+}
+
+// A failed first execution must not poison the key: the retry runs for real.
+func TestFailedExecutionDoesNotRecord(t *testing.T) {
+	var calls atomic.Int64
+	flaky := &backend.FuncConnector{
+		ServiceName: "db",
+		DoFn: func(context.Context, []byte) ([]byte, error) {
+			if calls.Add(1) == 1 {
+				return nil, fmt.Errorf("backend down")
+			}
+			return []byte("done"), nil
+		},
+	}
+	b := newBroker(t, flaky, WithTransactions(), WithIdempotency(64, 0))
+
+	if r := b.Handle(context.Background(), idemReq("t1", 1, "hold", "U")); r.Status != StatusError {
+		t.Fatalf("first attempt: %+v", r)
+	}
+	r := b.Handle(context.Background(), idemReq("t1", 1, "hold", "U"))
+	if r.Status != StatusOK || string(r.Payload) != "done" {
+		t.Fatalf("retry after failure: %+v", r)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("backend called %d times, want 2", calls.Load())
+	}
+}
+
+// Idempotency-keyed requests are mutations: they must neither be answered
+// from the result cache nor populate it.
+func TestIdemKeyedRequestsBypassCache(t *testing.T) {
+	var executions atomic.Int64
+	b := newBroker(t, countingConnector("db", &executions),
+		WithTransactions(), WithIdempotency(64, 0), WithCache(16, 0))
+
+	// Prime the cache with a plain read of the same payload.
+	b.Handle(context.Background(), &Request{Payload: []byte("Q"), Class: 1})
+	if executions.Load() != 1 {
+		t.Fatal("priming read did not execute")
+	}
+	// The keyed mutation must reach the backend despite the cached entry.
+	r := b.Handle(context.Background(), idemReq("t1", 1, "k", "Q"))
+	if r.Fidelity != qos.FidelityFull {
+		t.Fatalf("mutation served at fidelity %v from cache", r.Fidelity)
+	}
+	if executions.Load() != 2 {
+		t.Fatalf("mutation did not execute: %d backend calls", executions.Load())
+	}
+	// And its outcome must not overwrite the cached read result.
+	r = b.Handle(context.Background(), &Request{Payload: []byte("Q"), Class: 1})
+	if r.Fidelity != qos.FidelityCached || string(r.Payload) != "effect 1: Q" {
+		t.Fatalf("cache polluted by mutation outcome: %+v", r)
+	}
+}
+
+// A shed keyed request releases its slot: nothing is recorded, and the retry
+// executes when capacity returns.
+func TestShedKeyedRequestReleasesSlot(t *testing.T) {
+	var executions atomic.Int64
+	b := newBroker(t, countingConnector("db", &executions),
+		WithTransactions(), WithIdempotency(64, 0))
+	b.mu.Lock()
+	b.draining = true
+	b.mu.Unlock()
+	if r := b.Handle(context.Background(), idemReq("t1", 1, "hold", "U")); r.Status != StatusShed {
+		t.Fatalf("draining broker answered %+v", r)
+	}
+	b.mu.Lock()
+	b.draining = false
+	b.mu.Unlock()
+	r := b.Handle(context.Background(), idemReq("t1", 1, "hold", "U"))
+	if r.Status != StatusOK || executions.Load() != 1 {
+		t.Fatalf("retry after shed: %+v, %d executions", r, executions.Load())
+	}
+}
+
+// The txn_abandoned_total counter: a broker with a transaction TTL aborts
+// idle transactions and counts them.
+func TestBrokerAbandonsIdleTransactions(t *testing.T) {
+	b := newBroker(t, echoConnector("db"),
+		WithTransactions(), WithTransactionTTL(20*time.Millisecond))
+	b.Handle(context.Background(), &Request{Payload: []byte("Q"), Class: 1, TxnID: "t1", TxnStep: 1})
+	if b.Tracker().ActiveCount() != 1 {
+		t.Fatal("transaction not active")
+	}
+	time.Sleep(30 * time.Millisecond)
+	b.Tracker().Sweep()
+	if b.Tracker().ActiveCount() != 0 {
+		t.Fatal("idle transaction survived the sweep")
+	}
+	if b.Metrics().Counter("txn_abandoned_total").Value() != 1 {
+		t.Fatal("txn_abandoned_total not counted")
+	}
+}
+
+func TestTransactionTTLRequiresTracker(t *testing.T) {
+	if _, err := New(echoConnector("db"), WithTransactionTTL(time.Second)); err == nil {
+		t.Fatal("WithTransactionTTL without WithTransactions accepted")
+	}
+}
+
+// Escalated-class sojourn budgets: a step-3 access of a low base class must
+// be queued — and sojourn-budgeted — at the escalated class, giving it the
+// longer wait budget of the higher class rather than the base class's short
+// one.
+func TestEscalatedClassUsesEscalatedSojournBudget(t *testing.T) {
+	b := newBroker(t, echoConnector("db"),
+		WithThreshold(20, 3), WithTransactions(), WithSojournBudget(10*time.Millisecond))
+
+	base := qos.Class(3)
+	esc := txn.EscalatedClass(base, 3)
+	if esc >= base {
+		t.Fatalf("step 3 did not escalate class %v (got %v)", base, esc)
+	}
+	if got, want := b.sojournBudget(esc), b.sojournBudget(base); got <= want {
+		t.Fatalf("escalated budget %v not longer than base budget %v", got, want)
+	}
+	// End to end: the job is queued at the escalated class, so the sojourn
+	// callback sees the escalated budget. Verified structurally above and
+	// behaviorally here: a step-3 request of the lowest class completes even
+	// when its base-class budget would already have expired in queue.
+	r := b.Handle(context.Background(), &Request{
+		Payload: []byte("Q"), Class: base, TxnID: "t1", TxnStep: 3,
+	})
+	if r.Status != StatusOK {
+		t.Fatalf("escalated request: %+v", r)
+	}
+}

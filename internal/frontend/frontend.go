@@ -71,17 +71,20 @@ func payloadOf(req *httpserver.Request, route Route) []byte {
 	return []byte(req.Query["q"])
 }
 
-// txnOf extracts transaction tagging from the request.
-func txnOf(req *httpserver.Request) (string, int) {
+// txnOf extracts transaction tagging from the request: the "txn" and "step"
+// query parameters, plus the optional "idem" idempotency key that marks the
+// access as a mutation whose effect must execute at most once. The key is
+// only meaningful inside a transaction, so it is ignored without "txn".
+func txnOf(req *httpserver.Request) (string, int, string) {
 	id := req.Query["txn"]
 	if id == "" {
-		return "", 0
+		return "", 0, ""
 	}
 	step, _ := strconv.Atoi(req.Query["step"])
 	if step < 1 {
 		step = 1
 	}
-	return id, step
+	return id, step, req.Query["idem"]
 }
 
 // respond converts a broker response to HTTP. Dropped and shed requests
@@ -330,13 +333,14 @@ func (d *Distributed) EnableAnalytics(hk *sketch.Tracker, eng *slo.Engine) {
 }
 
 func (d *Distributed) serve(req *httpserver.Request, route Route) *httpserver.Response {
-	txnID, step := txnOf(req)
+	txnID, step, idemKey := txnOf(req)
 	d.reg.Counter("forwarded").Inc()
 	resp, traceID, err := tracedCall(d.rec, d.ana, d.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,
 		TxnStep: step,
+		IdemKey: idemKey,
 	})
 	if err != nil {
 		d.reg.Counter("errors").Inc()
@@ -543,12 +547,13 @@ func (c *Centralized) serve(req *httpserver.Request, route Route) *httpserver.Re
 		return httpserver.Error(503, err.Error())
 	}
 	c.reg.Counter("admitted").Inc()
-	txnID, step := txnOf(req)
+	txnID, step, idemKey := txnOf(req)
 	resp, traceID, err := tracedCall(c.rec, c.ana, c.cli, route.Service, &broker.Request{
 		Payload: payloadOf(req, route),
 		Class:   classOf(req, route),
 		TxnID:   txnID,
 		TxnStep: step,
+		IdemKey: idemKey,
 	})
 	if err != nil {
 		c.reg.Counter("errors").Inc()

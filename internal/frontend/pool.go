@@ -297,7 +297,12 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 		return nil, fmt.Errorf("frontend: no pool members for service %q", service)
 	}
 	maxAttempts := len(cands)
-	premium := req.Class != 0 && req.Class < lowFidelityClass
+	// Late transaction steps are premium regardless of base class: aborting
+	// a transaction at step 2+ wastes the completed steps and forces
+	// compensation, so near-complete transactions get every failover chance
+	// (the same reasoning that escalates their class at the broker).
+	premium := (req.Class != 0 && req.Class < lowFidelityClass) ||
+		(req.TxnID != "" && req.TxnStep >= 2)
 	if !premium && maxAttempts > 2 {
 		maxAttempts = 2
 	}
@@ -376,7 +381,10 @@ func (p *Pool) Do(ctx context.Context, service string, req *broker.Request) (*br
 		return lastResp, nil
 	}
 	count(p.exhausted)
-	if !premium && p.stale != nil {
+	// Never stale-serve an idempotency-keyed mutation: a remembered payload
+	// is not an executed effect, and the caller needs a real disposition to
+	// decide between retry and compensation.
+	if !premium && req.IdemKey == "" && p.stale != nil {
 		if payload, ok := p.stale.GetStale(staleKey(service, req.Payload)); ok {
 			count(p.staleServed)
 			act.Span(trace.StageFailover, time.Now(), time.Now(), "stale-serve: pool exhausted, answering from last-good cache")
@@ -413,8 +421,11 @@ func (p *Pool) attemptContext(ctx context.Context, deadline time.Time, hasDeadli
 }
 
 // rememberGood stores a full/cached OK response for later stale serving.
+// Idempotency-keyed mutation outcomes are excluded: they would poison the
+// (service, payload) entry for unrelated reads of the same payload, and a
+// mutation must never be "served" without executing.
 func (p *Pool) rememberGood(service string, req *broker.Request, resp *broker.Response) {
-	if p.stale == nil || resp.Status != broker.StatusOK {
+	if p.stale == nil || resp.Status != broker.StatusOK || req.IdemKey != "" {
 		return
 	}
 	if resp.Fidelity != qos.FidelityFull && resp.Fidelity != qos.FidelityCached {

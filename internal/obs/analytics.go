@@ -84,6 +84,7 @@ func (s *Server) pages() []pageInfo {
 		{"/limitz", "adaptive admission-limit snapshots"},
 		{"/hotz", "hot keys: top-k frequency, hit ratio, latency, and workload skew"},
 		{"/sloz", "per-class SLO burn rates, error budgets, and stage attribution"},
+		{"/txnz", "active transactions with step/age/accesses, plus idempotency-table accounting"},
 		{"/debug/pprof/", "standard net/http/pprof profiling handlers"},
 	}
 	if store != nil {

@@ -19,6 +19,10 @@
 //	          with rates, hit ratios, p95 latency, and estimated Zipf skew)
 //	/sloz     per-QoS-class SLO state from registered engines (burn rates,
 //	          error budgets, alert state, per-stage budget attribution)
+//	/txnz     transaction integrity from registered txn sources: active
+//	          transactions (step, age, accesses), completed/aborted/abandoned
+//	          and compensation totals, idempotency-table accounting
+
 //	/fleetz   fleet topology from a wired federator: every pool member with
 //	          scrape freshness, staleness, build, plus lease/breaker context
 //	/eventz   bounded fleet event timeline (lease churn, breaker flips, AIMD
@@ -105,6 +109,7 @@ type Server struct {
 	limits    []namedLimitSource
 	hotkeys   []namedHotKeySource
 	slos      []namedSLOSource
+	txns      []namedTxnSource
 	store     *tsdb.Store
 	events    *fleet.Log
 	federator *fleet.Federator
@@ -153,6 +158,7 @@ func New() *Server {
 	s.mux.HandleFunc("/graphz", s.handleGraphz)
 	s.mux.HandleFunc("/hotz", s.handleHotz)
 	s.mux.HandleFunc("/sloz", s.handleSloz)
+	s.mux.HandleFunc("/txnz", s.handleTxnz)
 	s.mux.HandleFunc("/eventz", s.handleEventz)
 	s.mux.HandleFunc("/fleetz", s.handleFleetz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"servicebroker/internal/trace"
+	"servicebroker/internal/txn"
+)
+
+// TxnStatus is one service's transaction-integrity state for /txnz: the
+// tracker's active-transaction snapshot plus, when the broker runs an
+// idempotency table, its accounting.
+type TxnStatus struct {
+	Tracker txn.Snapshot
+	Idem    txn.IdemStats
+	HasIdem bool
+}
+
+// TxnSource supplies a transaction status for /txnz. The bool is false when
+// the broker runs without transaction tracking (no WithTransactions).
+type TxnSource func() (TxnStatus, bool)
+
+type namedTxnSource struct {
+	service string
+	src     TxnSource
+}
+
+// AddTxnSource registers a /txnz supplier for one service. Sources with no
+// tracker render as a "disabled" line. Each render snapshots the tracker,
+// which also runs its abandonment sweep — scraping the page keeps the active
+// table honest even on an otherwise idle broker.
+func (s *Server) AddTxnSource(service string, src TxnSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.txns = append(s.txns, namedTxnSource{service: service, src: src})
+	s.mu.Unlock()
+}
+
+// --- /txnz ------------------------------------------------------------------
+
+func (s *Server) handleTxnz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	sources := append([]namedTxnSource(nil), s.txns...)
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(sources) == 0 {
+		fmt.Fprintln(w, "txnz: no transaction sources configured")
+		return
+	}
+	sort.SliceStable(sources, func(i, j int) bool { return sources[i].service < sources[j].service })
+	for _, ns := range sources {
+		st, ok := ns.src()
+		if !ok {
+			fmt.Fprintf(w, "service=%s transaction tracking disabled\n", ns.service)
+			continue
+		}
+		tr := st.Tracker
+		fmt.Fprintf(w, "service=%s active=%d completed=%d aborted=%d abandoned=%d compensations(run/failed)=%d/%d ttl=%s\n",
+			ns.service, len(tr.Active), tr.Completed, tr.Aborted, tr.Abandoned,
+			tr.CompensationsRun, tr.CompensationsFailed, formatTTL(tr.TTL))
+		if st.HasIdem {
+			id := st.Idem
+			fmt.Fprintf(w, "  idempotency: size=%d/%d ttl=%s hits=%d coalesced=%d recorded=%d restored=%d evicted=%d\n",
+				id.Size, id.Capacity, formatTTL(id.TTL),
+				id.Hits, id.Coalesced, id.Recorded, id.Restored, id.Evicted)
+		}
+		for _, a := range tr.Active {
+			fmt.Fprintf(w, "  txn=%s step=%d age=%s idle=%s accesses=%d compensations=%d\n",
+				a.ID, a.Step, trace.FormatDuration(a.Age), trace.FormatDuration(a.Idle),
+				a.Accesses, a.Compensations)
+		}
+	}
+}
+
+// formatTTL renders a TTL where zero means "none configured".
+func formatTTL(d time.Duration) string {
+	if d <= 0 {
+		return "none"
+	}
+	return trace.FormatDuration(d)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"servicebroker/internal/qos"
+	"servicebroker/internal/txn"
+)
+
+func TestTxnzNoSources(t *testing.T) {
+	s := New()
+	code, body := fetch(t, s, "/txnz")
+	if code != 200 || !strings.Contains(body, "no transaction sources") {
+		t.Fatalf("GET /txnz = %d %q", code, body)
+	}
+	// The index lists /txnz unconditionally — the page always serves a 200
+	// non-empty body, which is what the CI smoke step checks.
+	if _, idx := fetch(t, s, "/"); !strings.Contains(idx, "/txnz") {
+		t.Fatal("/txnz not on the index")
+	}
+}
+
+func TestTxnzRendersTrackerAndIdemState(t *testing.T) {
+	tracker := txn.NewTracker()
+	tracker.SetTTL(time.Minute)
+	tracker.Observe("order-7", 2)
+	tracker.RegisterCompensation("order-7", 2, "release", func(context.Context) error { return nil })
+	tracker.Observe("done-1", 1)
+	tracker.Complete("done-1")
+	tracker.Observe("bad-1", 1)
+	tracker.Abort("bad-1")
+
+	table := txn.NewIdemTable(32, time.Minute)
+	_, _, tk := table.Acquire(txn.IdemKey("order-7", 2, "charge"))
+	tk.Complete(txn.Outcome{Status: 1, Fidelity: qos.FidelityFull, Payload: []byte("ok")})
+	table.Acquire(txn.IdemKey("order-7", 2, "charge")) // a replay hit
+
+	s := New()
+	s.AddTxnSource("db", func() (TxnStatus, bool) {
+		st, ok := table.Stats(), true
+		return TxnStatus{Tracker: tracker.Snapshot(), Idem: st, HasIdem: ok}, true
+	})
+	s.AddTxnSource("files", func() (TxnStatus, bool) { return TxnStatus{}, false })
+
+	code, body := fetch(t, s, "/txnz")
+	if code != 200 {
+		t.Fatalf("GET /txnz = %d", code)
+	}
+	for _, want := range []string{
+		"service=db",
+		"active=1",
+		"completed=1",
+		"aborted=1",
+		"txn=order-7 step=2",
+		"compensations=1",
+		"idempotency: size=1/32",
+		"hits=1",
+		"recorded=1",
+		"service=files transaction tracking disabled",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/txnz missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package qos_test
+
+import (
+	"testing"
+	"time"
+
+	"servicebroker/internal/qos"
+	"servicebroker/internal/txn"
+)
+
+// The escalation × sojourn interaction (external test package: txn imports
+// qos, so this cannot live in package qos): a late-step transactional access
+// queued at its escalated class must be judged against the *escalated*
+// class's sojourn budget — the longer one — not its base class's. This is
+// what "step-3 accesses shed last" means for time in queue.
+func TestEscalatedClassUsesEscalatedSojournBudget(t *testing.T) {
+	const classes = 3
+	base := 10 * time.Millisecond
+	// The broker's budget rule: class c waits at most base × (classes-c+1).
+	budget := func(c qos.Class) time.Duration {
+		return base * time.Duration(classes-int(c)+1)
+	}
+
+	now := time.Unix(500, 0)
+	q := qos.NewQueue[string](8)
+	q.SetClock(func() time.Time { return now })
+	var evictions []string
+	q.SetSojourn(budget, func(item string, _ qos.Class, _ time.Duration) {
+		evictions = append(evictions, item)
+	})
+
+	baseClass := qos.Class(classes) // lowest priority
+	escClass := txn.EscalatedClass(baseClass, 3)
+	if escClass >= baseClass {
+		t.Fatalf("step 3 did not escalate class %v (got %v)", baseClass, escClass)
+	}
+	if budget(escClass) <= budget(baseClass) {
+		t.Fatalf("escalated budget %v not longer than base %v",
+			budget(escClass), budget(baseClass))
+	}
+
+	// Two accesses enqueue at the same instant: a plain lowest-class read,
+	// and a step-3 access of the same base class queued at its escalated
+	// class — exactly what broker.Handle does after txn escalation.
+	if err := q.Push(baseClass, "plain-read"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push(escClass, "txn-step-3"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance past the base class's budget but inside the escalated one:
+	// with classes=3 and base=10ms, class 3 may wait 10ms, class 1 may wait
+	// 30ms. At +15ms the plain read is expired; the escalated access is not.
+	now = now.Add(15 * time.Millisecond)
+
+	item, c, ok := q.TryPop()
+	if !ok {
+		t.Fatalf("queue empty: escalated access evicted (evictions: %v)", evictions)
+	}
+	if item != "txn-step-3" || c != escClass {
+		t.Fatalf("popped %q at class %v, want txn-step-3 at %v", item, c, escClass)
+	}
+	if _, _, ok := q.TryPop(); ok {
+		t.Fatal("plain read survived past its base-class budget")
+	}
+	if len(evictions) != 1 || evictions[0] != "plain-read" {
+		t.Fatalf("evictions = %v, want [plain-read]", evictions)
+	}
+
+	// The converse bound: had the step-3 access been queued at its base
+	// class, the same wait would have evicted it too.
+	q2 := qos.NewQueue[string](8)
+	now2 := time.Unix(600, 0)
+	q2.SetClock(func() time.Time { return now2 })
+	q2.SetSojourn(budget, func(string, qos.Class, time.Duration) {})
+	q2.Push(baseClass, "txn-step-3-unescalated")
+	now2 = now2.Add(15 * time.Millisecond)
+	if _, _, ok := q2.TryPop(); ok {
+		t.Fatal("base-class budget unexpectedly kept the access alive")
+	}
+}

@@ -1,0 +1,349 @@
+package txn
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"time"
+
+	"servicebroker/internal/qos"
+)
+
+// Outcome is the recorded first result of a mutating access: what the broker
+// answered the first time the (transaction, step, key) triple executed.
+// Retried and failed-over duplicates are answered with it verbatim instead
+// of re-executing the backend effect. Status is the broker's status code
+// kept as a plain int so the table stays import-cycle-free.
+type Outcome struct {
+	Status   int
+	Fidelity qos.Fidelity
+	Payload  []byte
+}
+
+// IdemKey builds the composite idempotency-table key for one access. The
+// unit separator keeps "txn-1"/step 2 distinct from "txn-12"/step... etc.
+func IdemKey(txnID string, step int, key string) string {
+	return txnID + "\x1f" + strconv.Itoa(step) + "\x1f" + key
+}
+
+// idemState is an entry's lifecycle phase.
+type idemState uint8
+
+const (
+	idemPending idemState = iota + 1 // first execution in flight
+	idemDone                         // outcome recorded
+)
+
+// idemEntry is one table slot. ready is closed when the entry leaves the
+// pending state (recorded or cancelled) so coalesced duplicates wake up.
+type idemEntry struct {
+	state idemState
+	out   Outcome
+	ready chan struct{}
+	at    time.Time // insertion time, drives TTL expiry and FIFO eviction
+}
+
+// IdemStats is the table's point-in-time accounting for /txnz and tests.
+type IdemStats struct {
+	Size      int
+	Capacity  int
+	TTL       time.Duration
+	Hits      int64 // duplicates answered from a recorded outcome
+	Coalesced int64 // duplicates that waited on an in-flight first execution
+	Recorded  int64 // outcomes recorded by Complete
+	Restored  int64 // outcomes re-armed from a journal
+	Evicted   int64 // entries removed by capacity or TTL pressure
+}
+
+// IdemTable is the broker-side idempotency table: a bounded, TTL'd map from
+// (transaction, step, idempotency key) to the recorded first outcome of that
+// access. It gives the retry/failover path exactly-once *effects*: the wire
+// client retransmits lost datagrams and the frontend pool fails requests
+// over to other brokers, so a mutating access can arrive more than once —
+// every arrival after the first is answered from the table.
+//
+// Duplicates that arrive while the first execution is still in flight are
+// coalesced: Acquire hands them a ticket whose Await blocks until the owner
+// records or cancels. A table may be shared by several brokers (the paper's
+// brokers "exchange state information to ensure that transactions involving
+// different backend servers are properly protected"); sharing is what covers
+// the pool-failover path where attempt one executed but its broker crashed
+// before answering.
+//
+// IdemTable is safe for concurrent use. Use NewIdemTable.
+type IdemTable struct {
+	mu      sync.Mutex
+	entries map[string]*idemEntry
+	order   []string // insertion FIFO; lazily compacted against entries
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time
+
+	onRecord func(key string, out Outcome)
+
+	hits      int64
+	coalesced int64
+	recorded  int64
+	restored  int64
+	evicted   int64
+}
+
+// DefaultIdemCapacity bounds the table when the caller passes capacity ≤ 0.
+const DefaultIdemCapacity = 4096
+
+// NewIdemTable builds a table holding at most capacity recorded outcomes
+// (≤ 0 selects DefaultIdemCapacity), each kept for ttl after insertion
+// (ttl ≤ 0 means entries never expire — capacity still bounds the table).
+func NewIdemTable(capacity int, ttl time.Duration) *IdemTable {
+	if capacity <= 0 {
+		capacity = DefaultIdemCapacity
+	}
+	return &IdemTable{
+		entries: make(map[string]*idemEntry),
+		cap:     capacity,
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the table's time source (deterministic tests).
+func (t *IdemTable) SetClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// OnRecord registers a callback invoked (outside table locks) for every
+// outcome recorded via Complete — the journal append hook. Restored entries
+// do not fire it (they came *from* the journal).
+func (t *IdemTable) OnRecord(fn func(key string, out Outcome)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onRecord = fn
+}
+
+// Ticket is the caller's handle on one Acquire that did not hit a recorded
+// outcome. The owner (first arrival) must call exactly one of Complete or
+// Cancel; coalesced duplicates call Await.
+type Ticket struct {
+	t     *IdemTable
+	key   string
+	owner bool
+	ready <-chan struct{}
+}
+
+// Owner reports whether this caller owns the first execution.
+func (tk *Ticket) Owner() bool { return tk.owner }
+
+// Acquire looks up one access. Three outcomes:
+//
+//   - the access already has a recorded outcome → (outcome, true, nil):
+//     answer the caller with it, do not execute;
+//   - first arrival → (zero, false, ticket) with ticket.Owner() true:
+//     execute, then ticket.Complete(outcome) or ticket.Cancel();
+//   - duplicate of an in-flight access → (zero, false, ticket) with Owner()
+//     false: ticket.Await(ctx) blocks for the first execution's outcome.
+func (t *IdemTable) Acquire(key string) (Outcome, bool, *Ticket) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if e, ok := t.entries[key]; ok {
+		if e.state == idemDone && !t.expiredLocked(e, now) {
+			t.hits++
+			return e.out, true, nil
+		}
+		if e.state == idemPending {
+			t.coalesced++
+			return Outcome{}, false, &Ticket{t: t, key: key, ready: e.ready}
+		}
+		// Done but expired: the window closed; treat as first arrival.
+		t.deleteLocked(key)
+	}
+	e := &idemEntry{state: idemPending, ready: make(chan struct{}), at: now}
+	t.insertLocked(key, e)
+	return Outcome{}, false, &Ticket{t: t, key: key, owner: true, ready: e.ready}
+}
+
+// Await blocks a coalesced duplicate until the first execution records or
+// cancels, or ctx is done. ok is true when an outcome was recorded — false
+// means the first execution did not record (it was shed or failed before the
+// effect), and the caller should execute normally.
+func (tk *Ticket) Await(ctx context.Context) (Outcome, bool, error) {
+	select {
+	case <-tk.ready:
+	case <-ctx.Done():
+		return Outcome{}, false, ctx.Err()
+	}
+	out, ok := tk.t.Lookup(tk.key)
+	return out, ok, nil
+}
+
+// Complete records the first outcome for the ticket's access and wakes every
+// coalesced duplicate. Owner tickets only; a duplicate Complete is a no-op.
+func (tk *Ticket) Complete(out Outcome) {
+	if !tk.owner {
+		return
+	}
+	tk.t.complete(tk.key, out)
+}
+
+// Cancel abandons the ticket without recording: the access did not execute
+// (shed, dropped, backend error before the effect), so a retry is allowed to
+// run for real. Coalesced duplicates wake with ok=false.
+func (tk *Ticket) Cancel() {
+	if !tk.owner {
+		return
+	}
+	tk.t.cancel(tk.key)
+}
+
+func (t *IdemTable) complete(key string, out Outcome) {
+	t.mu.Lock()
+	e, ok := t.entries[key]
+	if !ok || e.state != idemPending {
+		t.mu.Unlock()
+		return
+	}
+	e.state = idemDone
+	e.out = out
+	e.at = t.now()
+	close(e.ready)
+	t.recorded++
+	t.evictOverCapLocked()
+	fn := t.onRecord
+	t.mu.Unlock()
+	if fn != nil {
+		fn(key, out)
+	}
+}
+
+func (t *IdemTable) cancel(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok || e.state != idemPending {
+		return
+	}
+	t.deleteLocked(key)
+	close(e.ready)
+}
+
+// Restore re-arms a recorded outcome from a journal (brokerd restart).
+// Idempotent: a later record for the same key wins, matching journal replay
+// order. Restored entries do not fire OnRecord.
+func (t *IdemTable) Restore(key string, out Outcome) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[key]; ok {
+		if e.state == idemPending {
+			close(e.ready)
+		}
+		t.deleteLocked(key)
+	}
+	ready := make(chan struct{})
+	close(ready)
+	t.insertLocked(key, &idemEntry{state: idemDone, out: out, ready: ready, at: t.now()})
+	t.restored++
+	t.evictOverCapLocked()
+}
+
+// Lookup returns the recorded outcome for key, if any (and not expired).
+func (t *IdemTable) Lookup(key string) (Outcome, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[key]
+	if !ok || e.state != idemDone || t.expiredLocked(e, t.now()) {
+		return Outcome{}, false
+	}
+	return e.out, true
+}
+
+// Len returns the number of live entries (pending + recorded).
+func (t *IdemTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// Stats returns the table's accounting.
+func (t *IdemTable) Stats() IdemStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return IdemStats{
+		Size:      len(t.entries),
+		Capacity:  t.cap,
+		TTL:       t.ttl,
+		Hits:      t.hits,
+		Coalesced: t.coalesced,
+		Recorded:  t.recorded,
+		Restored:  t.restored,
+		Evicted:   t.evicted,
+	}
+}
+
+// expiredLocked reports whether a done entry has outlived the TTL.
+func (t *IdemTable) expiredLocked(e *idemEntry, now time.Time) bool {
+	return t.ttl > 0 && now.Sub(e.at) > t.ttl
+}
+
+// insertLocked adds an entry and maintains the FIFO. Caller holds t.mu.
+func (t *IdemTable) insertLocked(key string, e *idemEntry) {
+	t.entries[key] = e
+	t.order = append(t.order, key)
+}
+
+// deleteLocked removes an entry; its order slot is skipped lazily.
+func (t *IdemTable) deleteLocked(key string) {
+	delete(t.entries, key)
+}
+
+// evictOverCapLocked sheds expired and oldest *recorded* entries until the
+// table fits its capacity. Pending entries are never evicted — they are
+// bounded by the brokers' outstanding work, and evicting one would strand
+// its coalesced waiters. Caller holds t.mu.
+func (t *IdemTable) evictOverCapLocked() {
+	now := t.now()
+	// Drop expired recorded entries first, regardless of capacity pressure.
+	if t.ttl > 0 && len(t.entries) > t.cap/2 {
+		for key, e := range t.entries {
+			if e.state == idemDone && t.expiredLocked(e, now) {
+				t.deleteLocked(key)
+				t.evicted++
+			}
+		}
+	}
+	if len(t.entries) <= t.cap {
+		t.compactOrderLocked()
+		return
+	}
+	// FIFO over insertion order: evict the oldest recorded entries.
+	kept := t.order[:0]
+	for _, key := range t.order {
+		e, ok := t.entries[key]
+		if !ok {
+			continue // already deleted; lazy compaction
+		}
+		if len(t.entries) > t.cap && e.state == idemDone {
+			t.deleteLocked(key)
+			t.evicted++
+			continue
+		}
+		kept = append(kept, key)
+	}
+	t.order = kept
+}
+
+// compactOrderLocked trims tombstones from the FIFO once it outgrows the
+// live set enough to matter. Caller holds t.mu.
+func (t *IdemTable) compactOrderLocked() {
+	if len(t.order) < 2*len(t.entries)+16 {
+		return
+	}
+	kept := t.order[:0]
+	for _, key := range t.order {
+		if _, ok := t.entries[key]; ok {
+			kept = append(kept, key)
+		}
+	}
+	t.order = kept
+}

@@ -1,0 +1,303 @@
+package txn
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"servicebroker/internal/qos"
+)
+
+func TestIdemKeyComposite(t *testing.T) {
+	// Field boundaries must be unambiguous: "t-1" step 2 vs "t-12" etc.
+	keys := map[string]bool{}
+	for _, c := range []struct {
+		txn  string
+		step int
+		key  string
+	}{
+		{"t-1", 2, "a"}, {"t-12", 2, "a"}, {"t-1", 22, "a"}, {"t-1", 2, "2a"},
+	} {
+		k := IdemKey(c.txn, c.step, c.key)
+		if keys[k] {
+			t.Fatalf("collision on %+v: %q", c, k)
+		}
+		keys[k] = true
+	}
+}
+
+func TestAcquireRecordHit(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	key := IdemKey("t1", 2, "hold-sku-9")
+
+	out, hit, tk := tbl.Acquire(key)
+	if hit || tk == nil || !tk.Owner() {
+		t.Fatalf("first acquire: hit=%v ticket=%v", hit, tk)
+	}
+	_ = out
+	tk.Complete(Outcome{Status: 1, Fidelity: qos.FidelityFull, Payload: []byte("held")})
+
+	out, hit, tk = tbl.Acquire(key)
+	if !hit || tk != nil {
+		t.Fatalf("duplicate acquire: hit=%v ticket=%v", hit, tk)
+	}
+	if string(out.Payload) != "held" || out.Status != 1 {
+		t.Fatalf("replayed outcome = %+v", out)
+	}
+	st := tbl.Stats()
+	if st.Hits != 1 || st.Recorded != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 recorded", st)
+	}
+}
+
+func TestAcquireCoalescesInFlight(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	key := IdemKey("t1", 1, "hold")
+
+	_, _, owner := tbl.Acquire(key)
+	if !owner.Owner() {
+		t.Fatal("first arrival not owner")
+	}
+	_, hit, dup := tbl.Acquire(key)
+	if hit || dup == nil || dup.Owner() {
+		t.Fatalf("in-flight duplicate: hit=%v dup=%v", hit, dup)
+	}
+
+	done := make(chan Outcome, 1)
+	go func() {
+		out, ok, err := dup.Await(context.Background())
+		if err != nil || !ok {
+			t.Errorf("await: ok=%v err=%v", ok, err)
+		}
+		done <- out
+	}()
+
+	owner.Complete(Outcome{Status: 1, Payload: []byte("first")})
+	select {
+	case out := <-done:
+		if string(out.Payload) != "first" {
+			t.Fatalf("coalesced outcome = %+v", out)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("coalesced waiter never woke")
+	}
+	if st := tbl.Stats(); st.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", st.Coalesced)
+	}
+}
+
+func TestCancelReleasesWaitersWithoutOutcome(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	key := IdemKey("t1", 1, "hold")
+	_, _, owner := tbl.Acquire(key)
+	_, _, dup := tbl.Acquire(key)
+
+	owner.Cancel()
+	out, ok, err := dup.Await(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("cancelled execution produced an outcome: %+v", out)
+	}
+	// After a cancel the key is free again — the retry executes for real.
+	_, hit, tk := tbl.Acquire(key)
+	if hit || !tk.Owner() {
+		t.Fatal("retry after cancel did not become owner")
+	}
+	tk.Cancel()
+}
+
+func TestAwaitContextCancel(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	_, _, owner := tbl.Acquire("k")
+	_, _, dup := tbl.Acquire("k")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := dup.Await(ctx); err == nil {
+		t.Fatal("Await ignored cancelled context")
+	}
+	owner.Cancel()
+}
+
+func TestNonOwnerCompleteIsNoop(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	_, _, owner := tbl.Acquire("k")
+	_, _, dup := tbl.Acquire("k")
+	dup.Complete(Outcome{Status: 99}) // must not record
+	dup.Cancel()                      // must not free the slot
+	if _, ok := tbl.Lookup("k"); ok {
+		t.Fatal("non-owner Complete recorded an outcome")
+	}
+	owner.Complete(Outcome{Status: 1})
+	if out, ok := tbl.Lookup("k"); !ok || out.Status != 1 {
+		t.Fatalf("owner outcome lost: %+v ok=%v", out, ok)
+	}
+}
+
+func TestRestoreReArmsOutcome(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	tbl.Restore("k", Outcome{Status: 1, Payload: []byte("journaled")})
+	out, hit, _ := tbl.Acquire("k")
+	if !hit || string(out.Payload) != "journaled" {
+		t.Fatalf("restored outcome not served: hit=%v out=%+v", hit, out)
+	}
+	if st := tbl.Stats(); st.Restored != 1 {
+		t.Fatalf("restored = %d, want 1", st.Restored)
+	}
+}
+
+func TestRestoreDoesNotFireOnRecord(t *testing.T) {
+	tbl := NewIdemTable(16, 0)
+	fired := 0
+	tbl.OnRecord(func(string, Outcome) { fired++ })
+	tbl.Restore("k", Outcome{Status: 1})
+	if fired != 0 {
+		t.Fatal("Restore fired OnRecord — journal replay would re-journal")
+	}
+	_, _, tk := tbl.Acquire("k2")
+	tk.Complete(Outcome{Status: 1})
+	if fired != 1 {
+		t.Fatalf("Complete fired OnRecord %d times, want 1", fired)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	now := time.Unix(100, 0)
+	tbl := NewIdemTable(16, time.Minute)
+	tbl.SetClock(func() time.Time { return now })
+
+	_, _, tk := tbl.Acquire("k")
+	tk.Complete(Outcome{Status: 1})
+	if _, ok := tbl.Lookup("k"); !ok {
+		t.Fatal("fresh outcome missing")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := tbl.Lookup("k"); ok {
+		t.Fatal("expired outcome still served")
+	}
+	// An acquire after expiry is a fresh first arrival.
+	_, hit, tk2 := tbl.Acquire("k")
+	if hit || !tk2.Owner() {
+		t.Fatal("acquire after expiry did not become owner")
+	}
+	tk2.Cancel()
+}
+
+func TestCapacityBoundWithFIFOEviction(t *testing.T) {
+	tbl := NewIdemTable(8, 0)
+	for i := 0; i < 40; i++ {
+		_, _, tk := tbl.Acquire(fmt.Sprintf("k%d", i))
+		tk.Complete(Outcome{Status: 1})
+	}
+	if n := tbl.Len(); n > 8 {
+		t.Fatalf("table grew to %d entries past capacity 8", n)
+	}
+	// Newest entries survive; the oldest were FIFO-evicted.
+	if _, ok := tbl.Lookup("k39"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if _, ok := tbl.Lookup("k0"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if st := tbl.Stats(); st.Evicted == 0 {
+		t.Fatal("eviction not accounted")
+	}
+}
+
+func TestPendingEntriesNeverEvicted(t *testing.T) {
+	tbl := NewIdemTable(4, 0)
+	var owners []*Ticket
+	for i := 0; i < 6; i++ {
+		_, _, tk := tbl.Acquire(fmt.Sprintf("pending%d", i))
+		owners = append(owners, tk)
+	}
+	// Push recorded entries through to create eviction pressure.
+	for i := 0; i < 20; i++ {
+		_, _, tk := tbl.Acquire(fmt.Sprintf("done%d", i))
+		tk.Complete(Outcome{Status: 1})
+	}
+	for i, tk := range owners {
+		// Each pending owner must still hold its slot: a second acquire
+		// coalesces rather than becoming a new owner.
+		_, hit, dup := tbl.Acquire(fmt.Sprintf("pending%d", i))
+		if hit || dup == nil || dup.Owner() {
+			t.Fatalf("pending%d lost its slot under eviction pressure", i)
+		}
+		tk.Cancel()
+	}
+}
+
+func TestIdemTableConcurrentDuplicates(t *testing.T) {
+	tbl := NewIdemTable(64, 0)
+	const dups = 32
+	var executions int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	results := make([]Outcome, dups)
+	wg.Add(dups)
+	for i := 0; i < dups; i++ {
+		go func(i int) {
+			defer wg.Done()
+			out, hit, tk := tbl.Acquire("shared")
+			if hit {
+				results[i] = out
+				return
+			}
+			if tk.Owner() {
+				mu.Lock()
+				executions++
+				mu.Unlock()
+				out = Outcome{Status: 1, Payload: []byte("once")}
+				tk.Complete(out)
+				results[i] = out
+				return
+			}
+			out, ok, err := tk.Await(context.Background())
+			if err != nil || !ok {
+				t.Errorf("await: ok=%v err=%v", ok, err)
+				return
+			}
+			results[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if executions != 1 {
+		t.Fatalf("executions = %d, want exactly 1", executions)
+	}
+	for i, out := range results {
+		if string(out.Payload) != "once" {
+			t.Fatalf("duplicate %d got %+v", i, out)
+		}
+	}
+}
+
+// TestIdemTableAllocHotPath is the alloc-regression gate for the idempotency
+// hot path (matched by CI's -run 'Alloc' bench-smoke step): a replay hit —
+// the path every duplicate datagram takes under failover — must not allocate.
+func TestIdemTableAllocHotPath(t *testing.T) {
+	tbl := NewIdemTable(64, 0)
+	key := IdemKey("t1", 2, "hold")
+	_, _, tk := tbl.Acquire(key)
+	tk.Complete(Outcome{Status: 1, Payload: []byte("held")})
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, hit, _ := tbl.Acquire(key); !hit {
+			t.Fatal("hit path missed")
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("idempotency hit path allocates %.1f objects/op, want 0", allocs)
+	}
+
+	lookups := testing.AllocsPerRun(1000, func() {
+		if _, ok := tbl.Lookup(key); !ok {
+			t.Fatal("lookup missed")
+		}
+	})
+	if lookups > 0 {
+		t.Fatalf("Lookup allocates %.1f objects/op, want 0", lookups)
+	}
+}

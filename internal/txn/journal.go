@@ -1,0 +1,175 @@
+package txn
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"servicebroker/internal/qos"
+)
+
+// JournalRecord is one journaled idempotency outcome. The journal is the
+// broker's crash-safe memory: replaying it after a restart re-arms the
+// idempotency table, so a duplicate that arrives at the restarted broker is
+// still answered with the first outcome instead of re-executing.
+//
+// The on-disk format is one JSON object per line ("\n"-terminated), appended
+// only. Key is the composite IdemKey (txn \x1f step \x1f access key);
+// Payload round-trips through JSON's base64 encoding.
+type JournalRecord struct {
+	Key      string `json:"key"`
+	Status   int    `json:"status"`
+	Fidelity int    `json:"fidelity"`
+	Payload  []byte `json:"payload,omitempty"`
+}
+
+// Journal is an append-only transaction journal. Appends are flushed to the
+// file before returning, so every record survives a process crash; a torn
+// final line (the process died mid-write) is tolerated and skipped by
+// Replay. Safe for concurrent use.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	w        *bufio.Writer
+	sync     bool
+	appended int
+	closed   bool
+}
+
+// OpenJournal opens (creating if needed) the append-only journal at path.
+// With fsync true every append is additionally fdatasync'd, surviving power
+// loss at a heavy latency cost; false (the usual choice) survives process
+// crashes — the flush leaves the data with the kernel.
+func OpenJournal(path string, fsync bool) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("txn: open journal: %w", err)
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), sync: fsync}, nil
+}
+
+// ErrJournalClosed is returned by Append after Close.
+var ErrJournalClosed = errors.New("txn: journal closed")
+
+// Append writes one record and flushes it.
+func (j *Journal) Append(rec JournalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("txn: journal encode: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrJournalClosed
+	}
+	if _, err := j.w.Write(line); err != nil {
+		return fmt.Errorf("txn: journal append: %w", err)
+	}
+	if err := j.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("txn: journal append: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("txn: journal flush: %w", err)
+	}
+	if j.sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("txn: journal sync: %w", err)
+		}
+	}
+	j.appended++
+	return nil
+}
+
+// AppendOutcome journals one idempotency outcome under its composite key.
+func (j *Journal) AppendOutcome(key string, out Outcome) error {
+	return j.Append(JournalRecord{
+		Key:      key,
+		Status:   out.Status,
+		Fidelity: int(out.Fidelity),
+		Payload:  out.Payload,
+	})
+}
+
+// Appended returns how many records this handle has written.
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// ReplayJournal reads the journal at path, invoking fn for each intact
+// record in append order, and returns how many records were replayed. A
+// missing file replays zero records (first boot); a torn or corrupt final
+// line — the signature of a crash mid-append — is skipped silently, but
+// corruption anywhere earlier is an error (the file is damaged, not torn).
+func ReplayJournal(path string, fn func(JournalRecord)) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("txn: open journal: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	n := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		atEOF := errors.Is(err, io.EOF)
+		if err != nil && !atEOF {
+			return n, fmt.Errorf("txn: read journal: %w", err)
+		}
+		if len(line) > 0 {
+			var rec JournalRecord
+			if uerr := json.Unmarshal(line, &rec); uerr != nil {
+				if atEOF || !hasNewline(line) {
+					// Torn tail from a crash mid-append: replay what we have.
+					return n, nil
+				}
+				return n, fmt.Errorf("txn: journal record %d corrupt: %w", n+1, uerr)
+			}
+			fn(rec)
+			n++
+		}
+		if atEOF {
+			return n, nil
+		}
+	}
+}
+
+// RestoreTable replays the journal at path into table, returning the number
+// of outcomes re-armed — the brokerd restart path in one call.
+func RestoreTable(path string, table *IdemTable) (int, error) {
+	return ReplayJournal(path, func(rec JournalRecord) {
+		table.Restore(rec.Key, Outcome{
+			Status:   rec.Status,
+			Fidelity: qos.Fidelity(rec.Fidelity),
+			Payload:  rec.Payload,
+		})
+	})
+}
+
+func hasNewline(line []byte) bool {
+	return len(line) > 0 && line[len(line)-1] == '\n'
+}

@@ -1,0 +1,158 @@
+package txn
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"servicebroker/internal/qos"
+)
+
+func TestJournalAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txn.journal")
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []JournalRecord{
+		{Key: IdemKey("t1", 1, "hold"), Status: 1, Fidelity: int(qos.FidelityFull), Payload: []byte("held")},
+		{Key: IdemKey("t1", 2, "charge"), Status: 1, Payload: []byte{0x00, 0xff, '\n', 'x'}},
+		{Key: IdemKey("t2", 1, "hold"), Status: 3},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Appended() != 3 {
+		t.Fatalf("appended = %d, want 3", j.Appended())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(recs[0]); err != ErrJournalClosed {
+		t.Fatalf("append after close: %v, want ErrJournalClosed", err)
+	}
+
+	var got []JournalRecord
+	n, err := ReplayJournal(path, func(r JournalRecord) { got = append(got, r) })
+	if err != nil || n != 3 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	for i := range recs {
+		if got[i].Key != recs[i].Key || got[i].Status != recs[i].Status ||
+			string(got[i].Payload) != string(recs[i].Payload) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestJournalReopenAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txn.journal")
+	j1, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Append(JournalRecord{Key: "a", Status: 1})
+	j1.Close()
+
+	j2, err := OpenJournal(path, true) // fsync variant also exercised
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Append(JournalRecord{Key: "b", Status: 1})
+	j2.Close()
+
+	n, err := ReplayJournal(path, func(JournalRecord) {})
+	if err != nil || n != 2 {
+		t.Fatalf("reopened journal replay: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := ReplayJournal(filepath.Join(t.TempDir(), "absent"), func(JournalRecord) {
+		t.Fatal("callback fired for missing file")
+	})
+	if err != nil || n != 0 {
+		t.Fatalf("missing file: n=%d err=%v", n, err)
+	}
+}
+
+func TestReplayTornTailSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txn.journal")
+	j, _ := OpenJournal(path, false)
+	j.Append(JournalRecord{Key: "intact", Status: 1})
+	j.Close()
+	// Simulate a crash mid-append: a truncated, newline-less final record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","sta`)
+	f.Close()
+
+	var keys []string
+	n, err := ReplayJournal(path, func(r JournalRecord) { keys = append(keys, r.Key) })
+	if err != nil {
+		t.Fatalf("torn tail must replay cleanly: %v", err)
+	}
+	if n != 1 || len(keys) != 1 || keys[0] != "intact" {
+		t.Fatalf("replayed %v (n=%d), want just [intact]", keys, n)
+	}
+}
+
+func TestReplayMidFileCorruptionErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txn.journal")
+	content := `{"key":"ok","status":1}` + "\n" +
+		`garbage not json` + "\n" +
+		`{"key":"after","status":1}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ReplayJournal(path, func(JournalRecord) {})
+	if err == nil {
+		t.Fatal("mid-file corruption not reported")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want corruption error", err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d records before corruption, want 1", n)
+	}
+}
+
+func TestRestoreTableReArmsIdempotency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "txn.journal")
+
+	// First life: a broker records outcomes through the OnRecord hook.
+	j, err := OpenJournal(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewIdemTable(16, 0)
+	tbl.OnRecord(func(key string, out Outcome) {
+		if err := j.AppendOutcome(key, out); err != nil {
+			t.Errorf("journal append: %v", err)
+		}
+	})
+	key := IdemKey("t9", 2, "charge-card")
+	_, _, tk := tbl.Acquire(key)
+	tk.Complete(Outcome{Status: 1, Fidelity: qos.FidelityFull, Payload: []byte("charged $42")})
+	j.Close()
+
+	// Second life: a fresh table (restarted brokerd) restores from disk and
+	// answers the replayed duplicate without executing.
+	tbl2 := NewIdemTable(16, 0)
+	n, err := RestoreTable(path, tbl2)
+	if err != nil || n != 1 {
+		t.Fatalf("restore: n=%d err=%v", n, err)
+	}
+	out, hit, _ := tbl2.Acquire(key)
+	if !hit {
+		t.Fatal("restored table did not replay the recorded outcome")
+	}
+	if out.Status != 1 || out.Fidelity != qos.FidelityFull || string(out.Payload) != "charged $42" {
+		t.Fatalf("restored outcome = %+v", out)
+	}
+}

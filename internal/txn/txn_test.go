@@ -1,11 +1,13 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"servicebroker/internal/qos"
 )
@@ -15,8 +17,10 @@ func TestBeginObserveComplete(t *testing.T) {
 	if err := tr.Begin("t1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Begin("t1"); err == nil {
-		t.Fatal("duplicate begin accepted")
+	// Begin is idempotent while the transaction is still at step 1 (a tagged
+	// request may have raced ahead and created it).
+	if err := tr.Begin("t1"); err != nil {
+		t.Fatalf("repeat begin at step 1 rejected: %v", err)
 	}
 	s, err := tr.Observe("t1", 1)
 	if err != nil || s.Step != 1 || s.Accesses != 1 {
@@ -237,6 +241,223 @@ func TestEscalationMonotoneProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Begin against a transaction that progressed past step 1 is still a
+// duplicate-ID error, not idempotent.
+func TestBeginPastStepOneRejected(t *testing.T) {
+	tr := NewTracker()
+	if _, err := tr.Observe("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Begin("t"); err == nil {
+		t.Fatal("begin against step-2 transaction accepted")
+	}
+}
+
+// The Begin/Observe first-sight race: a tagged request creating the
+// transaction concurrently with the client's explicit Begin must never fail
+// either side. Regression for the seed behavior where Begin errored if the
+// Observe landed first.
+func TestConcurrentBeginObserveRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		tr := NewTracker()
+		var wg sync.WaitGroup
+		var beginErr error
+		var observeErr error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			beginErr = tr.Begin("race")
+		}()
+		go func() {
+			defer wg.Done()
+			_, observeErr = tr.Observe("race", 1)
+		}()
+		wg.Wait()
+		if beginErr != nil {
+			t.Fatalf("round %d: Begin lost the race: %v", round, beginErr)
+		}
+		if observeErr != nil {
+			t.Fatalf("round %d: Observe failed: %v", round, observeErr)
+		}
+		if tr.ActiveCount() != 1 {
+			t.Fatalf("round %d: active = %d, want 1", round, tr.ActiveCount())
+		}
+	}
+}
+
+// Regression for the unbounded-growth bug: abandoned transactions used to
+// stay in the active table forever. With a TTL set, a sweep aborts them,
+// counts them as abandoned, runs their compensations, and fires OnAbandon.
+func TestAbandonmentSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := NewTracker()
+	tr.SetClock(func() time.Time { return now })
+	tr.SetTTL(time.Minute)
+
+	var abandoned []string
+	tr.OnAbandon(func(s State) { abandoned = append(abandoned, s.ID) })
+
+	compensated := false
+	tr.Observe("stale", 2)
+	if err := tr.RegisterCompensation("stale", 2, "undo", func(context.Context) error {
+		compensated = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(30 * time.Second)
+	tr.Observe("fresh", 1)
+
+	// "stale" is now 70s idle, "fresh" 40s — only stale is past the TTL.
+	now = now.Add(40 * time.Second)
+	tr.Observe("fresh", 2) // refresh and trigger the lazy sweep
+
+	if tr.ActiveCount() != 1 {
+		t.Fatalf("active = %d after sweep, want 1", tr.ActiveCount())
+	}
+	if _, ok := tr.Lookup("stale"); ok {
+		t.Fatal("abandoned transaction still active")
+	}
+	if !compensated {
+		t.Fatal("abandoned transaction's compensation did not run")
+	}
+	if len(abandoned) != 1 || abandoned[0] != "stale" {
+		t.Fatalf("OnAbandon got %v, want [stale]", abandoned)
+	}
+	if got := tr.Abandoned(); got != 1 {
+		t.Fatalf("Abandoned() = %d, want 1", got)
+	}
+	if _, aborted := tr.Stats(); aborted != 1 {
+		t.Fatalf("aborted = %d, want 1 (abandoned counts as aborted)", aborted)
+	}
+
+	// Growth stays bounded: churn many one-shot transactions through and
+	// sweep — nothing may accumulate.
+	for i := 0; i < 500; i++ {
+		tr.Observe(fmt.Sprintf("ghost-%d", i), 1)
+	}
+	now = now.Add(2 * time.Minute)
+	tr.Sweep()
+	if tr.ActiveCount() != 0 {
+		t.Fatalf("active = %d after full sweep, want 0", tr.ActiveCount())
+	}
+	if got := tr.Abandoned(); got != 502 {
+		t.Fatalf("Abandoned() = %d, want 502", got)
+	}
+}
+
+// Sweep with no TTL configured is a no-op.
+func TestSweepDisabledByDefault(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("t", 1)
+	if got := tr.Sweep(); got != nil {
+		t.Fatalf("Sweep() = %v with no TTL, want nil", got)
+	}
+	if tr.ActiveCount() != 1 {
+		t.Fatal("transaction vanished without a TTL")
+	}
+}
+
+// Compensations run in reverse registration order (saga unwinding) and a
+// failing compensation does not stop the run — partial compensation is
+// accounted, not hidden.
+func TestAbortRunsCompensationsInReverse(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("buy", 1)
+	var order []string
+	tr.RegisterCompensation("buy", 1, "release-monitor-hold", func(context.Context) error {
+		order = append(order, "release-monitor-hold")
+		return nil
+	})
+	tr.Observe("buy", 2)
+	tr.RegisterCompensation("buy", 2, "release-card-hold", func(context.Context) error {
+		order = append(order, "release-card-hold")
+		return errors.New("vendor unreachable")
+	})
+	tr.Observe("buy", 3)
+	tr.RegisterCompensation("buy", 3, "void-purchase", func(context.Context) error {
+		order = append(order, "void-purchase")
+		return nil
+	})
+
+	report, err := tr.AbortContext(context.Background(), "buy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"void-purchase", "release-card-hold", "release-monitor-hold"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("compensation order = %v, want %v", order, want)
+	}
+	if len(report.Ran) != 3 || report.Failed != 1 {
+		t.Fatalf("report = %+v, want 3 ran / 1 failed", report)
+	}
+	if report.Ran[1].Err == nil || report.Ran[1].Name != "release-card-hold" {
+		t.Fatalf("failed compensation not attributed: %+v", report.Ran[1])
+	}
+
+	snap := tr.Snapshot()
+	if snap.CompensationsRun != 3 || snap.CompensationsFailed != 1 {
+		t.Fatalf("snapshot accounting = %d run / %d failed, want 3/1",
+			snap.CompensationsRun, snap.CompensationsFailed)
+	}
+}
+
+// Completing a transaction discards its compensations: the saga committed.
+func TestCompleteDiscardsCompensations(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe("t", 1)
+	ran := false
+	tr.RegisterCompensation("t", 1, "undo", func(context.Context) error { ran = true; return nil })
+	if err := tr.Complete("t"); err != nil {
+		t.Fatal(err)
+	}
+	// A later Observe re-creates the ID; aborting the fresh incarnation must
+	// not run the committed saga's undo.
+	tr.Observe("t", 1)
+	if err := tr.Abort("t"); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("committed transaction's compensation ran")
+	}
+}
+
+func TestRegisterCompensationErrors(t *testing.T) {
+	tr := NewTracker()
+	if err := tr.RegisterCompensation("ghost", 1, "x", func(context.Context) error { return nil }); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("err = %v, want ErrUnknownTxn", err)
+	}
+	tr.Observe("t", 1)
+	if err := tr.RegisterCompensation("t", 1, "x", nil); err == nil {
+		t.Fatal("nil compensation accepted")
+	}
+}
+
+func TestSnapshotRows(t *testing.T) {
+	now := time.Unix(2000, 0)
+	tr := NewTracker()
+	tr.SetClock(func() time.Time { return now })
+	tr.Observe("old", 1)
+	now = now.Add(10 * time.Second)
+	tr.Observe("new", 3)
+	tr.RegisterCompensation("new", 3, "undo", func(context.Context) error { return nil })
+	tr.Complete("old")
+	tr.Observe("old2", 2)
+	tr.Abort("old2")
+
+	snap := tr.Snapshot()
+	if snap.Completed != 1 || snap.Aborted != 1 {
+		t.Fatalf("totals = %d/%d, want 1/1", snap.Completed, snap.Aborted)
+	}
+	if len(snap.Active) != 1 {
+		t.Fatalf("active rows = %d, want 1", len(snap.Active))
+	}
+	row := snap.Active[0]
+	if row.ID != "new" || row.Step != 3 || row.Accesses != 1 || row.Compensations != 1 {
+		t.Fatalf("row = %+v", row)
 	}
 }
 

@@ -105,6 +105,17 @@ type Message struct {
 	// layouts; nonempty selects a version-5 frame, which a server only
 	// sends to clients that set FlagBrokerIdentity.
 	BrokerID string
+	// IdemKey is the per-access idempotency key of a mutating transactional
+	// request (requests only): together with TxnID and TxnStep it names one
+	// logical effect, so a broker that sees the same triple again — a wire
+	// retransmission or a pool failover re-send — answers with the recorded
+	// first outcome instead of re-executing. Empty means the access carries
+	// no idempotency protection and encodes in the pre-existing frame
+	// layouts, keeping untagged traffic byte-identical to older versions;
+	// nonempty selects a version-6 frame. Like TxnID/TxnStep (and unlike
+	// the response-escalation fields gated by flags), it is a request-side
+	// field and needs no capability flag.
+	IdemKey string
 	// Payload is the service-specific query or result body.
 	Payload []byte
 }
@@ -168,6 +179,12 @@ const (
 	// message carries a nonempty BrokerID, which a server only does for
 	// clients that set FlagBrokerIdentity.
 	codecVersionIdentity = 5
+	// codecVersionTxn appends a length-prefixed idempotency key after the
+	// broker identity section (and always carries the span block, retry
+	// trailer, and identity section, possibly empty/zero). Only emitted when
+	// the message carries a nonempty IdemKey — a mutating transactional
+	// request — so untagged traffic still encodes as v1/v2 frames.
+	codecVersionTxn = 6
 	// headerSize is the fixed-size version-1 prefix before variable-length
 	// fields.
 	headerSize = 2 + 1 + 1 + 8 + 1 + 2 + 1 + 1 + 1
@@ -191,6 +208,7 @@ const (
 //	 start[8] end[8])* when version >= 3}
 //	{retryAfterMs[4] when version >= 4}
 //	{brokerIDLen[2] brokerID[...] when version >= 5}
+//	{idemKeyLen[2] idemKey[...] when version >= 6}
 //
 // Version 1 frames carry no trace ID and decode with TraceID == 0; version 2
 // frames append the 8-byte trace ID to the fixed header; version 3 frames
@@ -198,12 +216,17 @@ const (
 // append a retry-after trailer after the span block (always present in v4,
 // count 0 when there are no spans); version 5 frames append a broker
 // identity string after the retry-after trailer (both span block and
-// trailer always present in v5, possibly empty/zero). Encode picks the
-// layout from the message: no trace ID → v1, trace ID → v2, spans → v3,
-// retry-after → v4, broker identity → v5. A message without spans, a retry
-// hint, or an identity therefore round-trips byte-for-byte through the
-// layouts old peers understand, and v3/v4/v5 frames only ever reach peers
-// that asked for them via FlagSpanExport/FlagBackpressure/FlagBrokerIdentity.
+// trailer always present in v5, possibly empty/zero); version 6 frames
+// append an idempotency key after the identity section (span block, trailer,
+// and identity section always present in v6, possibly empty/zero). Encode
+// picks the layout from the message: no trace ID → v1, trace ID → v2, spans
+// → v3, retry-after → v4, broker identity → v5, idempotency key → v6. A
+// message without spans, a retry hint, an identity, or an idempotency key
+// therefore round-trips byte-for-byte through the layouts old peers
+// understand; v3/v4/v5 frames only ever reach peers that asked for them via
+// FlagSpanExport/FlagBackpressure/FlagBrokerIdentity, and v6 frames — being
+// request-side, like TxnID — only reach brokers the deployment already
+// upgraded.
 
 // Encoding and decoding errors.
 var (
@@ -269,7 +292,22 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 		tailBytes = 4 // v5 always carries the retry-after trailer, 0 here
 		idBytes = 2 + len(m.BrokerID)
 	}
-	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes + tailBytes + idBytes
+	idemBytes := 0
+	if m.IdemKey != "" {
+		if len(m.IdemKey) > maxStringLen {
+			return nil, fmt.Errorf("%w: idempotency key %d bytes", ErrFrameTooLarge, len(m.IdemKey))
+		}
+		version, fixed = codecVersionTxn, headerSizeTraced
+		if spanBytes == 0 {
+			spanBytes = 2 // v6 always carries the span block, count 0 here
+		}
+		tailBytes = 4 // v6 always carries the retry-after trailer, 0 here
+		if idBytes == 0 {
+			idBytes = 2 // v6 always carries the identity section, empty here
+		}
+		idemBytes = 2 + len(m.IdemKey)
+	}
+	total := fixed + 2 + len(m.Service) + 2 + len(m.TxnID) + 4 + len(m.Payload) + spanBytes + tailBytes + idBytes + idemBytes
 	if total > MaxFrame {
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, total)
 	}
@@ -313,6 +351,10 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.BrokerID)))
 		buf = append(buf, m.BrokerID...)
 	}
+	if version >= codecVersionTxn {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.IdemKey)))
+		buf = append(buf, m.IdemKey...)
+	}
 	return buf, nil
 }
 
@@ -325,7 +367,7 @@ func Decode(buf []byte) (*Message, error) {
 	if buf[0] != magic0 || buf[1] != magic1 {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if buf[2] < codecVersion || buf[2] > codecVersionIdentity {
+	if buf[2] < codecVersion || buf[2] > codecVersionTxn {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
 	m := &Message{
@@ -397,6 +439,14 @@ func Decode(buf []byte) (*Message, error) {
 				return nil, err
 			}
 			m.BrokerID = id
+			tail = rest
+		}
+		if buf[2] >= codecVersionTxn {
+			key, rest, err := readString(tail)
+			if err != nil {
+				return nil, err
+			}
+			m.IdemKey = key
 			tail = rest
 		}
 		if len(tail) != 0 {

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTxnFrameRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:    TypeRequest,
+		ID:      77,
+		Service: "db",
+		Class:   1,
+		TxnID:   "order-1839",
+		TxnStep: 2,
+		IdemKey: "hold:card-42",
+		TraceID: 0xfeedface,
+		Payload: []byte("UPDATE holds SET ..."),
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTxn {
+		t.Fatalf("txn frame version = %d, want %d", frame[2], codecVersionTxn)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IdemKey != m.IdemKey || got.TxnID != m.TxnID || got.TxnStep != m.TxnStep {
+		t.Fatalf("txn block mismatch: %+v", got)
+	}
+	if got.TraceID != m.TraceID || !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatalf("txn frame round trip mismatch: %+v", got)
+	}
+}
+
+// A v6 request without a trace ID, spans, retry hint, or broker identity must
+// still round-trip: v6 forces those sections present-but-empty.
+func TestTxnFrameMinimal(t *testing.T) {
+	m := &Message{Type: TypeRequest, ID: 2, Service: "db",
+		TxnID: "t", TxnStep: 1, IdemKey: "k"}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTxn {
+		t.Fatalf("version = %d, want %d", frame[2], codecVersionTxn)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IdemKey != "k" || got.TraceID != 0 || got.BrokerID != "" ||
+		got.RetryAfterMs != 0 || len(got.Spans) != 0 {
+		t.Fatalf("minimal txn frame decoded as %+v", got)
+	}
+}
+
+// The acceptance criterion's untagged-overhead bound is structural: a message
+// with no idempotency key encodes in the same v1/v2 layouts as before this
+// change — zero extra bytes on the untagged wire path.
+func TestUntaggedFrameUnchangedByTxnCodec(t *testing.T) {
+	plain := &Message{Type: TypeRequest, ID: 9, Service: "db",
+		Class: 2, Payload: []byte("SELECT 1")}
+	frame, err := Encode(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersion {
+		t.Fatalf("untagged frame version = %d, want %d", frame[2], codecVersion)
+	}
+	// Even a transactional-but-unkeyed request (read step) stays below v6.
+	traced := &Message{Type: TypeRequest, ID: 9, Service: "db",
+		TxnID: "t1", TxnStep: 3, TraceID: 5, Payload: []byte("SELECT 1")}
+	frame, err = Encode(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[2] != codecVersionTraced {
+		t.Fatalf("keyless txn frame version = %d, want %d", frame[2], codecVersionTraced)
+	}
+}
+
+func TestEncodeRejectsOversizedIdemKey(t *testing.T) {
+	m := &Message{Type: TypeRequest, Service: "db",
+		IdemKey: strings.Repeat("x", maxStringLen+1)}
+	if _, err := Encode(m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestTxnFrameTruncation(t *testing.T) {
+	m := &Message{
+		Type:     TypeResponse,
+		ID:       3,
+		Service:  "mail",
+		TxnID:    "t-3",
+		TxnStep:  2,
+		IdemKey:  "send:receipt",
+		TraceID:  42,
+		Payload:  []byte("OK"),
+		BrokerID: "10.0.0.2:7411",
+		Spans:    []Span{{Stage: "backend", Start: 20, End: 400}},
+	}
+	frame, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := Decode(frame[:cut]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("truncation at %d/%d: err = %v, want ErrBadFrame", cut, len(frame), err)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), frame...), 0)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("trailing byte: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// Property: any idempotency key round-trips exactly alongside the rest of the
+// transaction block and the v5 tail sections it rides behind.
+func TestTxnRoundTripProperty(t *testing.T) {
+	f := func(txnID, idemKey string, step uint16, traceID uint64, payload []byte) bool {
+		if len(txnID) > 256 || len(idemKey) > 256 || len(payload) > 4096 {
+			return true
+		}
+		m := &Message{Type: TypeRequest, ID: 1, Service: "db",
+			TxnID: txnID, TxnStep: step, IdemKey: idemKey,
+			TraceID: traceID, Payload: payload}
+		frame, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.TxnID == txnID && got.IdemKey == idemKey &&
+			got.TxnStep == step && got.TraceID == traceID &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
