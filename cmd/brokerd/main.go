@@ -136,6 +136,7 @@ type config struct {
 	sojournBudget   time.Duration
 	drainTimeout    time.Duration
 	hotkeys         int
+	coalesce        bool
 	slo             bool
 	sloFast         time.Duration
 	sloSlow         time.Duration
@@ -178,6 +179,7 @@ func main() {
 	flag.DurationVar(&cfg.sojournBudget, "sojourn-budget", 0, "class-1 queue-wait budget; queued requests over their class budget are shed early (0 disables)")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 5*time.Second, "how long SIGTERM/SIGINT waits for in-flight requests to finish")
 	flag.IntVar(&cfg.hotkeys, "hotkeys", 0, "track the top-N hottest request keys per broker for /hotz (0 disables)")
+	flag.BoolVar(&cfg.coalesce, "coalesce", false, "single-flight identical in-flight cacheable queries so N duplicates cost one backend trip")
 	flag.BoolVar(&cfg.slo, "slo", false, "evaluate per-class SLO burn rates for /sloz")
 	flag.DurationVar(&cfg.sloFast, "slo-fast", 0, "SLO fast burn window (0 selects the default)")
 	flag.DurationVar(&cfg.sloSlow, "slo-slow", 0, "SLO slow burn window (0 selects 12x the fast window)")
@@ -309,6 +311,9 @@ func run(cfg config) error {
 		if cfg.hotkeys > 0 {
 			opts = append(opts, broker.WithHotKeys(sketch.Config{TopK: cfg.hotkeys}))
 		}
+		if cfg.coalesce {
+			opts = append(opts, broker.WithCoalescing())
+		}
 		if cfg.slo {
 			objectives := slo.DefaultObjectives()
 			if cfg.classes < len(objectives) {
@@ -388,6 +393,20 @@ func run(cfg config) error {
 			}
 			if cfg.hotkeys > 0 {
 				adminSrv.AddHotKeySource(name, b.HotKeySnapshot)
+			}
+			if cfg.coalesce {
+				adminSrv.AddCoalesceSource(name, func() (obs.CoalesceSnapshot, bool) {
+					st, ok := b.CoalesceStats()
+					if !ok {
+						return obs.CoalesceSnapshot{}, false
+					}
+					return obs.CoalesceSnapshot{
+						Flights:   st.Flights,
+						Coalesced: st.Coalesced,
+						Shared:    st.Shared,
+						Inflight:  int64(st.Inflight),
+					}, true
+				})
 			}
 			if cfg.slo {
 				adminSrv.AddSLOSource(name, b.SLOStatus)

@@ -15,6 +15,7 @@
 //	sbexp -exp overload                 # static vs adaptive admission ablation
 //	sbexp -exp hotkey                   # hot-key detection under a popularity flip
 //	sbexp -exp txn                      # transaction integrity: escalation + idempotency
+//	sbexp -exp wire                     # hot-path throughput: batching + coalescing vs baseline
 //	sbexp -scale 20ms                   # wall time per paper second
 //	sbexp -quick                        # smaller sweeps for a fast pass
 package main
@@ -40,7 +41,7 @@ import (
 var knownExperiments = []string{
 	"all", "fig7", "fig7a", "fig9", "fig10",
 	"table1", "table2", "table3", "table4",
-	"ablations", "obs", "overload", "hotkey", "failover", "fleet", "txn",
+	"ablations", "obs", "overload", "hotkey", "failover", "fleet", "txn", "wire",
 }
 
 func main() {
@@ -206,6 +207,13 @@ func run(exp string, scale time.Duration, quick bool, csvDir, admin string) erro
 		sections.Inc()
 	}
 
+	if exp == "all" || exp == "wire" {
+		if err := runWireThroughput(ctx, quick); err != nil {
+			return err
+		}
+		sections.Inc()
+	}
+
 	for _, known := range knownExperiments {
 		if exp == known {
 			return nil
@@ -277,6 +285,37 @@ func runTxnIntegrity(ctx context.Context, quick bool) error {
 		return err
 	}
 	const benchFile = "BENCH_txn.json"
+	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", benchFile)
+	return nil
+}
+
+// runWireThroughput runs the hot-path throughput benchmark (plain wire path
+// vs datagram batching + single-flight coalescing under a duplicate-heavy
+// workload) and writes BENCH_wire_throughput.json in the working directory.
+func runWireThroughput(ctx context.Context, quick bool) error {
+	cfg := experiments.DefaultWireThroughputConfig(quick)
+	fmt.Printf("running wire throughput benchmark (%d requests/mode, concurrency=%d, keyspace=%d, backend %v x%d, flush window %v)...\n",
+		cfg.Requests, cfg.Concurrency, cfg.Keyspace, cfg.BackendTime, cfg.BackendConcurrent, cfg.FlushWindow)
+	res, err := experiments.RunWireThroughput(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	for _, m := range []experiments.WireThroughputMode{res.Baseline, res.Optimized} {
+		fmt.Printf("  %-17s %8.0f req/s mean=%8.0fµs p95=%8.0fµs backend_trips=%d frames/datagrams out: client %d/%d server %d/%d\n",
+			m.Name, m.ReqPerSec, m.MeanMicros, m.P95Micros, m.BackendTrips,
+			m.ClientFramesOut, m.ClientDatagramsOut, m.ServerFramesOut, m.ServerDatagramsOut)
+	}
+	fmt.Printf("  speedup=%.2fx syscalls_saved=%.1f%% coalesced=%d shared=%d decode_allocs/op=%.1f\n\n",
+		res.SpeedupX, res.SyscallsSavedPct, res.Optimized.Coalesced, res.Optimized.CoalesceShared,
+		res.DecodeAllocsPerOp)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	const benchFile = "BENCH_wire_throughput.json"
 	if err := os.WriteFile(benchFile, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

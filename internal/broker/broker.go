@@ -159,6 +159,9 @@ type Broker struct {
 	hotkeys *sketch.Tracker
 	sloEng  *slo.Engine
 
+	// single-flight query coalescing (WithCoalescing)
+	coalesce *coalescer
+
 	// fleet event timeline (WithFleetEvents); nil-safe, may stay nil
 	events *fleet.Log
 
@@ -441,6 +444,22 @@ func WithHotSpotNotify(frac float64, notify func(LoadReport)) Option {
 func WithMetrics(reg *metrics.Registry) Option {
 	return optionFunc(func(b *Broker) error {
 		b.reg = reg
+		return nil
+	})
+}
+
+// WithCoalescing enables single-flight query coalescing ahead of the result
+// cache: when an idempotent cacheable query misses the cache while an
+// identical query is already executing, the duplicate waits for the first
+// execution's answer instead of spending a second backend trip. N identical
+// in-flight requests therefore cost one backend access — the read-side
+// complement of the idempotency table's write coalescing. Requests with
+// NoCache or an idempotency key (mutations) are never coalesced. Duplicates
+// served this way increment coalesced_total and carry a "coalesce" trace
+// stage; CoalesceStats and the obs /hotz page expose the accounting.
+func WithCoalescing() Option {
+	return optionFunc(func(b *Broker) error {
+		b.coalesce = newCoalescer()
 		return nil
 	})
 }
@@ -855,6 +874,18 @@ func (b *Broker) HotKeySnapshot() (sketch.Snapshot, bool) {
 	return snap, true
 }
 
+// CoalesceStats returns the single-flight coalescing accounting; ok is
+// false unless WithCoalescing is configured. Each call also refreshes the
+// coalesce_inflight gauge for periodic scrapers.
+func (b *Broker) CoalesceStats() (CoalesceStats, bool) {
+	if b.coalesce == nil {
+		return CoalesceStats{}, false
+	}
+	st := b.coalesce.stats()
+	b.reg.Gauge("coalesce_inflight").Set(int64(st.Inflight))
+	return st, true
+}
+
 // SLO returns the per-class SLO engine (nil unless WithSLO).
 func (b *Broker) SLO() *slo.Engine { return b.sloEng }
 
@@ -990,9 +1021,51 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.sloStage(class, trace.StageCache, lookup.EndNote("miss"))
 	}
 
+	// Single-flight coalescing (WithCoalescing): a cache miss for a query
+	// that is already executing waits for the first execution's answer
+	// instead of spending its own backend trip. Only idempotent cacheable
+	// reads coalesce — NoCache opts out and idempotency-keyed mutations are
+	// coalesced by the idem table above. An owner's flight is settled on
+	// every return path below; a flight that closes without a shareable
+	// answer sends its waiters back through acquire to run for real.
+	var flight *coalFlight
+	if b.coalesce != nil && !req.NoCache && !idemKeyed {
+		for {
+			f, owner := b.coalesce.acquire(key)
+			if owner {
+				flight = f
+				b.reg.Counter("coalesce_flights_total").Inc()
+				break
+			}
+			b.reg.Counter("coalesced_total").Inc()
+			sp := tr.StartSpan(trace.StageCoalesce)
+			shared, ok, err := f.await(ctx)
+			d := sp.EndNote("waited")
+			b.sloStage(class, trace.StageCoalesce, d)
+			if err != nil {
+				tr.SetStatus("error")
+				tr.Finish()
+				return &Response{Status: StatusError, Err: err}
+			}
+			if ok {
+				tr.SetStatus("ok")
+				tr.SetNote("coalesced")
+				tr.Finish()
+				elapsed := time.Since(started)
+				if b.hotkeys != nil {
+					b.hotkeys.RecordLatency(key, elapsed)
+				}
+				b.sloRecord(class, elapsed, true)
+				return &Response{Status: shared.Status, Fidelity: shared.Fidelity, Payload: shared.Payload}
+			}
+			// The first execution finished without a shareable answer (shed,
+			// errored, or abandoned): re-acquire and run for real.
+		}
+	}
+
 	// Contract enforcement (loosely coupled services).
 	if c := b.contract[req.Class]; c != nil && !c.Allow() {
-		return resolveIdem(ticket, b.drop(req, class, key, "contract exceeded", tr, started))
+		return settleFlight(flight, resolveIdem(ticket, b.drop(req, class, key, "contract exceeded", tr, started)))
 	}
 
 	// Admission control: the binary forward/drop rule, evaluated at the
@@ -1002,15 +1075,15 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.mu.Unlock()
 		tr.SetStatus("error")
 		tr.Finish()
-		return resolveIdem(ticket, &Response{Status: StatusError, Err: ErrBrokerClosed})
+		return settleFlight(flight, resolveIdem(ticket, &Response{Status: StatusError, Err: ErrBrokerClosed}))
 	}
 	if b.draining {
 		b.mu.Unlock()
-		return resolveIdem(ticket, b.shed(req, class, key, "draining", tr, started))
+		return settleFlight(flight, resolveIdem(ticket, b.shed(req, class, key, "draining", tr, started)))
 	}
 	if !b.policy.AdmitAt(class, b.outstanding, b.effectiveThreshold()) {
 		b.mu.Unlock()
-		return resolveIdem(ticket, b.shed(req, class, key, "threshold exceeded", tr, started))
+		return settleFlight(flight, resolveIdem(ticket, b.shed(req, class, key, "threshold exceeded", tr, started)))
 	}
 	b.outstanding++
 	outstanding := b.outstanding
@@ -1026,20 +1099,38 @@ func (b *Broker) Handle(ctx context.Context, req *Request) *Response {
 		b.finishJob()
 		tr.SetStatus("error")
 		tr.Finish()
-		return resolveIdem(ticket, &Response{Status: StatusError, Err: err})
+		return settleFlight(flight, resolveIdem(ticket, &Response{Status: StatusError, Err: err}))
 	}
 	b.reg.Gauge("queue_len").Set(int64(b.queue.Len()))
 
 	select {
 	case resp := <-j.resp:
-		return resp
+		return settleFlight(flight, resp)
 	case <-ctx.Done():
 		// The worker will still run the job (resp is buffered), finish its
 		// trace, and resolve its idempotency ticket — if the effect executes
 		// after the caller gave up, the outcome is still recorded so the
-		// caller's retry replays it instead of re-executing.
-		return &Response{Status: StatusError, Err: ctx.Err()}
+		// caller's retry replays it instead of re-executing. The coalesce
+		// flight settles unshared: waiters must not inherit this caller's
+		// deadline error, and their retry will hit the cache the worker warms.
+		return settleFlight(flight, &Response{Status: StatusError, Err: ctx.Err()})
 	}
+}
+
+// settleFlight closes an owned coalesce flight against its final
+// disposition. Only a successful response is shared with waiters; any other
+// outcome settles unshared so waiters re-execute rather than inherit a
+// failure that may have been specific to the owner.
+func settleFlight(f *coalFlight, resp *Response) *Response {
+	if f == nil {
+		return resp
+	}
+	if resp.Status == StatusOK {
+		f.settle(resp)
+	} else {
+		f.settle(nil)
+	}
+	return resp
 }
 
 // resolveIdem settles a job's owned idempotency slot against its final

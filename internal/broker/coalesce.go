@@ -1,0 +1,106 @@
+package broker
+
+import (
+	"context"
+	"sync"
+)
+
+// coalescer is the broker's single-flight layer for idempotent cacheable
+// queries, sitting between the result cache and admission control. A cache
+// miss opens a flight keyed by the query (the cache key — within one broker
+// that is the service+query identity); every identical request that arrives
+// while the flight is open waits for the first execution's answer instead of
+// spending its own backend trip. It is the read-side sibling of
+// txn.IdemTable's owner/waiter tickets: owners settle on every return path,
+// and a flight that closes without a shareable answer sends its waiters back
+// to run for real rather than propagating someone else's failure.
+type coalescer struct {
+	mu      sync.Mutex
+	flights map[string]*coalFlight
+
+	flightsTotal   int64 // first executions that opened a flight
+	coalescedTotal int64 // duplicates that waited instead of executing
+	sharedTotal    int64 // waiters that got a shareable answer
+}
+
+// coalFlight is one open first execution. done is closed when the owner
+// settles; resp is the shareable answer (nil when the owner's disposition —
+// shed, dropped, errored, cancelled — must not be replayed to waiters).
+type coalFlight struct {
+	c    *coalescer
+	key  string
+	done chan struct{}
+	resp *Response
+}
+
+// CoalesceStats is the coalescer's point-in-time accounting for /hotz,
+// metrics, and the throughput experiment.
+type CoalesceStats struct {
+	Flights   int64 // backend-bound first executions
+	Coalesced int64 // duplicate requests that waited on a flight
+	Shared    int64 // waiters answered from the owner's response
+	Inflight  int   // currently open flights
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{flights: make(map[string]*coalFlight)}
+}
+
+// acquire joins or opens the flight for key. The bool reports ownership:
+// owners must settle the returned flight on every return path; non-owners
+// await it.
+func (c *coalescer) acquire(key string) (*coalFlight, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		c.coalescedTotal++
+		return f, false
+	}
+	f := &coalFlight{c: c, key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightsTotal++
+	return f, true
+}
+
+func (c *coalescer) stats() CoalesceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CoalesceStats{
+		Flights:   c.flightsTotal,
+		Coalesced: c.coalescedTotal,
+		Shared:    c.sharedTotal,
+		Inflight:  len(c.flights),
+	}
+}
+
+// settle publishes the owner's answer (nil when it must not be shared),
+// wakes every waiter, and retires the flight. Idempotent so the owner's
+// wrapped return paths cannot double-close.
+func (f *coalFlight) settle(resp *Response) {
+	c := f.c
+	c.mu.Lock()
+	if c.flights[f.key] == f {
+		delete(c.flights, f.key)
+		f.resp = resp
+		close(f.done)
+	}
+	c.mu.Unlock()
+}
+
+// await blocks until the flight settles or ctx is done. ok is true when the
+// owner produced a shareable answer; false means the waiter should execute
+// normally (the owner was shed or failed before producing a result).
+func (f *coalFlight) await(ctx context.Context) (*Response, bool, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	if f.resp == nil {
+		return nil, false, nil
+	}
+	f.c.mu.Lock()
+	f.c.sharedTotal++
+	f.c.mu.Unlock()
+	return f.resp, true, nil
+}

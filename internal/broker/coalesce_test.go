@@ -1,0 +1,224 @@
+package broker
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"servicebroker/internal/backend"
+	"servicebroker/internal/qos"
+)
+
+// gateConnector counts backend executions and blocks each Do until release
+// is closed, so tests can hold a flight open while duplicates pile up.
+type gateConnector struct {
+	calls     atomic.Int64
+	started   chan struct{} // receives one token per Do that has begun
+	release   chan struct{} // closed to let blocked Dos finish
+	failFirst bool          // first call returns an error after release
+}
+
+func newGateConnector() *gateConnector {
+	return &gateConnector{
+		started: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateConnector) connector() backend.Connector {
+	return &backend.FuncConnector{
+		ServiceName: "db",
+		DoFn: func(ctx context.Context, payload []byte) ([]byte, error) {
+			n := g.calls.Add(1)
+			g.started <- struct{}{}
+			select {
+			case <-g.release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if g.failFirst && n == 1 {
+				return nil, errors.New("backend hiccup")
+			}
+			out := append([]byte("done:"), payload...)
+			return out, nil
+		},
+	}
+}
+
+// waitStats polls until the coalescer reports at least want coalesced
+// duplicates, so the test can release the owner only once every waiter has
+// actually joined the flight.
+func waitStats(t *testing.T, b *Broker, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := b.CoalesceStats()
+		if !ok {
+			t.Fatal("CoalesceStats not ok with WithCoalescing")
+		}
+		if st.Coalesced >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st, _ := b.CoalesceStats()
+	t.Fatalf("timed out waiting for %d coalesced waiters, stats = %+v", want, st)
+}
+
+func TestCoalescingSingleFlight(t *testing.T) {
+	g := newGateConnector()
+	b := newBroker(t, g.connector(), WithCoalescing(), WithWorkers(8))
+
+	const waiters = 7
+	results := make(chan *Response, waiters+1)
+	call := func() {
+		results <- b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1})
+	}
+
+	// Owner first: wait until its backend call has begun so the flight is
+	// provably open before any duplicate arrives.
+	go call()
+	<-g.started
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); call() }()
+	}
+	waitStats(t, b, waiters)
+	close(g.release)
+	wg.Wait()
+
+	for i := 0; i < waiters+1; i++ {
+		resp := <-results
+		if resp.Status != StatusOK || string(resp.Payload) != "done:q" {
+			t.Fatalf("resp = %+v", resp)
+		}
+	}
+	if n := g.calls.Load(); n != 1 {
+		t.Fatalf("backend executed %d times, want 1", n)
+	}
+	st, ok := b.CoalesceStats()
+	if !ok {
+		t.Fatal("CoalesceStats not ok")
+	}
+	if st.Flights != 1 || st.Coalesced != waiters || st.Shared != waiters || st.Inflight != 0 {
+		t.Fatalf("stats = %+v, want {Flights:1 Coalesced:%d Shared:%d Inflight:0}", st, waiters, waiters)
+	}
+	if got := b.Metrics().Counter("coalesced_total").Value(); got != waiters {
+		t.Fatalf("coalesced_total = %d, want %d", got, waiters)
+	}
+	if got := b.Metrics().Counter("coalesce_flights_total").Value(); got != 1 {
+		t.Fatalf("coalesce_flights_total = %d, want 1", got)
+	}
+}
+
+func TestCoalescingFailureNotShared(t *testing.T) {
+	g := newGateConnector()
+	g.failFirst = true
+	// The cache absorbs stragglers that re-acquire after the retry flight
+	// has already settled, keeping the backend count deterministic.
+	b := newBroker(t, g.connector(), WithCoalescing(), WithWorkers(8), WithCache(64, time.Minute))
+
+	const waiters = 5
+	var ownerResp *Response
+	ownerDone := make(chan struct{})
+	go func() {
+		ownerResp = b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1})
+		close(ownerDone)
+	}()
+	<-g.started
+
+	results := make(chan *Response, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1})
+		}()
+	}
+	waitStats(t, b, waiters)
+	close(g.release)
+	<-ownerDone
+	wg.Wait()
+
+	// The owner's failure is its own; waiters must not inherit it.
+	if ownerResp.Status == StatusOK {
+		t.Fatalf("owner resp = %+v, want failure", ownerResp)
+	}
+	for i := 0; i < waiters; i++ {
+		resp := <-results
+		if resp.Status != StatusOK || string(resp.Payload) != "done:q" {
+			t.Fatalf("waiter resp = %+v", resp)
+		}
+	}
+	// One failed first execution plus at least one real retry. Waiters wake
+	// together and race to re-acquire, so anywhere between one retry (all
+	// re-coalesced) and one per waiter (all serialized) is legal; what must
+	// hold is that the failure was never replayed to them.
+	if n := g.calls.Load(); n < 2 || n > waiters+1 {
+		t.Fatalf("backend executed %d times, want 2..%d", n, waiters+1)
+	}
+}
+
+func TestCoalescingNoCacheOptsOut(t *testing.T) {
+	g := newGateConnector()
+	b := newBroker(t, g.connector(), WithCoalescing(), WithWorkers(4))
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1, NoCache: true})
+			if resp.Status != StatusOK {
+				t.Errorf("resp = %+v", resp)
+			}
+		}()
+	}
+	// Both must reach the backend concurrently: no coalescing for NoCache.
+	<-g.started
+	<-g.started
+	close(g.release)
+	wg.Wait()
+
+	if n := g.calls.Load(); n != 2 {
+		t.Fatalf("backend executed %d times, want 2", n)
+	}
+	st, _ := b.CoalesceStats()
+	if st.Flights != 0 || st.Coalesced != 0 {
+		t.Fatalf("stats = %+v, want no flights", st)
+	}
+}
+
+func TestCoalesceStatsDisabledWithoutOption(t *testing.T) {
+	b := newBroker(t, echoConnector("cgi"))
+	if _, ok := b.CoalesceStats(); ok {
+		t.Fatal("CoalesceStats ok without WithCoalescing")
+	}
+}
+
+func TestCoalescedWaiterHonorsContext(t *testing.T) {
+	g := newGateConnector()
+	b := newBroker(t, g.connector(), WithCoalescing(), WithWorkers(2))
+
+	go b.Handle(context.Background(), &Request{Payload: []byte("q"), Class: qos.Class1})
+	<-g.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan *Response, 1)
+	go func() {
+		waiterDone <- b.Handle(ctx, &Request{Payload: []byte("q"), Class: qos.Class1})
+	}()
+	waitStats(t, b, 1)
+	cancel()
+	resp := <-waiterDone
+	if resp.Status != StatusError || !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("waiter resp = %+v, want canceled error", resp)
+	}
+	close(g.release)
+}

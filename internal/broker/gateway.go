@@ -109,6 +109,10 @@ func (g *Gateway) Services() []string {
 // Close stops the UDP server.
 func (g *Gateway) Close() error { return g.server.Close() }
 
+// IOStats returns the gateway's wire-level frame/datagram counters; the gap
+// between the two is the syscall traffic datagram batching saved.
+func (g *Gateway) IOStats() wire.IOStats { return g.server.IOStats() }
+
 // handle converts one wire request into a broker call.
 func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire.Message {
 	g.mu.Lock()
@@ -120,8 +124,11 @@ func (g *Gateway) handle(ctx context.Context, _ net.Addr, m *wire.Message) *wire
 			Payload: []byte(fmt.Sprintf("broker: unknown service %q", m.Service)),
 		}
 	}
+	// The wire server recycles m (and m.Payload) the moment this handler
+	// returns, but the broker request can outlive it: a queued job keeps its
+	// payload after Handle gives up on a deadline. Copy once here.
 	resp := b.Handle(ctx, &Request{
-		Payload: m.Payload,
+		Payload: append([]byte(nil), m.Payload...),
 		Class:   m.Class,
 		TxnID:   m.TxnID,
 		TxnStep: int(m.TxnStep),
@@ -220,6 +227,9 @@ func DialGateway(addr string, opts ...wire.ClientOption) (*Client, error) {
 
 // Close releases the client socket.
 func (c *Client) Close() error { return c.wc.Close() }
+
+// IOStats returns the client's wire-level frame/datagram counters.
+func (c *Client) IOStats() wire.IOStats { return c.wc.IOStats() }
 
 // Do sends one request to the named service and returns the broker's
 // response. Dropped requests return a Response with StatusDropped, not an

@@ -21,6 +21,20 @@ type HotKeySource func() (sketch.Snapshot, bool)
 // engine, so scraping the page (or the tsdb probes) drives alerting.
 type SLOSource func() (slo.Status, bool)
 
+// CoalesceSnapshot mirrors broker.CoalesceStats without importing the broker
+// (obs must stay import-cycle-free): single-flight accounting for one
+// service's query coalescing.
+type CoalesceSnapshot struct {
+	Flights   int64 // backend-bound first executions
+	Coalesced int64 // duplicates that waited on an in-flight query
+	Shared    int64 // waiters answered from the first execution's response
+	Inflight  int64 // currently open flights
+}
+
+// CoalesceSource supplies a coalescing snapshot for /hotz. The bool is false
+// when the broker runs without WithCoalescing.
+type CoalesceSource func() (CoalesceSnapshot, bool)
+
 type namedHotKeySource struct {
 	service string
 	src     HotKeySource
@@ -31,6 +45,11 @@ type namedSLOSource struct {
 	src     SLOSource
 }
 
+type namedCoalesceSource struct {
+	service string
+	src     CoalesceSource
+}
+
 // AddHotKeySource registers a /hotz supplier for one service. Sources whose
 // broker has no tracker render as a "disabled" line.
 func (s *Server) AddHotKeySource(service string, src HotKeySource) {
@@ -39,6 +58,18 @@ func (s *Server) AddHotKeySource(service string, src HotKeySource) {
 	}
 	s.mu.Lock()
 	s.hotkeys = append(s.hotkeys, namedHotKeySource{service: service, src: src})
+	s.mu.Unlock()
+}
+
+// AddCoalesceSource registers a /hotz coalescing supplier for one service:
+// the page shows, next to the hot-key skew that makes duplicate in-flight
+// queries likely, how many of them single-flight coalescing actually folded.
+func (s *Server) AddCoalesceSource(service string, src CoalesceSource) {
+	if src == nil {
+		return
+	}
+	s.mu.Lock()
+	s.coalesce = append(s.coalesce, namedCoalesceSource{service: service, src: src})
 	s.mu.Unlock()
 }
 
@@ -123,6 +154,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHotz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	sources := append([]namedHotKeySource(nil), s.hotkeys...)
+	coalesce := append([]namedCoalesceSource(nil), s.coalesce...)
 	s.mu.Unlock()
 
 	limit := 0
@@ -131,9 +163,24 @@ func (s *Server) handleHotz(w http.ResponseWriter, r *http.Request) {
 	}
 
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if len(sources) == 0 {
+	if len(sources) == 0 && len(coalesce) == 0 {
 		fmt.Fprintln(w, "hotz: no hot-key sources configured")
 		return
+	}
+	sort.SliceStable(coalesce, func(i, j int) bool { return coalesce[i].service < coalesce[j].service })
+	for _, nc := range coalesce {
+		snap, ok := nc.src()
+		if !ok {
+			fmt.Fprintf(w, "service=%s coalescing disabled\n", nc.service)
+			continue
+		}
+		total := snap.Flights + snap.Coalesced
+		saved := 0.0
+		if total > 0 {
+			saved = float64(snap.Coalesced) / float64(total)
+		}
+		fmt.Fprintf(w, "service=%s coalesce: flights=%d coalesced=%d shared=%d inflight=%d backend_trips_saved=%.1f%%\n",
+			nc.service, snap.Flights, snap.Coalesced, snap.Shared, snap.Inflight, 100*saved)
 	}
 	sort.SliceStable(sources, func(i, j int) bool { return sources[i].service < sources[j].service })
 	for _, ns := range sources {

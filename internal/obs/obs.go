@@ -108,6 +108,7 @@ type Server struct {
 	breakers  []namedBreakerSource
 	limits    []namedLimitSource
 	hotkeys   []namedHotKeySource
+	coalesce  []namedCoalesceSource
 	slos      []namedSLOSource
 	txns      []namedTxnSource
 	store     *tsdb.Store

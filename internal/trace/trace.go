@@ -123,6 +123,10 @@ const (
 	// the error that caused the hop, so a stitched cross-broker trace shows
 	// where and why the request moved.
 	StageFailover Stage = "failover"
+	// StageCoalesce covers a request's wait behind an identical in-flight
+	// query (broker.WithCoalescing): the duplicate shares the first
+	// execution's answer instead of spending a backend trip of its own.
+	StageCoalesce Stage = "coalesce"
 )
 
 // Span is one timed stage within a trace.

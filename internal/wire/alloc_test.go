@@ -143,6 +143,180 @@ func TestPooledCallPath(t *testing.T) {
 	}
 }
 
+// TestDecodeIntoZeroAllocs is the decode-side mirror of the AppendEncode
+// gate: decoding a plain request (interned service, no txn strings, no
+// spans) into a recycled Message must not allocate once the payload buffer
+// is warm.
+func TestDecodeIntoZeroAllocs(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeRequest, ID: 7, Service: "db", Class: qos.Class1, Payload: []byte("select * from shows")},
+		{Type: TypeRequest, ID: 8, Service: "db", TraceID: 0xfeedbeef, Payload: []byte("/movies/today")},
+	}
+	for i, m := range msgs {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := &Message{}
+		if err := DecodeInto(dst, frame); err != nil { // warm payload capacity + intern
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(1000, func() {
+			if err := DecodeInto(dst, frame); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("msg %d: DecodeInto = %.1f allocs/op, want 0", i, allocs)
+		}
+		if dst.ID != m.ID || string(dst.Payload) != string(m.Payload) || dst.Service != m.Service {
+			t.Errorf("msg %d: DecodeInto corrupted the message", i)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode: the in-place path must produce the same
+// message as Decode for every layout, including when the destination is
+// dirty from a previous, larger message.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	dirty := &Message{
+		Payload: []byte("previous payload that was much longer than the next one"),
+		Spans:   []Span{{Stage: "old", Note: "old", Start: 1, End: 2}},
+		TxnID:   "stale", BrokerID: "stale", IdemKey: "stale", RetryAfterMs: 99,
+	}
+	for i, m := range allocMessages() {
+		frame, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeInto(dirty, frame); err != nil {
+			t.Fatalf("msg %d: DecodeInto: %v", i, err)
+		}
+		if dirty.ID != want.ID || dirty.Service != want.Service || dirty.TxnID != want.TxnID ||
+			dirty.Status != want.Status || dirty.TraceID != want.TraceID ||
+			dirty.RetryAfterMs != want.RetryAfterMs || dirty.BrokerID != want.BrokerID ||
+			dirty.IdemKey != want.IdemKey || !bytes.Equal(dirty.Payload, want.Payload) ||
+			len(dirty.Spans) != len(want.Spans) {
+			t.Errorf("msg %d: DecodeInto result differs from Decode", i)
+		}
+		for j := range want.Spans {
+			if dirty.Spans[j] != want.Spans[j] {
+				t.Errorf("msg %d span %d: %+v != %+v", i, j, dirty.Spans[j], want.Spans[j])
+			}
+		}
+	}
+}
+
+// TestServerPathZeroAllocs pins the ISSUE's acceptance criterion: the
+// server's decode→dedup→encode path runs without allocating once warm, on
+// both the execute path (handler mutates the pooled request in place) and
+// the duplicate path (answered from the dedup ring).
+func TestServerPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector drops sync.Pool puts by design; pooled paths allocate under -race")
+	}
+	s := &Server{
+		handler: func(_ context.Context, _ net.Addr, req *Message) *Message {
+			req.Status = StatusOK
+			return req
+		},
+		index: make(map[dedupKey]int),
+	}
+	from := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+	ctx := context.Background()
+	req := &Message{Type: TypeRequest, Service: "db", Class: qos.Class1, Payload: []byte("select * from shows")}
+
+	// Fill the dedup ring past its window so steady-state inserts recycle
+	// slots (and the index map reaches its final size) before measuring.
+	id := uint64(0)
+	fb := make([]byte, 0, MaxFrame)
+	sendOne := func() {
+		id++
+		req.ID = id
+		frame, err := AppendEncode(fb[:0], req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := s.processFrame(ctx, frame, from)
+		if bp == nil {
+			t.Fatal("processFrame dropped a valid request")
+		}
+		putBuf(bp)
+	}
+	for i := 0; i < dedupWindow+64; i++ {
+		sendOne()
+	}
+
+	allocs := testing.AllocsPerRun(1000, sendOne)
+	if allocs != 0 {
+		t.Errorf("execute path = %.1f allocs/op, want 0", allocs)
+	}
+
+	// Duplicate path: same frame again must be served from the ring.
+	req.ID = id
+	dupFrame, err := AppendEncode(fb[:0], req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		bp := s.processFrame(ctx, dupFrame, from)
+		if bp == nil {
+			t.Fatal("duplicate dropped")
+		}
+		putBuf(bp)
+	})
+	if allocs != 0 {
+		t.Errorf("duplicate path = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkServerProcessFrame(b *testing.B) {
+	s := &Server{
+		handler: func(_ context.Context, _ net.Addr, req *Message) *Message {
+			req.Status = StatusOK
+			return req
+		},
+		index: make(map[dedupKey]int),
+	}
+	from := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+	ctx := context.Background()
+	req := &Message{Type: TypeRequest, Service: "db", Class: qos.Class1, Payload: []byte("select * from shows")}
+	fb := make([]byte, 0, MaxFrame)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.ID = uint64(i + 1)
+		frame, err := AppendEncode(fb[:0], req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp := s.processFrame(ctx, frame, from)
+		if bp == nil {
+			b.Fatal("dropped")
+		}
+		putBuf(bp)
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	frame, err := Encode(&Message{Type: TypeRequest, ID: 7, Service: "db", Payload: []byte("select * from shows")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &Message{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(m, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 var errTestMismatch = errTest("response payload mismatch")
 
 type errTest string

@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"servicebroker/internal/qos"
 )
@@ -361,74 +362,98 @@ func AppendEncode(dst []byte, m *Message) ([]byte, error) {
 // Decode parses a frame produced by Encode. The returned message's Payload
 // is a copy, so the caller may reuse buf.
 func Decode(buf []byte) (*Message, error) {
+	m := &Message{}
+	if err := DecodeInto(m, buf); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeInto parses a frame produced by Encode into m, reusing m's Payload
+// and Spans backing arrays when they have capacity — the decode-side mirror
+// of AppendEncode. With a recycled Message (see GetMessage) the steady-state
+// server request path decodes without allocating: the payload is copied into
+// the retained buffer and the service name is interned. On error m is left
+// in an unspecified state. Any previous contents of m are discarded.
+func DecodeInto(m *Message, buf []byte) error {
+	payload := m.Payload[:0]
+	spans := m.Spans[:0]
+	*m = Message{Payload: payload, Spans: spans}
 	if len(buf) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes", ErrBadFrame, len(buf))
+		return fmt.Errorf("%w: %d bytes", ErrBadFrame, len(buf))
 	}
 	if buf[0] != magic0 || buf[1] != magic1 {
-		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+		return fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
 	if buf[2] < codecVersion || buf[2] > codecVersionTxn {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
+		return fmt.Errorf("%w: unsupported version %d", ErrBadFrame, buf[2])
 	}
-	m := &Message{
-		Type:     MsgType(buf[3]),
-		ID:       binary.BigEndian.Uint64(buf[4:12]),
-		Class:    qos.Class(buf[12]),
-		TxnStep:  binary.BigEndian.Uint16(buf[13:15]),
-		Fidelity: qos.Fidelity(buf[15]),
-		Status:   Status(buf[16]),
-		Flags:    buf[17],
-	}
+	m.Type = MsgType(buf[3])
+	m.ID = binary.BigEndian.Uint64(buf[4:12])
+	m.Class = qos.Class(buf[12])
+	m.TxnStep = binary.BigEndian.Uint16(buf[13:15])
+	m.Fidelity = qos.Fidelity(buf[15])
+	m.Status = Status(buf[16])
+	m.Flags = buf[17]
 	if m.Type != TypeRequest && m.Type != TypeResponse {
-		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[3])
+		return fmt.Errorf("%w: unknown type %d", ErrBadFrame, buf[3])
 	}
 	rest := buf[headerSize:]
 	if buf[2] >= codecVersionTraced {
 		if len(buf) < headerSizeTraced {
-			return nil, fmt.Errorf("%w: truncated trace id", ErrBadFrame)
+			return fmt.Errorf("%w: truncated trace id", ErrBadFrame)
 		}
 		m.TraceID = binary.BigEndian.Uint64(buf[headerSize:headerSizeTraced])
 		rest = buf[headerSizeTraced:]
 	}
 
-	service, rest, err := readString(rest)
-	if err != nil {
-		return nil, err
+	// Service names are a small fixed vocabulary, so intern rather than
+	// allocate a fresh string per frame.
+	if len(rest) < 2 {
+		return fmt.Errorf("%w: truncated string length", ErrBadFrame)
 	}
-	m.Service = service
+	sn := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if sn > maxStringLen {
+		return fmt.Errorf("%w: string length %d", ErrBadFrame, sn)
+	}
+	if len(rest) < sn {
+		return fmt.Errorf("%w: string length %d, have %d", ErrBadFrame, sn, len(rest))
+	}
+	m.Service = internService(rest[:sn])
+	rest = rest[sn:]
 
 	txnID, rest, err := readString(rest)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.TxnID = txnID
 
 	if len(rest) < 4 {
-		return nil, fmt.Errorf("%w: truncated payload length", ErrBadFrame)
+		return fmt.Errorf("%w: truncated payload length", ErrBadFrame)
 	}
 	n := binary.BigEndian.Uint32(rest)
 	rest = rest[4:]
 	if buf[2] >= codecVersionSpans {
 		if uint32(len(rest)) < n {
-			return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
+			return fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
 		}
 	} else if uint32(len(rest)) != n {
-		return nil, fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
+		return fmt.Errorf("%w: payload length %d, have %d", ErrBadFrame, n, len(rest))
 	}
 	if n > 0 {
-		m.Payload = make([]byte, n)
-		copy(m.Payload, rest)
+		m.Payload = append(m.Payload, rest[:n]...)
 	}
 	rest = rest[n:]
 
 	if buf[2] >= codecVersionSpans {
-		spans, tail, err := readSpans(rest)
+		spans, tail, err := readSpans(m.Spans, rest)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if buf[2] >= codecVersionRetry {
 			if len(tail) < 4 {
-				return nil, fmt.Errorf("%w: truncated retry-after trailer", ErrBadFrame)
+				return fmt.Errorf("%w: truncated retry-after trailer", ErrBadFrame)
 			}
 			m.RetryAfterMs = binary.BigEndian.Uint32(tail)
 			tail = tail[4:]
@@ -436,7 +461,7 @@ func Decode(buf []byte) (*Message, error) {
 		if buf[2] >= codecVersionIdentity {
 			id, rest, err := readString(tail)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.BrokerID = id
 			tail = rest
@@ -444,21 +469,83 @@ func Decode(buf []byte) (*Message, error) {
 		if buf[2] >= codecVersionTxn {
 			key, rest, err := readString(tail)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			m.IdemKey = key
 			tail = rest
 		}
 		if len(tail) != 0 {
-			return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(tail))
+			return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(tail))
 		}
 		m.Spans = spans
 	}
-	return m, nil
+	return nil
 }
 
-// readSpans decodes a version-3 span block.
-func readSpans(buf []byte) ([]Span, []byte, error) {
+// Reset clears m for reuse, retaining the Payload and Spans backing arrays
+// so a recycled message decodes without reallocating them.
+func (m *Message) Reset() {
+	payload := m.Payload[:0]
+	spans := m.Spans[:0]
+	*m = Message{Payload: payload, Spans: spans}
+}
+
+// msgPool recycles Messages for the server request path: every datagram
+// decodes into a pooled Message instead of allocating one, and the message
+// returns to the pool after the handler's response is encoded.
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// GetMessage checks a cleared Message out of the free list. Pair with
+// PutMessage once every field (including Payload) is dead.
+func GetMessage() *Message { return msgPool.Get().(*Message) }
+
+// PutMessage resets m and returns it to the free list. The caller must not
+// retain m, m.Payload, or m.Spans afterwards.
+func PutMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	msgPool.Put(m)
+}
+
+// internLimit bounds the service intern table; frames beyond the limit fall
+// back to a per-frame allocation so hostile traffic cannot grow the table
+// without bound.
+const internLimit = 4096
+
+var (
+	internMu  sync.RWMutex
+	internTab = make(map[string]string)
+)
+
+// internService returns a canonical string for a service-name byte slice.
+// The read-path map lookup with a string(b) key compiles without allocating,
+// so repeat services — the overwhelmingly common case — cost zero allocs.
+func internService(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	internMu.RLock()
+	s, ok := internTab[string(b)]
+	internMu.RUnlock()
+	if ok {
+		return s
+	}
+	internMu.Lock()
+	if s, ok = internTab[string(b)]; !ok {
+		s = string(b)
+		if len(internTab) < internLimit {
+			internTab[s] = s
+		}
+	}
+	internMu.Unlock()
+	return s
+}
+
+// readSpans decodes a version-3 span block, appending to dst (which may be a
+// recycled message's retained spans array).
+func readSpans(dst []Span, buf []byte) ([]Span, []byte, error) {
 	if len(buf) < 2 {
 		return nil, nil, fmt.Errorf("%w: truncated span count", ErrBadFrame)
 	}
@@ -467,8 +554,8 @@ func readSpans(buf []byte) ([]Span, []byte, error) {
 	if count > MaxSpans {
 		return nil, nil, fmt.Errorf("%w: span count %d", ErrBadFrame, count)
 	}
-	var spans []Span
-	if count > 0 {
+	spans := dst
+	if count > 0 && spans == nil {
 		spans = make([]Span, 0, count)
 	}
 	for i := 0; i < count; i++ {

@@ -18,5 +18,11 @@ var bufPool = sync.Pool{
 // getBuf checks a MaxFrame-capacity buffer out of the pool.
 func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
 
-// putBuf returns a buffer. Callers must not retain any slice of it.
-func putBuf(b *[]byte) { bufPool.Put(b) }
+// putBuf returns a buffer. Callers must not retain any slice of it. The
+// length is restored to the full capacity so the server's ReadFrom — which
+// reads into the pooled buffer as-is — always sees a MaxFrame-sized window,
+// even after a holder shortened the slice to carry an encoded frame.
+func putBuf(b *[]byte) {
+	*b = (*b)[:cap(*b)]
+	bufPool.Put(b)
+}

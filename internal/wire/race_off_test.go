@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled reports whether the race detector is on. Alloc gates that
+// depend on sync.Pool recycling skip under race: the detector deliberately
+// drops a fraction of Pool puts, so pooled paths allocate by design there.
+const raceEnabled = false
